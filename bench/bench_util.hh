@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table bench binaries: flag parsing
+ * (--full for the complete 57-workload population, --nrh / --scale
+ * overrides), suite aggregation, and table printing.
+ */
+
+#ifndef DAPPER_BENCH_BENCH_UTIL_HH
+#define DAPPER_BENCH_BENCH_UTIL_HH
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/stats.hh"
+#include "src/sim/experiment.hh"
+#include "src/workload/benign.hh"
+
+namespace dapper {
+namespace benchutil {
+
+struct Options
+{
+    bool full = false;       ///< All 57 workloads (default: subset).
+    int nRH = 500;
+    /// Window compression (see DESIGN.md §1). 16 keeps per-window
+    /// counter accumulation high enough that benign-workload mitigation
+    /// dynamics (Fig. 11's 0.1%-avg / 4.4%-worst band) remain visible.
+    double timeScale = 16.0;
+    int windows = 2;         ///< Simulated (scaled) tREFW windows.
+};
+
+inline Options
+parse(int argc, char **argv)
+{
+    Options opt;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--full") == 0)
+            opt.full = true;
+        else if (std::strcmp(argv[i], "--nrh") == 0 && i + 1 < argc)
+            opt.nRH = std::atoi(argv[++i]);
+        else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+            opt.timeScale = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--windows") == 0 && i + 1 < argc)
+            opt.windows = std::atoi(argv[++i]);
+        else
+            std::fprintf(stderr, "ignoring unknown flag %s\n", argv[i]);
+    }
+    return opt;
+}
+
+inline SysConfig
+makeConfig(const Options &opt)
+{
+    SysConfig cfg;
+    cfg.nRH = opt.nRH;
+    cfg.timeScale = opt.timeScale;
+    return cfg;
+}
+
+inline Tick
+horizonOf(const SysConfig &cfg, const Options &opt)
+{
+    return static_cast<Tick>(opt.windows) * cfg.tREFW();
+}
+
+/** Workload population: per-suite subset by default, all 57 with --full. */
+inline std::vector<std::string>
+population(const Options &opt, int perSuite = 2)
+{
+    if (opt.full)
+        return workloadsInSuite("All");
+    // The most attack-sensitive (highest-RBMPKI) workloads per suite plus
+    // one compute-bound control.
+    static const char *kSuites[] = {"SPEC2K6", "SPEC2K17", "TPC",
+                                    "Hadoop", "MediaBench", "YCSB"};
+    std::vector<std::string> out;
+    for (const char *suite : kSuites) {
+        std::vector<std::pair<double, std::string>> ranked;
+        for (const auto &name : workloadsInSuite(suite))
+            ranked.emplace_back(findWorkload(name).rbmpki(), name);
+        std::sort(ranked.rbegin(), ranked.rend());
+        for (int i = 0; i < perSuite && i < static_cast<int>(ranked.size());
+             ++i)
+            out.push_back(ranked[static_cast<std::size_t>(i)].second);
+    }
+    out.push_back("456.hmmer"); // Compute-bound control.
+    return out;
+}
+
+/** Geomean of per-workload values grouped by suite (plus "All"). */
+inline std::map<std::string, double>
+bySuite(const std::map<std::string, double> &perWorkload)
+{
+    std::map<std::string, std::vector<double>> groups;
+    for (const auto &[name, value] : perWorkload) {
+        groups[findWorkload(name).suite].push_back(value);
+        groups["All"].push_back(value);
+    }
+    std::map<std::string, double> out;
+    for (const auto &[suite, values] : groups)
+        out[suite] = geomean(values);
+    return out;
+}
+
+inline void
+printHeader(const std::string &title, const SysConfig &cfg)
+{
+    std::printf("=== %s ===\n", title.c_str());
+    std::printf("config: %s\n\n", cfg.summary().c_str());
+}
+
+} // namespace benchutil
+} // namespace dapper
+
+#endif // DAPPER_BENCH_BENCH_UTIL_HH

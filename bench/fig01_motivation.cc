@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 1: normalized performance of state-of-the-art host-side RH
+ * mitigations at N_RH = 500 under tailored RH-Tracker Perf-Attacks and a
+ * cache-thrashing attack, aggregated by benchmark suite.
+ *
+ * Paper reference: tailored Perf-Attacks cause 60-90% slowdowns across
+ * the suites while cache thrashing causes ~40%; CoMeT is hit hardest.
+ * Normalization: unprotected, attack-free baseline (bars include the
+ * attack's own bandwidth cost).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dapper;
+    using namespace dapper::benchutil;
+
+    const Options opt = parse(argc, argv);
+    SysConfig cfg = makeConfig(opt);
+    const Tick horizon = horizonOf(cfg, opt);
+    printHeader("Figure 1: motivation — Perf-Attacks on scalable trackers",
+                cfg);
+
+    struct Column
+    {
+        const char *label;
+        TrackerKind tracker;
+        AttackKind attack;
+    };
+    const Column columns[] = {
+        {"CacheThrash", TrackerKind::None, AttackKind::CacheThrash},
+        {"Hydra", TrackerKind::Hydra, AttackKind::HydraRcc},
+        {"START", TrackerKind::Start, AttackKind::StartStream},
+        {"ABACUS", TrackerKind::Abacus, AttackKind::AbacusSpill},
+        {"CoMeT", TrackerKind::Comet, AttackKind::CometRat},
+    };
+
+    const auto workloads = population(opt);
+    std::map<std::string, std::map<std::string, double>> results;
+    for (const Column &col : columns) {
+        std::map<std::string, double> perWorkload;
+        for (const auto &name : workloads)
+            perWorkload[name] =
+                normalizedPerf(cfg, name, col.attack, col.tracker,
+                               Baseline::NoAttack, horizon);
+        results[col.label] = bySuite(perWorkload);
+    }
+
+    std::printf("%-14s", "Suite");
+    for (const Column &col : columns)
+        std::printf(" %12s", col.label);
+    std::printf("\n");
+    const char *suites[] = {"SPEC2K6", "SPEC2K17",   "TPC", "Hadoop",
+                            "MediaBench", "YCSB", "All"};
+    for (const char *suite : suites) {
+        std::printf("%-14s", suite);
+        for (const Column &col : columns) {
+            auto it = results[col.label].find(suite);
+            std::printf(" %12.3f",
+                        it != results[col.label].end() ? it->second : 0.0);
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(paper: trackers 0.1-0.4, cache thrashing ~0.6)\n");
+    return 0;
+}

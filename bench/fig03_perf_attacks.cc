@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Figure 3: per-workload normalized performance of Hydra / START /
+ * ABACUS / CoMeT under cache-thrashing and tailored Perf-Attacks, split
+ * into the ">= 2 row-buffer misses per kilo-instruction" population and
+ * all workloads.
+ *
+ * Paper reference: 60-90% average loss under Perf-Attacks, ~40% under
+ * cache thrashing; 510.parest worst for Hydra/START (88% / 91.2%).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dapper;
+    using namespace dapper::benchutil;
+
+    const Options opt = parse(argc, argv);
+    SysConfig cfg = makeConfig(opt);
+    const Tick horizon = horizonOf(cfg, opt);
+    printHeader("Figure 3: per-workload Perf-Attack impact", cfg);
+
+    struct Column
+    {
+        const char *label;
+        TrackerKind tracker;
+        AttackKind attack;
+    };
+    const Column columns[] = {
+        {"CacheThrash", TrackerKind::None, AttackKind::CacheThrash},
+        {"Hydra", TrackerKind::Hydra, AttackKind::HydraRcc},
+        {"START", TrackerKind::Start, AttackKind::StartStream},
+        {"ABACUS", TrackerKind::Abacus, AttackKind::AbacusSpill},
+        {"CoMeT", TrackerKind::Comet, AttackKind::CometRat},
+    };
+
+    const auto workloads = population(opt);
+    std::printf("%-22s %7s", "Workload", "RBMPKI");
+    for (const Column &col : columns)
+        std::printf(" %12s", col.label);
+    std::printf("\n");
+
+    std::map<std::string, std::vector<double>> hi;
+    std::map<std::string, std::vector<double>> all;
+    for (const auto &name : workloads) {
+        const double rbmpki = findWorkload(name).rbmpki();
+        std::printf("%-22s %7.2f", name.c_str(), rbmpki);
+        for (const Column &col : columns) {
+            const double norm =
+                normalizedPerf(cfg, name, col.attack, col.tracker,
+                               Baseline::NoAttack, horizon);
+            std::printf(" %12.3f", norm);
+            all[col.label].push_back(norm);
+            if (rbmpki >= 2.0)
+                hi[col.label].push_back(norm);
+        }
+        std::printf("\n");
+    }
+
+    std::printf("\n%-30s", "geomean (RBMPKI >= 2)");
+    for (const Column &col : columns)
+        std::printf(" %12.3f", geomean(hi[col.label]));
+    std::printf("\n%-30s", "geomean (all)");
+    for (const Column &col : columns)
+        std::printf(" %12.3f", geomean(all[col.label]));
+    std::printf("\n\n(paper: Perf-Attacks 60-90%% loss, thrash ~40%%)\n");
+    return 0;
+}

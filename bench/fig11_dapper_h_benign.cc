@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Figure 11: DAPPER-H on benign applications (4 homogeneous copies,
+ * no attacker) versus the insecure baseline at N_RH = 500.
+ *
+ * Paper reference: 0.1% average slowdown; worst case 4.4% (429.mcf).
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dapper;
+    using namespace dapper::benchutil;
+
+    const Options opt = parse(argc, argv);
+    SysConfig cfg = makeConfig(opt);
+    const Tick horizon = horizonOf(cfg, opt);
+    printHeader("Figure 11: DAPPER-H benign overhead", cfg);
+
+    const auto workloads = population(opt);
+    std::printf("%-22s %7s %12s %12s\n", "Workload", "RBMPKI", "Norm",
+                "Overhead%");
+
+    std::vector<double> all;
+    double worst = 1.0;
+    std::string worstName;
+    for (const auto &name : workloads) {
+        const double n =
+            normalizedPerf(cfg, name, AttackKind::None,
+                           TrackerKind::DapperH, Baseline::NoAttack,
+                           horizon);
+        all.push_back(n);
+        if (n < worst) {
+            worst = n;
+            worstName = name;
+        }
+        std::printf("%-22s %7.2f %12.4f %11.2f%%\n", name.c_str(),
+                    findWorkload(name).rbmpki(), n, 100.0 * (1.0 - n));
+    }
+    std::printf("\ngeomean overhead: %.2f%%  worst: %.2f%% (%s)\n",
+                100.0 * (1.0 - geomean(all)), 100.0 * (1.0 - worst),
+                worstName.c_str());
+    std::printf("(paper: 0.1%% average, 4.4%% worst on 429.mcf)\n");
+    return 0;
+}

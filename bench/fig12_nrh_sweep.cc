@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 12: DAPPER-H normalized performance as N_RH varies from 125 to
+ * 4K — benign, under the streaming attack, and under the refresh attack.
+ *
+ * Paper reference: < 1% slowdown at N_RH >= 500 even under attack; ~6%
+ * at N_RH = 125 under the refresh attack.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dapper;
+    using namespace dapper::benchutil;
+
+    const Options opt = parse(argc, argv);
+    printHeader("Figure 12: DAPPER-H vs N_RH (benign / streaming / "
+                "refresh)",
+                makeConfig(opt));
+
+    const int thresholds[] = {125, 250, 500, 1000, 2000, 4000};
+    const auto workloads =
+        opt.full ? population(opt) : std::vector<std::string>{
+                                         "429.mcf", "510.parest", "ycsb-a"};
+
+    std::printf("%-8s %14s %18s %18s\n", "NRH", "Benign",
+                "Streaming attack", "Refresh attack");
+    for (int nrh : thresholds) {
+        Options local = opt;
+        local.nRH = nrh;
+        SysConfig cfg = makeConfig(local);
+        const Tick horizon = horizonOf(cfg, local);
+        std::vector<double> benign;
+        std::vector<double> stream;
+        std::vector<double> refresh;
+        for (const auto &name : workloads) {
+            benign.push_back(normalizedPerf(cfg, name, AttackKind::None,
+                                            TrackerKind::DapperH,
+                                            Baseline::NoAttack, horizon));
+            stream.push_back(normalizedPerf(
+                cfg, name, AttackKind::Streaming, TrackerKind::DapperH,
+                Baseline::SameAttack, horizon));
+            refresh.push_back(normalizedPerf(
+                cfg, name, AttackKind::RefreshAttack, TrackerKind::DapperH,
+                Baseline::SameAttack, horizon));
+        }
+        std::printf("%-8d %14.4f %18.4f %18.4f\n", nrh, geomean(benign),
+                    geomean(stream), geomean(refresh));
+    }
+    std::printf("\n(paper: <1%% at NRH>=500; ~6%% at NRH=125 under "
+                "refresh attack)\n");
+    return 0;
+}

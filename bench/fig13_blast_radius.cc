@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Figure 13: DAPPER-H with blast radius 1 (default), blast radius 2,
+ * and Same-Bank DRFM mitigations, under benign load and the refresh
+ * attack, across N_RH.
+ *
+ * Paper reference: at N_RH = 500 under the refresh attack, BR1 ~1%,
+ * BR2 ~2%, DRFMsb ~8%; at N_RH = 125: 6% / 9.2% / 27.1%.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dapper;
+    using namespace dapper::benchutil;
+
+    const Options opt = parse(argc, argv);
+    printHeader("Figure 13: blast radius and DRFMsb cost", makeConfig(opt));
+
+    const TrackerKind variants[] = {TrackerKind::DapperH,
+                                    TrackerKind::DapperHBr2,
+                                    TrackerKind::DapperHDrfmSb};
+    const int thresholds[] = {125, 250, 500, 1000, 2000, 4000};
+    const auto workloads =
+        opt.full ? population(opt) : std::vector<std::string>{
+                                         "429.mcf", "ycsb-a"};
+
+    std::printf("%-8s", "NRH");
+    for (TrackerKind v : variants)
+        std::printf(" %16s %18s", trackerName(v).c_str(), "(+refresh)");
+    std::printf("\n");
+
+    for (int nrh : thresholds) {
+        Options local = opt;
+        local.nRH = nrh;
+        SysConfig cfg = makeConfig(local);
+        const Tick horizon = horizonOf(cfg, local);
+        std::printf("%-8d", nrh);
+        for (TrackerKind v : variants) {
+            std::vector<double> benign;
+            std::vector<double> attacked;
+            for (const auto &name : workloads) {
+                benign.push_back(normalizedPerf(cfg, name,
+                                                AttackKind::None, v,
+                                                Baseline::NoAttack,
+                                                horizon));
+                attacked.push_back(normalizedPerf(
+                    cfg, name, AttackKind::RefreshAttack, v,
+                    Baseline::SameAttack, horizon));
+            }
+            std::printf(" %16.4f %18.4f", geomean(benign),
+                        geomean(attacked));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(paper at NRH=500 +refresh: BR1 ~1%%, BR2 ~2%%, "
+                "DRFMsb ~8%%)\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 15: DAPPER-H vs the probabilistic mitigations PARA and PrIDE
+ * (per-bank and same-bank command flavours) on benign applications
+ * across N_RH.
+ *
+ * Paper reference at N_RH = 500: PARA 3%, PrIDE 7%, PARA-DRFMsb 18.4%,
+ * PrIDE-RFMsb 11.5%, DAPPER-H(-DRFMsb) < 0.3%.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dapper;
+    using namespace dapper::benchutil;
+
+    const Options opt = parse(argc, argv);
+    printHeader("Figure 15: probabilistic mitigations (benign)",
+                makeConfig(opt));
+
+    const TrackerKind variants[] = {
+        TrackerKind::Para,        TrackerKind::ParaDrfmSb,
+        TrackerKind::Pride,       TrackerKind::PrideRfmSb,
+        TrackerKind::DapperH,     TrackerKind::DapperHDrfmSb,
+    };
+    const int thresholds[] = {125, 250, 500, 1000, 2000, 4000};
+    const auto workloads =
+        opt.full ? population(opt) : std::vector<std::string>{
+                                         "429.mcf", "510.parest", "ycsb-a"};
+
+    std::printf("%-8s", "NRH");
+    for (TrackerKind v : variants)
+        std::printf(" %16s", trackerName(v).c_str());
+    std::printf("\n");
+
+    for (int nrh : thresholds) {
+        Options local = opt;
+        local.nRH = nrh;
+        SysConfig cfg = makeConfig(local);
+        const Tick horizon = horizonOf(cfg, local);
+        std::printf("%-8d", nrh);
+        for (TrackerKind v : variants) {
+            std::vector<double> values;
+            for (const auto &name : workloads)
+                values.push_back(normalizedPerf(cfg, name,
+                                                AttackKind::None, v,
+                                                Baseline::NoAttack,
+                                                horizon));
+            std::printf(" %16.4f", geomean(values));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(paper at NRH=500: PARA 0.97, PrIDE 0.93, "
+                "PARA-DRFMsb 0.82, PrIDE-RFMsb 0.88, DAPPER-H ~1.0)\n");
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Figure 16: DAPPER-H vs PARA / PrIDE under Perf-Attacks (the hammering
+ * refresh-attack pattern forces probabilistic schemes into frequent
+ * mitigations) across N_RH.
+ *
+ * Paper reference at N_RH = 125: DAPPER-H 6% vs PARA 14.6% and PrIDE
+ * 22.8%; at N_RH = 1K with same-bank commands: DAPPER-H-DRFMsb 4.8% vs
+ * PARA 23% / PrIDE 16%.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dapper;
+    using namespace dapper::benchutil;
+
+    const Options opt = parse(argc, argv);
+    printHeader("Figure 16: probabilistic mitigations under Perf-Attack",
+                makeConfig(opt));
+
+    const TrackerKind variants[] = {
+        TrackerKind::Para,        TrackerKind::ParaDrfmSb,
+        TrackerKind::Pride,       TrackerKind::PrideRfmSb,
+        TrackerKind::DapperH,     TrackerKind::DapperHDrfmSb,
+    };
+    const int thresholds[] = {125, 250, 500, 1000, 2000, 4000};
+    const auto workloads =
+        opt.full ? population(opt) : std::vector<std::string>{
+                                         "429.mcf", "ycsb-a"};
+
+    std::printf("%-8s", "NRH");
+    for (TrackerKind v : variants)
+        std::printf(" %16s", trackerName(v).c_str());
+    std::printf("\n");
+
+    for (int nrh : thresholds) {
+        Options local = opt;
+        local.nRH = nrh;
+        SysConfig cfg = makeConfig(local);
+        const Tick horizon = horizonOf(cfg, local);
+        std::printf("%-8d", nrh);
+        for (TrackerKind v : variants) {
+            std::vector<double> values;
+            for (const auto &name : workloads)
+                values.push_back(normalizedPerf(
+                    cfg, name, AttackKind::RefreshAttack, v,
+                    Baseline::SameAttack, horizon));
+            std::printf(" %16.4f", geomean(values));
+        }
+        std::printf("\n");
+    }
+    std::printf("\n(paper at NRH=125: DAPPER-H 0.94, PARA 0.85, PrIDE "
+                "0.77)\n");
+    return 0;
+}

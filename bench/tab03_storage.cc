@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Table III: storage overhead per 32GB DDR5 memory.
+ *
+ * Paper reference rows (SRAM KB / CAM KB / area mm^2):
+ *   Hydra 56.5 / - / 0.044 ; CoMeT 112 / 23 / 0.139 ; START 4 / - / 0.003
+ *   ABACUS 19.3 / 7.5 / 0.038 ; DAPPER-H 96 / - / 0.075
+ */
+
+#include <cstdio>
+
+#include "src/cache/llc.hh"
+#include "src/rh/factory.hh"
+
+int
+main()
+{
+    using namespace dapper;
+
+    std::printf("Table III: storage overhead per 32GB DDR5 memory\n");
+    std::printf("%-16s %10s %10s %14s\n", "Tracker", "SRAM(KB)", "CAM(KB)",
+                "Area(mm^2)");
+
+    const TrackerKind kinds[] = {
+        TrackerKind::Hydra,  TrackerKind::Comet, TrackerKind::Start,
+        TrackerKind::Abacus, TrackerKind::DapperS,
+        TrackerKind::DapperH,
+    };
+
+    for (TrackerKind kind : kinds) {
+        SysConfig cfg;
+        cfg.nRH = 500;
+        // Storage is quoted per physical tREFW (no window scaling).
+        cfg.timeScale = 1.0;
+        auto tracker = makeTracker(kind, cfg, nullptr);
+        const StorageEstimate est = tracker->storage();
+        std::printf("%-16s %10.1f %10.1f %14.3f\n",
+                    tracker->name().c_str(), est.sramKB, est.camKB,
+                    est.areaMm2());
+    }
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Table IV: energy overhead of DAPPER-H vs an unprotected system, for
+ * benign load and under the streaming / refresh attacks, as N_RH varies.
+ *
+ * Paper reference (benign / streaming / refresh): 125: 4.5/7.0/7.5%;
+ * 500: 0.1/0.2/1.1%; 4000: ~0/0/0.4%.
+ */
+
+#include "bench/bench_util.hh"
+
+namespace {
+
+double
+energyOf(const dapper::SysConfig &cfg, const std::string &workload,
+         dapper::AttackKind attack, dapper::TrackerKind tracker,
+         dapper::Tick horizon)
+{
+    return dapper::runOnce(cfg, workload, attack, tracker, horizon)
+        .energyNj;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dapper;
+    using namespace dapper::benchutil;
+
+    const Options opt = parse(argc, argv);
+    printHeader("Table IV: energy overhead of DAPPER-H", makeConfig(opt));
+
+    const int thresholds[] = {125, 250, 500, 1000, 2000, 4000};
+    const std::string workload = "429.mcf";
+
+    std::printf("%-8s %10s %14s %14s\n", "NRH", "Benign", "Streaming",
+                "Refresh");
+    for (int nrh : thresholds) {
+        Options local = opt;
+        local.nRH = nrh;
+        SysConfig cfg = makeConfig(local);
+        const Tick horizon = horizonOf(cfg, local);
+
+        const double baseIdle = energyOf(cfg, workload, AttackKind::None,
+                                         TrackerKind::None, horizon);
+        const double baseStream =
+            energyOf(cfg, workload, AttackKind::Streaming,
+                     TrackerKind::None, horizon);
+        const double baseRefresh =
+            energyOf(cfg, workload, AttackKind::RefreshAttack,
+                     TrackerKind::None, horizon);
+
+        const double benign = energyOf(cfg, workload, AttackKind::None,
+                                       TrackerKind::DapperH, horizon);
+        const double stream =
+            energyOf(cfg, workload, AttackKind::Streaming,
+                     TrackerKind::DapperH, horizon);
+        const double refresh =
+            energyOf(cfg, workload, AttackKind::RefreshAttack,
+                     TrackerKind::DapperH, horizon);
+
+        std::printf("%-8d %9.2f%% %13.2f%% %13.2f%%\n", nrh,
+                    100.0 * (benign / baseIdle - 1.0),
+                    100.0 * (stream / baseStream - 1.0),
+                    100.0 * (refresh / baseRefresh - 1.0));
+    }
+    std::printf("\n(paper: 4.5/7.0/7.5%% at 125; 0.1/0.2/1.1%% at 500; "
+                "~0 at 4000)\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Attack demo: launch each tailored RH-Tracker Perf-Attack from the
+ * paper (Section III-B) against the tracker it targets, and the two
+ * mapping-agnostic attacks against DAPPER-S and DAPPER-H, printing the
+ * benign cores' normalized performance, the tracker's mitigation
+ * activity, and the ground-truth RowHammer verdict.
+ */
+
+#include <cstdio>
+
+#include "src/sim/experiment.hh"
+
+int
+main()
+{
+    using namespace dapper;
+
+    SysConfig cfg;
+    cfg.nRH = 500;
+    const Tick horizon = defaultHorizon(cfg);
+    const std::string workload = "429.mcf";
+
+    std::printf("Perf-Attack demo on %s (3 benign copies of %s + 1 "
+                "attacker core)\n\n",
+                cfg.summary().c_str(), workload.c_str());
+
+    const RunResult base =
+        runOnce(cfg, workload, AttackKind::None, TrackerKind::None,
+                horizon);
+    std::printf("%-14s %-16s %8s %10s %8s %12s %6s\n", "Tracker",
+                "Attack", "NormPerf", "Mitig", "Bulk", "CtrTraffic",
+                "Safe");
+
+    struct Case
+    {
+        TrackerKind tracker;
+        AttackKind attack;
+    };
+    const Case cases[] = {
+        {TrackerKind::Hydra, AttackKind::HydraRcc},
+        {TrackerKind::Start, AttackKind::StartStream},
+        {TrackerKind::Comet, AttackKind::CometRat},
+        {TrackerKind::Abacus, AttackKind::AbacusSpill},
+        {TrackerKind::None, AttackKind::CacheThrash},
+        {TrackerKind::DapperS, AttackKind::Streaming},
+        {TrackerKind::DapperS, AttackKind::RefreshAttack},
+        {TrackerKind::DapperH, AttackKind::Streaming},
+        {TrackerKind::DapperH, AttackKind::RefreshAttack},
+    };
+
+    for (const Case &c : cases) {
+        const RunResult r = runOnce(cfg, workload, c.attack, c.tracker,
+                                    horizon);
+        std::printf("%-14s %-16s %8.3f %10llu %8llu %12llu %6s\n",
+                    trackerName(c.tracker).c_str(),
+                    attackName(c.attack).c_str(),
+                    r.benignIpcMean / base.benignIpcMean,
+                    static_cast<unsigned long long>(r.mitigations),
+                    static_cast<unsigned long long>(r.bulkResets),
+                    static_cast<unsigned long long>(r.counterTraffic),
+                    c.tracker == TrackerKind::None
+                        ? "n/a"
+                        : (r.rhViolations == 0 ? "yes" : "NO"));
+    }
+
+    std::printf("\nReading the table: the tailored attacks leave "
+                "Hydra/START/CoMeT/ABACUS\nwell below the cache-thrash "
+                "reference, while DAPPER-H stays near the\nattack-only "
+                "level with single-row mitigations and no RH "
+                "violations.\n");
+    return 0;
+}

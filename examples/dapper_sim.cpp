@@ -1,0 +1,174 @@
+/**
+ * @file
+ * dapper_sim: command-line simulation runner — the Swiss-army knife for
+ * exploring the design space without writing code.
+ *
+ * Usage:
+ *   dapper_sim [--workload NAME] [--tracker NAME] [--attack NAME]
+ *              [--nrh N] [--scale S] [--windows W] [--seed S] [--list]
+ *
+ * Examples:
+ *   dapper_sim --workload 510.parest --tracker comet --attack comet-rat
+ *   dapper_sim --tracker dapper-h --attack refresh --nrh 125
+ *   dapper_sim --list
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "src/sim/experiment.hh"
+
+namespace {
+
+using namespace dapper;
+
+TrackerKind
+parseTracker(const std::string &name)
+{
+    const struct
+    {
+        const char *name;
+        TrackerKind kind;
+    } table[] = {
+        {"none", TrackerKind::None},
+        {"para", TrackerKind::Para},
+        {"para-drfmsb", TrackerKind::ParaDrfmSb},
+        {"pride", TrackerKind::Pride},
+        {"pride-rfmsb", TrackerKind::PrideRfmSb},
+        {"prac", TrackerKind::Prac},
+        {"blockhammer", TrackerKind::BlockHammer},
+        {"hydra", TrackerKind::Hydra},
+        {"start", TrackerKind::Start},
+        {"comet", TrackerKind::Comet},
+        {"abacus", TrackerKind::Abacus},
+        {"graphene", TrackerKind::Graphene},
+        {"dapper-s", TrackerKind::DapperS},
+        {"dapper-h", TrackerKind::DapperH},
+        {"dapper-h-br2", TrackerKind::DapperHBr2},
+        {"dapper-h-drfmsb", TrackerKind::DapperHDrfmSb},
+    };
+    for (const auto &entry : table)
+        if (name == entry.name)
+            return entry.kind;
+    std::fprintf(stderr, "unknown tracker '%s'\n", name.c_str());
+    std::exit(1);
+}
+
+AttackKind
+parseAttack(const std::string &name)
+{
+    const struct
+    {
+        const char *name;
+        AttackKind kind;
+    } table[] = {
+        {"none", AttackKind::None},
+        {"cache-thrash", AttackKind::CacheThrash},
+        {"hydra-rcc", AttackKind::HydraRcc},
+        {"start-stream", AttackKind::StartStream},
+        {"comet-rat", AttackKind::CometRat},
+        {"abacus-spill", AttackKind::AbacusSpill},
+        {"streaming", AttackKind::Streaming},
+        {"refresh", AttackKind::RefreshAttack},
+        {"mapping-probe", AttackKind::MappingProbe},
+    };
+    for (const auto &entry : table)
+        if (name == entry.name)
+            return entry.kind;
+    std::fprintf(stderr, "unknown attack '%s'\n", name.c_str());
+    std::exit(1);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace dapper;
+
+    std::string workload = "429.mcf";
+    TrackerKind tracker = TrackerKind::DapperH;
+    AttackKind attack = AttackKind::None;
+    SysConfig cfg;
+    int windows = 2;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+                std::exit(1);
+            }
+            return argv[++i];
+        };
+        if (arg == "--workload")
+            workload = value();
+        else if (arg == "--tracker")
+            tracker = parseTracker(value());
+        else if (arg == "--attack")
+            attack = parseAttack(value());
+        else if (arg == "--nrh")
+            cfg.nRH = std::atoi(value().c_str());
+        else if (arg == "--scale")
+            cfg.timeScale = std::atof(value().c_str());
+        else if (arg == "--windows")
+            windows = std::atoi(value().c_str());
+        else if (arg == "--seed")
+            cfg.seed = std::strtoull(value().c_str(), nullptr, 10);
+        else if (arg == "--list") {
+            std::printf("%-22s %-12s %8s %8s\n", "workload", "suite",
+                        "MPKI", "RBMPKI");
+            for (const auto &w : workloadTable())
+                std::printf("%-22s %-12s %8.1f %8.2f\n", w.name.c_str(),
+                            w.suite.c_str(), w.mpki, w.rbmpki());
+            return 0;
+        } else {
+            std::fprintf(stderr,
+                         "usage: dapper_sim [--workload N] [--tracker N] "
+                         "[--attack N] [--nrh N] [--scale S] "
+                         "[--windows W] [--seed S] [--list]\n");
+            return 1;
+        }
+    }
+
+    const Tick horizon = static_cast<Tick>(windows) * cfg.tREFW();
+    std::printf("system   : %s\n", cfg.summary().c_str());
+    std::printf("workload : %s, tracker %s, attack %s, %d window(s)\n",
+                workload.c_str(), trackerName(tracker).c_str(),
+                attackName(attack).c_str(), windows);
+
+    const RunResult base =
+        runOnce(cfg, workload, AttackKind::None, TrackerKind::None,
+                horizon);
+    const RunResult r = runOnce(cfg, workload, attack, tracker, horizon);
+
+    std::printf("\nbenign IPC (geomean)  : %.4f (baseline %.4f)\n",
+                r.benignIpcMean, base.benignIpcMean);
+    std::printf("normalized (vs idle)  : %.4f\n",
+                r.benignIpcMean / base.benignIpcMean);
+    if (attack != AttackKind::None) {
+        const RunResult atk =
+            runOnce(cfg, workload, attack, TrackerKind::None, horizon);
+        std::printf("normalized (vs attack): %.4f\n",
+                    atk.benignIpcMean > 0
+                        ? r.benignIpcMean / atk.benignIpcMean
+                        : 0.0);
+    }
+    std::printf("activations           : %llu\n",
+                static_cast<unsigned long long>(r.activations));
+    std::printf("mitigations           : %llu\n",
+                static_cast<unsigned long long>(r.mitigations));
+    std::printf("bulk resets           : %llu\n",
+                static_cast<unsigned long long>(r.bulkResets));
+    std::printf("counter traffic       : %llu\n",
+                static_cast<unsigned long long>(r.counterTraffic));
+    std::printf("energy (mJ)           : %.3f\n", r.energyNj * 1e-6);
+    std::printf("max victim damage     : %u / NRH %d\n", r.maxDamage,
+                cfg.nRH);
+    std::printf("RowHammer violations  : %llu -> %s\n",
+                static_cast<unsigned long long>(r.rhViolations),
+                r.rhViolations == 0 ? "SAFE" : "UNSAFE");
+    return 0;
+}

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Security analysis walkthrough: evaluate the paper's closed-form
+ * Mapping-Capturing models (Eqs. 1-7) across reset periods, RowHammer
+ * thresholds, and row-group sizes, reproducing Table II and the
+ * "99.99% prevention within tREFW" claim, and showing how the knobs
+ * move the attack cost.
+ */
+
+#include <cstdio>
+
+#include "src/analysis/security.hh"
+
+int
+main()
+{
+    using namespace dapper;
+
+    SysConfig cfg;
+    cfg.nRH = 500;
+    cfg.timeScale = 1.0;
+
+    std::printf("DAPPER-S Mapping-Capturing cost vs reset period "
+                "(Table II)\n");
+    std::printf("%-12s %10s %12s %14s %14s\n", "treset(us)", "ACT_MAX",
+                "P_S", "Iterations", "Time(ms)");
+    for (double us : {48.0, 36.0, 24.0, 18.0, 12.0}) {
+        const auto r = analyzeDapperSMappingCapture(cfg, us);
+        std::printf("%-12.0f %10.0f %12.4g %14.1f %14.3f\n", us, r.actMax,
+                    r.successProb, r.iterations, r.attackTimeMs);
+    }
+
+    std::printf("\nDAPPER-H capture probability vs N_RH (Eqs. 6-7)\n");
+    std::printf("%-8s %14s %10s %18s\n", "NRH", "p/trial", "Trials",
+                "P(capture)/tREFW");
+    for (int nrh : {125, 250, 500, 1000, 2000, 4000}) {
+        SysConfig c = cfg;
+        c.nRH = nrh;
+        const auto h = analyzeDapperHMappingCapture(c);
+        std::printf("%-8d %14.3e %10.0f %18.6f\n", nrh, h.perTrial,
+                    h.trials, h.captureProbability);
+    }
+
+    std::printf("\nDAPPER-H capture probability vs row-group size "
+                "(NRH=500)\n");
+    std::printf("%-12s %10s %18s\n", "GroupSize", "Groups",
+                "P(capture)/tREFW");
+    for (int gs : {64, 128, 256, 512, 1024}) {
+        SysConfig c = cfg;
+        c.rowGroupSize = gs;
+        const auto h = analyzeDapperHMappingCapture(c);
+        std::printf("%-12d %10llu %18.6f\n", gs,
+                    static_cast<unsigned long long>(c.rowsPerRank() / gs),
+                    h.captureProbability);
+    }
+
+    std::printf("\nSmaller groups (more RGCs) harden the mapping at "
+                "linear SRAM cost;\nthe paper's 256-row groups hit the "
+                "99.99%%-prevention target at 96KB/32GB.\n");
+    return 0;
+}

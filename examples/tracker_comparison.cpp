@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Tracker comparison: run one memory-intensive workload under every
+ * implemented defense (benign, no attacker) and print normalized
+ * performance, storage cost, and mitigation activity side by side —
+ * the "which tracker should I use at my threshold" view.
+ */
+
+#include <cstdio>
+
+#include "src/sim/experiment.hh"
+
+int
+main()
+{
+    using namespace dapper;
+
+    SysConfig cfg;
+    cfg.nRH = 500;
+    const Tick horizon = defaultHorizon(cfg);
+    const std::string workload = "429.mcf";
+
+    const RunResult base =
+        runOnce(cfg, workload, AttackKind::None, TrackerKind::None,
+                horizon);
+    std::printf("Benign comparison on %s, NRH=%d (baseline IPC %.3f)\n\n",
+                workload.c_str(), cfg.nRH, base.benignIpcMean);
+    std::printf("%-16s %10s %12s %12s %12s\n", "Tracker", "NormPerf",
+                "Mitigations", "SRAM(KB)", "CAM(KB)");
+
+    const TrackerKind kinds[] = {
+        TrackerKind::Para,     TrackerKind::Pride,
+        TrackerKind::Prac,     TrackerKind::BlockHammer,
+        TrackerKind::Hydra,    TrackerKind::Start,
+        TrackerKind::Comet,    TrackerKind::Abacus,
+        TrackerKind::Graphene, TrackerKind::DapperS,
+        TrackerKind::DapperH,
+    };
+
+    for (TrackerKind kind : kinds) {
+        const RunResult r =
+            runOnce(cfg, workload, AttackKind::None, kind, horizon);
+        SysConfig storageCfg = cfg;
+        storageCfg.timeScale = 1.0; // Storage quoted per physical window.
+        const auto tracker = makeTracker(kind, storageCfg, nullptr);
+        const StorageEstimate est = tracker->storage();
+        std::printf("%-16s %10.4f %12llu %12.1f %12.1f\n",
+                    trackerName(kind).c_str(),
+                    r.benignIpcMean / base.benignIpcMean,
+                    static_cast<unsigned long long>(r.mitigations),
+                    est.sramKB, est.camKB);
+    }
+
+    std::printf("\nDAPPER-H: near-baseline performance at 96KB SRAM, "
+                "no DRAM counter traffic,\nand (per the attack demo) "
+                "resilience to Perf-Attacks the others lack.\n");
+    return 0;
+}

@@ -1,0 +1,66 @@
+#include "src/analysis/security.hh"
+
+#include <cmath>
+
+namespace dapper {
+
+MappingCaptureResult
+analyzeDapperSMappingCapture(const SysConfig &cfg, double resetUs)
+{
+    MappingCaptureResult out;
+    const double nM = cfg.nRH / 2.0;
+
+    // Eq. (1): t_left = t_reset - tRC * (N_M - 1).
+    out.tLeftUs = resetUs - cfg.tRCns * (nM - 1.0) * 1e-3;
+    if (out.tLeftUs <= 0.0)
+        return out; // The hammer phase alone exceeds the reset period.
+
+    // Eq. (2): ACT_MAX = t_left / tRRD_S per channel.
+    out.actMax = out.tLeftUs * 1e3 / cfg.tRRDSns;
+
+    // Eq. (3): P_S = 1 - (1 - 1/N_RG)^ACT_MAX.
+    const double numGroups =
+        static_cast<double>(cfg.rowsPerRank()) / cfg.rowGroupSize;
+    const double p = 1.0 / numGroups;
+    out.successProb = 1.0 - std::pow(1.0 - p, out.actMax);
+
+    // Eq. (4): AT_iter = 1 / P_S.  Eq. (5): AT_time = t_reset * AT_iter.
+    out.iterations = 1.0 / out.successProb;
+    out.attackTimeMs = resetUs * out.iterations * 1e-3;
+    return out;
+}
+
+DapperHCaptureResult
+analyzeDapperHCaptureImpl(const SysConfig &cfg)
+{
+    DapperHCaptureResult out;
+    const double numGroups =
+        static_cast<double>(cfg.rowsPerRank()) / cfg.rowGroupSize;
+    const double q = 1.0 / numGroups;
+
+    // Eq. (6): both random probe rows must land in the target's group in
+    // their respective tables: p = (1-(1-1/N)^2)^2.
+    const double hitOne = 1.0 - std::pow(1.0 - q, 2.0);
+    out.perTrial = hitOne * hitOne;
+
+    // Each trial costs a full N_M budget (Section VI-C): the bit-vector
+    // confines the attacker to one bank (~616K activations per tREFW
+    // after deducting the 8192 x tRFC auto-refresh time, the paper's own
+    // convention), so T ~= 616K / N_M ~= 2.5K trials at N_RH = 500.
+    const double refreshMs = 8192.0 * cfg.tRFCns * 1e-6;
+    const double actsPerBank =
+        (cfg.tREFWms - refreshMs) * 1e6 / cfg.tRCns;
+    out.trials = actsPerBank / (cfg.nRH / 2.0);
+
+    // Eq. (7): P_S = 1 - (1 - p)^T.
+    out.captureProbability = 1.0 - std::pow(1.0 - out.perTrial, out.trials);
+    return out;
+}
+
+DapperHCaptureResult
+analyzeDapperHMappingCapture(const SysConfig &cfg)
+{
+    return analyzeDapperHCaptureImpl(cfg);
+}
+
+} // namespace dapper

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Closed-form security analysis of DAPPER-S and DAPPER-H against
+ * Mapping-Capturing attacks (paper Sections V-D and VI-C, Eqs. 1-7).
+ */
+
+#ifndef DAPPER_ANALYSIS_SECURITY_HH
+#define DAPPER_ANALYSIS_SECURITY_HH
+
+#include "src/common/config.hh"
+
+namespace dapper {
+
+/** Outcome of the DAPPER-S single-hash analysis (Table II). */
+struct MappingCaptureResult
+{
+    double tLeftUs = 0.0;      ///< Eq. 1: probe time left after hammering.
+    double actMax = 0.0;       ///< Eq. 2: activations issuable in tLeft.
+    double successProb = 0.0;  ///< Eq. 3: P_S per reset period.
+    double iterations = 0.0;   ///< Eq. 4: expected attack iterations.
+    double attackTimeMs = 0.0; ///< Eq. 5: expected time to capture.
+};
+
+/**
+ * Evaluate Eqs. (1)-(5) for DAPPER-S with reset period @p resetUs
+ * (physical microseconds; uses physical tRC / tRRD_S regardless of the
+ * config's timeScale).
+ */
+MappingCaptureResult analyzeDapperSMappingCapture(const SysConfig &cfg,
+                                                  double resetUs);
+
+/** Outcome of the DAPPER-H double-hash analysis (Eqs. 6-7). */
+struct DapperHCaptureResult
+{
+    double perTrial = 0.0;           ///< Eq. 6: p.
+    double trials = 0.0;             ///< T (~2.5K at NRH = 500).
+    double captureProbability = 0.0; ///< Eq. 7: P_S per tREFW.
+};
+
+/** Evaluate Eqs. (6)-(7) for DAPPER-H over one tREFW. */
+DapperHCaptureResult analyzeDapperHMappingCapture(const SysConfig &cfg);
+
+} // namespace dapper
+
+#endif // DAPPER_ANALYSIS_SECURITY_HH

@@ -1,0 +1,185 @@
+#include "src/cache/llc.hh"
+
+#include <cassert>
+
+#include "src/cpu/core.hh"
+#include "src/mem/controller.hh"
+
+namespace dapper {
+
+Llc::Llc(const SysConfig &cfg, const AddressMapper &mapper,
+         std::vector<MemController *> controllers)
+    : cfg_(cfg),
+      mapper_(mapper),
+      controllers_(std::move(controllers)),
+      sets_(cfg.llcSets()),
+      ways_(cfg.llcWays),
+      maxMshrs_(static_cast<std::size_t>(cfg.numCores) * cfg.coreMshrs * 4)
+{
+    lines_.assign(static_cast<std::size_t>(sets_) * ways_, Line{});
+}
+
+void
+Llc::reserveWays(int ways)
+{
+    assert(ways >= 0 && ways < ways_);
+    reservedWays_ = ways;
+    // Invalidate anything sitting in the now-reserved ways.
+    for (int s = 0; s < sets_; ++s)
+        for (int w = 0; w < ways; ++w)
+            lines_[static_cast<std::size_t>(s) * ways_ + w] = Line{};
+}
+
+CacheResult
+Llc::access(std::uint64_t byteAddr, bool isWrite, Core *core,
+            std::uint32_t slot, Tick now)
+{
+    const std::uint64_t lineAddr =
+        byteAddr >> static_cast<unsigned>(mapper_.lineBits());
+    const int set = setIndex(lineAddr);
+    Line *base = setBase(static_cast<std::uint64_t>(set));
+
+    // Look up in the demand ways.
+    for (int w = reservedWays_; w < ways_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == lineAddr) {
+            line.lru = lruClock_++;
+            if (isWrite)
+                line.dirty = true;
+            ++stats_.hits;
+            if (!isWrite && core != nullptr && slot != kNoSlot)
+                core->completeAfter(slot, cfg_.llcHitLatency);
+            return CacheResult::Hit;
+        }
+    }
+
+    // Miss. Merge into an existing MSHR if present.
+    auto it = mshrs_.find(lineAddr);
+    if (it != mshrs_.end()) {
+        if (!isWrite && core != nullptr && slot != kNoSlot)
+            it->second.waiters.push_back({core, slot});
+        if (isWrite)
+            it->second.isWrite = true;
+        ++stats_.misses;
+        return CacheResult::MergedMiss;
+    }
+
+    if (mshrs_.size() >= maxMshrs_)
+        return CacheResult::Blocked;
+
+    MshrEntry entry;
+    entry.isWrite = isWrite;
+    if (!isWrite && core != nullptr && slot != kNoSlot)
+        entry.waiters.push_back({core, slot});
+    mshrs_.emplace(lineAddr, std::move(entry));
+    ++stats_.misses;
+
+    Request req;
+    req.dram = mapper_.decode(byteAddr);
+    req.type = ReqType::Read;
+    req.coreId = core != nullptr ? core->id() : -1;
+    req.sink = this;
+    req.tag = 0;
+    const bool ok =
+        controllers_[static_cast<std::size_t>(req.dram.channel)]->enqueue(
+            req, now);
+    assert(ok && "MC read queue sized to cover all MSHRs");
+    (void)ok;
+    return CacheResult::Miss;
+}
+
+void
+Llc::insertLine(std::uint64_t lineAddr, bool dirty, Tick now)
+{
+    const int set = setIndex(lineAddr);
+    Line *base = setBase(static_cast<std::uint64_t>(set));
+
+    Line *victim = nullptr;
+    for (int w = reservedWays_; w < ways_; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (victim == nullptr || line.lru < victim->lru)
+            victim = &line;
+    }
+    assert(victim != nullptr);
+
+    if (victim->valid && victim->dirty) {
+        // Writeback to DRAM.
+        Request wb;
+        wb.dram = mapper_.decode(victim->tag
+                                 << static_cast<unsigned>(
+                                        mapper_.lineBits()));
+        wb.type = ReqType::Write;
+        wb.sink = nullptr;
+        ++stats_.writebacks;
+        controllers_[static_cast<std::size_t>(wb.dram.channel)]->enqueue(
+            wb, now);
+    }
+
+    victim->tag = lineAddr;
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->lru = lruClock_++;
+}
+
+void
+Llc::memDone(const Request &req, Tick now)
+{
+    const std::uint64_t lineAddr =
+        mapper_.encode(req.dram) >> static_cast<unsigned>(mapper_.lineBits());
+    auto it = mshrs_.find(lineAddr);
+    if (it == mshrs_.end())
+        return; // Spurious (possible after reserved-way reconfiguration).
+
+    insertLine(lineAddr, it->second.isWrite, now);
+    for (const auto &waiter : it->second.waiters)
+        waiter.core->completeNow(waiter.slot);
+    mshrs_.erase(it);
+}
+
+Llc::CounterAccessResult
+Llc::counterAccess(std::uint64_t counterLine, bool makeDirty)
+{
+    CounterAccessResult result;
+    if (reservedWays_ == 0)
+        return result;
+
+    const int set = setIndex(counterLine);
+    Line *base = setBase(static_cast<std::uint64_t>(set));
+
+    for (int w = 0; w < reservedWays_; ++w) {
+        Line &line = base[w];
+        if (line.valid && line.tag == counterLine) {
+            line.lru = lruClock_++;
+            line.dirty = line.dirty || makeDirty;
+            result.hit = true;
+            ++stats_.counterHits;
+            return result;
+        }
+    }
+
+    // Miss: install, evicting LRU from the reserved region.
+    ++stats_.counterMisses;
+    Line *victim = nullptr;
+    for (int w = 0; w < reservedWays_; ++w) {
+        Line &line = base[w];
+        if (!line.valid) {
+            victim = &line;
+            break;
+        }
+        if (victim == nullptr || line.lru < victim->lru)
+            victim = &line;
+    }
+    if (victim->valid && victim->dirty)
+        result.evictedDirty = true;
+    victim->tag = counterLine;
+    victim->valid = true;
+    victim->dirty = makeDirty;
+    victim->lru = lruClock_++;
+    return result;
+}
+
+} // namespace dapper

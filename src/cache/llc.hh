@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared last-level cache: set-associative, LRU, write-back /
+ * write-allocate, with MSHRs and an optional reserved-way region used by
+ * the START tracker to hold RowHammer counters (Section III-A).
+ *
+ * Reserving ways shrinks the capacity available to demand lines — the
+ * first ingredient of the START Perf-Attack — while counter lookups that
+ * miss in the reserved region cost DRAM counter traffic (the second).
+ */
+
+#ifndef DAPPER_CACHE_LLC_HH
+#define DAPPER_CACHE_LLC_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/config.hh"
+#include "src/dram/address.hh"
+#include "src/mem/request.hh"
+
+namespace dapper {
+
+class MemController;
+class Core;
+
+/** LLC access result as seen by a core. */
+enum class CacheResult
+{
+    Hit,        ///< Served from the cache after llcHitLatency.
+    Miss,       ///< MSHR allocated; completion arrives via Core callback.
+    MergedMiss, ///< Appended to an existing MSHR.
+    Blocked,    ///< No MSHR available; core must retry.
+};
+
+/** Aggregate cache statistics. */
+struct LlcStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+    std::uint64_t counterHits = 0;
+    std::uint64_t counterMisses = 0;
+};
+
+class Llc : public MemSink
+{
+  public:
+    Llc(const SysConfig &cfg, const AddressMapper &mapper,
+        std::vector<MemController *> controllers);
+
+    /**
+     * Demand access from @p core. On a miss the core's slot is completed
+     * via Core::completeNow when the fill returns; on a hit the core is
+     * told to self-complete after llcHitLatency. Writes never block the
+     * core (store-buffer assumption) and pass slot == kNoSlot.
+     */
+    CacheResult access(std::uint64_t byteAddr, bool isWrite, Core *core,
+                       std::uint32_t slot, Tick now);
+
+    /** Fill path from memory. */
+    void memDone(const Request &req, Tick now) override;
+
+    /**
+     * Reserve the low @p ways of every set for RH counter lines (START).
+     */
+    void reserveWays(int ways);
+    int reservedWays() const { return reservedWays_; }
+
+    /** Result of a counter-region access (START tracker interface). */
+    struct CounterAccessResult
+    {
+        bool hit = false;
+        bool evictedDirty = false;
+    };
+
+    /**
+     * Look up / install an RH counter line in the reserved region.
+     * Pure tag-state operation; the tracker turns misses into DRAM
+     * counter traffic.
+     */
+    CounterAccessResult counterAccess(std::uint64_t counterLine,
+                                      bool makeDirty);
+
+    const LlcStats &stats() const { return stats_; }
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t lru = 0;
+    };
+
+    struct MshrEntry
+    {
+        struct Waiter
+        {
+            Core *core;
+            std::uint32_t slot;
+        };
+        std::vector<Waiter> waiters;
+        bool isWrite = false;
+    };
+
+    Line *setBase(std::uint64_t setIdx) { return &lines_[setIdx * ways_]; }
+    /// Modulo (not mask) so non-power-of-two LLC capacities (3/5 MB per
+    /// core in Fig. 5) index correctly.
+    int setIndex(std::uint64_t lineAddr) const
+    {
+        return static_cast<int>(lineAddr %
+                                static_cast<std::uint64_t>(sets_));
+    }
+    void insertLine(std::uint64_t lineAddr, bool dirty, Tick now);
+
+    const SysConfig cfg_;
+    const AddressMapper &mapper_;
+    std::vector<MemController *> controllers_;
+    int sets_;
+    int ways_;
+    int reservedWays_ = 0;
+    std::uint64_t lruClock_ = 1;
+    /// sets_ x ways_; ways [0, reservedWays_) hold counter lines (START).
+    std::vector<Line> lines_;
+    std::unordered_map<std::uint64_t, MshrEntry> mshrs_;
+    std::size_t maxMshrs_;
+    LlcStats stats_;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_CACHE_LLC_HH

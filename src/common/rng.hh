@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Small deterministic pseudo-random number generator (xoshiro256**).
+ *
+ * Used for workload/attack address generation, random eviction policies,
+ * and LLBC key generation. Deterministic given a seed so that every
+ * experiment in the repository is reproducible.
+ */
+
+#ifndef DAPPER_COMMON_RNG_HH
+#define DAPPER_COMMON_RNG_HH
+
+#include <cstdint>
+
+namespace dapper {
+
+/** SplitMix64 step; used for seeding and as a cheap integer hash. */
+constexpr std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Stateless 64-bit mix hash (SplitMix64 finalizer). */
+constexpr std::uint64_t
+mixHash64(std::uint64_t x)
+{
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/**
+ * xoshiro256** generator. Fast, high quality, and trivially seedable.
+ */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+    void
+    reseed(std::uint64_t seed)
+    {
+        std::uint64_t sm = seed;
+        for (auto &word : state_)
+            word = splitmix64(sm);
+    }
+
+    /** Next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). bound must be > 0. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static constexpr std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4] = {};
+};
+
+} // namespace dapper
+
+#endif // DAPPER_COMMON_RNG_HH

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small statistics helpers shared by experiments and benches.
+ */
+
+#ifndef DAPPER_COMMON_STATS_HH
+#define DAPPER_COMMON_STATS_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace dapper {
+
+/** Geometric mean of a vector of positive values; 0 if empty. */
+inline double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double logSum = 0.0;
+    for (double v : values)
+        logSum += std::log(v);
+    return std::exp(logSum / static_cast<double>(values.size()));
+}
+
+/** Arithmetic mean; 0 if empty. */
+inline double
+mean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+/** Minimum; 0 if empty. */
+inline double
+minOf(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double m = values.front();
+    for (double v : values)
+        m = std::min(m, v);
+    return m;
+}
+
+} // namespace dapper
+
+#endif // DAPPER_COMMON_STATS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental time and identifier types shared across the simulator.
+ *
+ * The simulation time base is one core cycle at 4 GHz (0.25 ns), matching
+ * the evaluated system configuration of the DAPPER paper (Table I).
+ */
+
+#ifndef DAPPER_COMMON_TYPES_HH
+#define DAPPER_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace dapper {
+
+/** Simulation time in core cycles (4 GHz core clock). */
+using Tick = std::uint64_t;
+
+/** Core clock frequency in GHz; one Tick is 1/kCoreGHz nanoseconds. */
+inline constexpr double kCoreGHz = 4.0;
+
+/** A Tick value that is effectively "never". */
+inline constexpr Tick kTickMax = ~Tick(0);
+
+/** Convert a duration in nanoseconds to core cycles (rounded up). */
+constexpr Tick
+nsToTicks(double ns)
+{
+    const double cycles = ns * kCoreGHz;
+    const Tick whole = static_cast<Tick>(cycles);
+    return (static_cast<double>(whole) < cycles) ? whole + 1 : whole;
+}
+
+/** Convert core cycles back to nanoseconds. */
+constexpr double
+ticksToNs(Tick t)
+{
+    return static_cast<double>(t) / kCoreGHz;
+}
+
+/** Convert core cycles to milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return ticksToNs(t) / 1e6;
+}
+
+} // namespace dapper
+
+#endif // DAPPER_COMMON_TYPES_HH

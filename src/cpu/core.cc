@@ -1,0 +1,157 @@
+#include "src/cpu/core.hh"
+
+#include <cassert>
+
+#include "src/mem/controller.hh"
+
+namespace dapper {
+
+Core::Core(const SysConfig &cfg, int id, TraceGen *gen, Llc *llc,
+           std::vector<MemController *> controllers,
+           const AddressMapper *mapper, int mshrLimit)
+    : cfg_(cfg),
+      id_(id),
+      gen_(gen),
+      llc_(llc),
+      controllers_(std::move(controllers)),
+      mapper_(mapper),
+      mshrLimit_(mshrLimit),
+      width_(cfg.coreWidth),
+      robSize_(cfg.robEntries)
+{
+    rob_.assign(static_cast<std::size_t>(robSize_), Slot{});
+}
+
+std::uint32_t
+Core::pushSlot(std::uint32_t bubbles, bool done)
+{
+    assert(count_ < robSize_);
+    const std::uint32_t slot = static_cast<std::uint32_t>(tail_);
+    rob_[slot].bubblesBefore = bubbles;
+    rob_[slot].done = done;
+    rob_[slot].valid = true;
+    tail_ = (tail_ + 1) % robSize_;
+    ++count_;
+    occupancy_ += static_cast<int>(bubbles) + 1;
+    return slot;
+}
+
+void
+Core::completeAt(std::uint32_t slot, Tick when)
+{
+    pending_.emplace(when, slot);
+}
+
+void
+Core::completeNow(std::uint32_t slot)
+{
+    rob_[slot].done = true;
+}
+
+void
+Core::memDone(const Request &req, Tick now)
+{
+    (void)now;
+    rob_[req.tag].done = true;
+    --outstanding_;
+}
+
+void
+Core::tick(Tick now)
+{
+    now_ = now;
+
+    // Timed completions (LLC hits).
+    while (!pending_.empty() && pending_.top().first <= now) {
+        rob_[pending_.top().second].done = true;
+        pending_.pop();
+    }
+
+    // In-order retire, up to width instructions per cycle. Bubbles of the
+    // head memory instruction retire first, then the instruction itself
+    // once its data arrived.
+    int budget = width_;
+    while (budget > 0 && count_ > 0) {
+        Slot &head = rob_[static_cast<std::size_t>(head_)];
+        if (!headBubblesPrimed_) {
+            headBubblesLeft_ = head.bubblesBefore;
+            headBubblesPrimed_ = true;
+        }
+        if (headBubblesLeft_ > 0) {
+            const std::uint32_t n =
+                std::min<std::uint32_t>(headBubblesLeft_,
+                                        static_cast<std::uint32_t>(budget));
+            headBubblesLeft_ -= n;
+            budget -= static_cast<int>(n);
+            retired_ += n;
+            occupancy_ -= static_cast<int>(n);
+            continue;
+        }
+        if (!head.done)
+            break;
+        head.valid = false;
+        head_ = (head_ + 1) % robSize_;
+        --count_;
+        --occupancy_;
+        ++retired_;
+        --budget;
+        headBubblesPrimed_ = false;
+    }
+
+    // Fetch/issue, up to width instructions per cycle (bubbles count).
+    int budget2 = width_;
+    while (budget2 > 0 && count_ < robSize_) {
+        if (!haveRec_) {
+            rec_ = gen_->next();
+            haveRec_ = true;
+        }
+        const int cost = static_cast<int>(rec_.bubbles) + 1;
+        if (occupancy_ + cost > robSize_ &&
+            count_ > 0) // Window full (always admit into an empty window).
+            break;
+
+        if (rec_.isWrite) {
+            const CacheResult res =
+                llc_->access(rec_.addr, true, this, Llc::kNoSlot, now);
+            if (res == CacheResult::Blocked)
+                break;
+            pushSlot(rec_.bubbles, true);
+        } else if (rec_.bypassLlc) {
+            if (outstanding_ >= mshrLimit_)
+                break;
+            Request req;
+            req.dram = mapper_->decode(rec_.addr);
+            req.type = ReqType::Read;
+            req.coreId = id_;
+            req.sink = this;
+            MemController *mc =
+                controllers_[static_cast<std::size_t>(req.dram.channel)];
+            if (mc->readQueueFull())
+                break;
+            const std::uint32_t slot = pushSlot(rec_.bubbles, false);
+            req.tag = slot;
+            const bool ok = mc->enqueue(req, now);
+            assert(ok);
+            (void)ok;
+            ++outstanding_;
+            ++memReads_;
+        } else {
+            const std::uint32_t slot = pushSlot(rec_.bubbles, false);
+            const CacheResult res =
+                llc_->access(rec_.addr, false, this, slot, now);
+            if (res == CacheResult::Blocked) {
+                // Undo the slot and retry next cycle.
+                tail_ = (tail_ + robSize_ - 1) % robSize_;
+                --count_;
+                occupancy_ -= cost;
+                rob_[slot].valid = false;
+                break;
+            }
+            ++memReads_;
+        }
+        haveRec_ = false;
+        budget2 -= cost;
+    }
+}
+
+} // namespace dapper

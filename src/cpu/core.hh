@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Trace-driven out-of-order core model (Table I: 4-wide, 128-entry ROB).
+ *
+ * The model follows the Ramulator out-of-order core abstraction: a
+ * fixed-size instruction window filled at up to `width` instructions per
+ * cycle and retired in order at up to `width` per cycle. Non-memory
+ * instructions complete immediately; loads complete when the cache/memory
+ * hierarchy answers; stores retire immediately (store-buffer assumption)
+ * while still generating memory traffic.
+ *
+ * Implementation note: only memory instructions occupy ROB entries; each
+ * entry carries the count of non-memory "bubble" instructions preceding
+ * it, so compute-heavy phases retire in O(1) per cycle instead of
+ * touching one slot per instruction.
+ */
+
+#ifndef DAPPER_CPU_CORE_HH
+#define DAPPER_CPU_CORE_HH
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "src/cache/llc.hh"
+#include "src/common/config.hh"
+#include "src/mem/request.hh"
+#include "src/workload/trace_gen.hh"
+
+namespace dapper {
+
+class Core : public MemSink
+{
+  public:
+    /**
+     * @param mshrLimit outstanding DRAM-bypass requests allowed; attacker
+     *        cores get a larger allocation (engineered access streams).
+     */
+    Core(const SysConfig &cfg, int id, TraceGen *gen, Llc *llc,
+         std::vector<MemController *> controllers,
+         const AddressMapper *mapper, int mshrLimit);
+
+    void tick(Tick now);
+
+    /** LLC hit: complete slot at absolute time @p when. */
+    void completeAt(std::uint32_t slot, Tick when);
+    /** LLC hit helper: complete after @p delay from the current tick. */
+    void completeAfter(std::uint32_t slot, Tick delay)
+    {
+        completeAt(slot, now_ + delay);
+    }
+    /** Fill returned: complete slot immediately. */
+    void completeNow(std::uint32_t slot);
+    /** DRAM-bypass completion path. */
+    void memDone(const Request &req, Tick now) override;
+
+    std::uint64_t retired() const { return retired_; }
+    std::uint64_t memReads() const { return memReads_; }
+    int id() const { return id_; }
+
+  private:
+    /** One in-flight memory instruction plus its preceding bubbles. */
+    struct Slot
+    {
+        std::uint32_t bubblesBefore = 0;
+        bool done = false;
+        bool valid = false;
+    };
+
+    std::uint32_t pushSlot(std::uint32_t bubbles, bool done);
+
+    const SysConfig cfg_;
+    const int id_;
+    TraceGen *gen_;
+    Llc *llc_;
+    std::vector<MemController *> controllers_;
+    const AddressMapper *mapper_;
+    const int mshrLimit_;
+    const int width_;
+    const int robSize_;
+
+    std::vector<Slot> rob_; ///< Ring of memory instructions.
+    int head_ = 0;
+    int tail_ = 0;
+    int count_ = 0;          ///< Valid ROB slots.
+    int occupancy_ = 0;      ///< Instructions in the window (incl. bubbles).
+    std::uint32_t headBubblesLeft_ = 0; ///< Unretired bubbles of the head.
+    bool headBubblesPrimed_ = false;
+
+    TraceRecord rec_{};
+    bool haveRec_ = false;
+
+    int outstanding_ = 0; ///< Bypass-path requests in flight.
+    Tick now_ = 0;
+    std::uint64_t retired_ = 0;
+    std::uint64_t memReads_ = 0;
+
+    using Pending = std::pair<Tick, std::uint32_t>;
+    std::priority_queue<Pending, std::vector<Pending>, std::greater<>>
+        pending_;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_CPU_CORE_HH

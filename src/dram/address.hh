@@ -1,0 +1,92 @@
+/**
+ * @file
+ * DRAM address types and the physical-address-to-DRAM mapping.
+ *
+ * The mapper interleaves consecutive cache lines within a row, then across
+ * channels, then across banks, so sequential streams enjoy row-buffer
+ * locality while independent streams spread over banks — the conventional
+ * mapping used by Ramulator-style simulators.
+ */
+
+#ifndef DAPPER_DRAM_ADDRESS_HH
+#define DAPPER_DRAM_ADDRESS_HH
+
+#include <cstdint>
+
+#include "src/common/config.hh"
+
+namespace dapper {
+
+/**
+ * A fully decoded DRAM location. @c bank is the flat bank index within the
+ * rank (bankGroup * banksPerGroup + bankInGroup).
+ */
+struct DramAddress
+{
+    std::int32_t channel = 0;
+    std::int32_t rank = 0;
+    std::int32_t bank = 0; ///< Flat bank id within the rank [0, 32).
+    std::int32_t row = 0;  ///< Row within the bank.
+    std::int32_t col = 0;  ///< Cache-line index within the row.
+
+    bool
+    operator==(const DramAddress &other) const
+    {
+        return channel == other.channel && rank == other.rank &&
+               bank == other.bank && row == other.row && col == other.col;
+    }
+};
+
+/**
+ * Bidirectional mapping between byte/line addresses and DRAM coordinates.
+ *
+ * Bit layout of the line address, low to high:
+ *   [ colLine | channel | bank | rank | row ]
+ */
+class AddressMapper
+{
+  public:
+    explicit AddressMapper(const SysConfig &cfg);
+
+    /** Decode a byte address. */
+    DramAddress decode(std::uint64_t byteAddr) const;
+
+    /** Encode DRAM coordinates back into a byte address. */
+    std::uint64_t encode(const DramAddress &addr) const;
+
+    /**
+     * Global row id within a rank in [0, rowsPerRank): the randomized
+     * address space a DAPPER Row Group Counter table covers.
+     */
+    std::uint64_t
+    rankRowId(const DramAddress &addr) const
+    {
+        return (static_cast<std::uint64_t>(addr.bank) << rowBits_) |
+               static_cast<std::uint64_t>(addr.row);
+    }
+
+    /** Inverse of rankRowId: recover (bank, row) within the rank. */
+    void
+    fromRankRowId(std::uint64_t rowId, std::int32_t &bank,
+                  std::int32_t &row) const
+    {
+        bank = static_cast<std::int32_t>(rowId >> rowBits_);
+        row = static_cast<std::int32_t>(rowId & ((1ULL << rowBits_) - 1));
+    }
+
+    int lineBits() const { return lineBits_; }
+    int rowBits() const { return rowBits_; }
+    int rankRowBits() const { return bankBits_ + rowBits_; }
+
+  private:
+    int lineBits_;    ///< log2(lineBytes)
+    int colBits_;     ///< log2(lines per row)
+    int channelBits_; ///< log2(channels)
+    int bankBits_;    ///< log2(banks per rank)
+    int rankBits_;    ///< log2(ranks per channel)
+    int rowBits_;     ///< log2(rows per bank)
+};
+
+} // namespace dapper
+
+#endif // DAPPER_DRAM_ADDRESS_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * DRAMPower-style per-command energy accounting (Table IV substrate).
+ *
+ * Per-command energies are DDR5-class constants; Table IV reports energy
+ * overhead *relative* to an unprotected baseline, which event counting
+ * with fixed per-command energies reproduces (DESIGN.md §1).
+ */
+
+#ifndef DAPPER_ENERGY_ENERGY_MODEL_HH
+#define DAPPER_ENERGY_ENERGY_MODEL_HH
+
+#include <cstdint>
+
+namespace dapper {
+
+class EnergyModel
+{
+  public:
+    // Per-event energies in nanojoules (DDR5-4800/6400 class estimates).
+    static constexpr double kActPreNj = 2.0;  ///< ACT + PRE pair.
+    static constexpr double kReadNj = 1.3;    ///< 64B read burst.
+    static constexpr double kWriteNj = 1.4;   ///< 64B write burst.
+    static constexpr double kRefNj = 60.0;    ///< Per-bank-group REF slice.
+    static constexpr double kVrrRowNj = 4.0;  ///< Refresh one victim row.
+    static constexpr double kRowRefreshNj = 2.0; ///< Bulk per-row refresh.
+
+    void addAct() { ++acts_; }
+    void addRead(bool isCounter)
+    {
+        ++reads_;
+        if (isCounter)
+            ++counterReads_;
+    }
+    void addWrite(bool isCounter)
+    {
+        ++writes_;
+        if (isCounter)
+            ++counterWrites_;
+    }
+    void addRef() { ++refs_; }
+    void addVictimRefresh(int rows) { vrrRows_ += rows; }
+    void addBulkRefresh(std::uint64_t rows) { bulkRows_ += rows; }
+
+    std::uint64_t acts() const { return acts_; }
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t refs() const { return refs_; }
+    std::uint64_t vrrRows() const { return vrrRows_; }
+    std::uint64_t bulkRows() const { return bulkRows_; }
+    std::uint64_t counterReads() const { return counterReads_; }
+    std::uint64_t counterWrites() const { return counterWrites_; }
+
+    /** Total energy in nanojoules. */
+    double
+    totalNj() const
+    {
+        return static_cast<double>(acts_) * kActPreNj +
+               static_cast<double>(reads_) * kReadNj +
+               static_cast<double>(writes_) * kWriteNj +
+               static_cast<double>(refs_) * kRefNj +
+               static_cast<double>(vrrRows_) * kVrrRowNj +
+               static_cast<double>(bulkRows_) * kRowRefreshNj;
+    }
+
+    /** Energy spent on mitigation work only (refresh + counter traffic). */
+    double
+    mitigationNj() const
+    {
+        return static_cast<double>(vrrRows_) * kVrrRowNj +
+               static_cast<double>(bulkRows_) * kRowRefreshNj +
+               static_cast<double>(counterReads_) * kReadNj +
+               static_cast<double>(counterWrites_) * kWriteNj;
+    }
+
+  private:
+    std::uint64_t acts_ = 0;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t refs_ = 0;
+    std::uint64_t vrrRows_ = 0;
+    std::uint64_t bulkRows_ = 0;
+    std::uint64_t counterReads_ = 0;
+    std::uint64_t counterWrites_ = 0;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_ENERGY_ENERGY_MODEL_HH

@@ -1,0 +1,475 @@
+#include "src/mem/controller.hh"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dapper {
+
+MemController::MemController(const SysConfig &cfg, int channel,
+                             Tracker *tracker, GroundTruth *groundTruth,
+                             EnergyModel *energy)
+    : cfg_(cfg),
+      channel_(channel),
+      tracker_(tracker),
+      groundTruth_(groundTruth),
+      energy_(energy),
+      tRCD_(cfg.tRCD()),
+      tRP_(cfg.tRP()),
+      tCL_(cfg.tCL()),
+      tRC_(cfg.tRC()),
+      tRAS_(cfg.tRAS()),
+      tRRDS_(cfg.tRRDS()),
+      tRRDL_(cfg.tRRDL()),
+      tWR_(cfg.tWR()),
+      tRFC_(cfg.tRFC()),
+      tREFI_(cfg.tREFI()),
+      tBL_(cfg.tBL()),
+      tFAW_(cfg.tFAW())
+{
+    banks_.resize(static_cast<std::size_t>(cfg.ranksPerChannel) *
+                  cfg.banksPerRank());
+    ranks_.resize(static_cast<std::size_t>(cfg.ranksPerChannel));
+    // Stagger the first refresh across ranks.
+    for (int r = 0; r < cfg.ranksPerChannel; ++r)
+        ranks_[static_cast<std::size_t>(r)].nextRefreshAt =
+            tREFI_ + static_cast<Tick>(r) * (tREFI_ / 2 + 1);
+}
+
+MemController::BankState &
+MemController::bank(int rankId, int bankId)
+{
+    return banks_[static_cast<std::size_t>(rankId) * cfg_.banksPerRank() +
+                  bankId];
+}
+
+MemController::RankState &
+MemController::rank(int rankId)
+{
+    return ranks_[static_cast<std::size_t>(rankId)];
+}
+
+bool
+MemController::enqueue(const Request &req, Tick now)
+{
+    assert(req.dram.channel == channel_);
+    Request queued = req;
+    queued.enqueuedAt = now;
+
+    switch (req.type) {
+      case ReqType::Read:
+        if (readQ_.size() >= kReadQCap)
+            return false;
+        readQ_.push_back(queued);
+        break;
+      case ReqType::Write:
+        if (writeQ_.size() >= kWriteQCap)
+            return false;
+        writeQ_.push_back(queued);
+        break;
+      case ReqType::CounterRead:
+      case ReqType::CounterWrite:
+        if (counterQ_.size() >= kCounterQCap)
+            return false;
+        counterQ_.push_back(queued);
+        break;
+    }
+    wake(now);
+    return true;
+}
+
+void
+MemController::serviceCompletions(Tick now)
+{
+    while (!inflight_.empty() && inflight_.top().doneAt <= now) {
+        const InFlight top = inflight_.top();
+        inflight_.pop();
+        if (top.req.type == ReqType::Read) {
+            stats_.readLatencySum += top.doneAt - top.req.enqueuedAt;
+            ++stats_.readLatencyCount;
+        }
+        if (top.req.sink != nullptr)
+            top.req.sink->memDone(top.req, now);
+    }
+}
+
+void
+MemController::serviceRefresh(Tick now)
+{
+    for (int r = 0; r < cfg_.ranksPerChannel; ++r) {
+        RankState &rk = rank(r);
+        if (now < rk.nextRefreshAt)
+            continue;
+        // Issue REF: block every bank in the rank for tRFC and close rows.
+        const Tick start = std::max(now, rk.blockedUntil);
+        for (int b = 0; b < cfg_.banksPerRank(); ++b) {
+            BankState &bk = bank(r, b);
+            bk.blockedUntil = std::max(bk.blockedUntil, start + tRFC_);
+            bk.openRow = -1;
+            bk.actReady = std::max(bk.actReady, start + tRFC_);
+        }
+        rk.nextRefreshAt += tREFI_;
+        ++stats_.refreshes;
+        if (energy_ != nullptr)
+            energy_->addRef();
+        if (groundTruth_ != nullptr)
+            groundTruth_->onAutoRefresh(channel_, r);
+        wake(rk.nextRefreshAt);
+    }
+}
+
+void
+MemController::blockBank(int rankId, int bankId, Tick from, Tick duration)
+{
+    BankState &bk = bank(rankId, bankId);
+    const Tick start = std::max(from, bk.blockedUntil);
+    bk.blockedUntil = start + duration;
+    bk.openRow = -1;
+    bk.actReady = std::max(bk.actReady, bk.blockedUntil);
+    stats_.busyBlockedTicks += duration;
+}
+
+void
+MemController::applyMitigation(const Mitigation &m, Tick now)
+{
+    switch (m.kind) {
+      case Mitigation::Kind::VrrRow:
+        blockBank(m.rank, m.bank, now, cfg_.vrrTicks());
+        ++stats_.vrrCommands;
+        if (groundTruth_ != nullptr)
+            groundTruth_->onVictimRefresh(channel_, m.rank, m.bank, m.row,
+                                          cfg_.blastRadius);
+        if (energy_ != nullptr)
+            energy_->addVictimRefresh(2 * cfg_.blastRadius);
+        break;
+      case Mitigation::Kind::DrfmSbRow: {
+        // Same bank number across all bank groups is blocked.
+        const int bankInGroup = m.bank % cfg_.banksPerGroup;
+        for (int g = 0; g < cfg_.bankGroups; ++g)
+            blockBank(m.rank, g * cfg_.banksPerGroup + bankInGroup, now,
+                      cfg_.drfmSbTicks());
+        ++stats_.vrrCommands;
+        if (groundTruth_ != nullptr)
+            groundTruth_->onVictimRefresh(channel_, m.rank, m.bank, m.row,
+                                          std::max(2, cfg_.blastRadius));
+        if (energy_ != nullptr)
+            energy_->addVictimRefresh(2 * std::max(2, cfg_.blastRadius));
+        break;
+      }
+      case Mitigation::Kind::RfmSb: {
+        const int bankInGroup = m.bank % cfg_.banksPerGroup;
+        for (int g = 0; g < cfg_.bankGroups; ++g)
+            blockBank(m.rank, g * cfg_.banksPerGroup + bankInGroup, now,
+                      cfg_.rfmSbTicks());
+        ++stats_.rfmCommands;
+        if (groundTruth_ != nullptr)
+            groundTruth_->onVictimRefresh(channel_, m.rank, m.bank, m.row,
+                                          cfg_.blastRadius);
+        if (energy_ != nullptr)
+            energy_->addVictimRefresh(2 * cfg_.blastRadius);
+        break;
+      }
+      case Mitigation::Kind::AboRfm: {
+        // PRAC Alert Back-Off: all banks in the channel stall.
+        for (int r = 0; r < cfg_.ranksPerChannel; ++r)
+            for (int b = 0; b < cfg_.banksPerRank(); ++b)
+                blockBank(r, b, now, cfg_.rfmSbTicks() * 2);
+        ++stats_.rfmCommands;
+        if (groundTruth_ != nullptr)
+            groundTruth_->onVictimRefresh(channel_, m.rank, m.bank, m.row,
+                                          cfg_.blastRadius);
+        if (energy_ != nullptr)
+            energy_->addVictimRefresh(2 * cfg_.blastRadius);
+        break;
+      }
+      case Mitigation::Kind::BulkRank: {
+        RankState &rk = rank(m.rank);
+        const Tick start = std::max(now, rk.blockedUntil);
+        rk.blockedUntil = start + cfg_.bulkRefreshRank();
+        for (int b = 0; b < cfg_.banksPerRank(); ++b)
+            blockBank(m.rank, b, now, rk.blockedUntil - now);
+        ++stats_.bulkResets;
+        if (groundTruth_ != nullptr)
+            groundTruth_->onBulkRankRefresh(channel_, m.rank);
+        if (energy_ != nullptr)
+            energy_->addBulkRefresh(cfg_.rowsPerRank());
+        break;
+      }
+      case Mitigation::Kind::BulkChannel: {
+        const Tick start = std::max(now, channelBlockedUntil_);
+        channelBlockedUntil_ = start + cfg_.bulkRefreshChannel();
+        for (int r = 0; r < cfg_.ranksPerChannel; ++r) {
+            rank(r).blockedUntil =
+                std::max(rank(r).blockedUntil, channelBlockedUntil_);
+            for (int b = 0; b < cfg_.banksPerRank(); ++b)
+                blockBank(r, b, now, channelBlockedUntil_ - now);
+        }
+        ++stats_.bulkResets;
+        if (groundTruth_ != nullptr)
+            groundTruth_->onBulkChannelRefresh(channel_);
+        if (energy_ != nullptr)
+            energy_->addBulkRefresh(cfg_.rowsPerRank() *
+                                    cfg_.ranksPerChannel);
+        break;
+      }
+      case Mitigation::Kind::CounterRead:
+      case Mitigation::Kind::CounterWrite: {
+        Request req;
+        req.dram.channel = channel_;
+        req.dram.rank = m.rank;
+        req.dram.bank = m.bank;
+        req.dram.row = m.row;
+        req.dram.col = 0;
+        req.type = (m.kind == Mitigation::Kind::CounterRead)
+                       ? ReqType::CounterRead
+                       : ReqType::CounterWrite;
+        enqueue(req, now);
+        break;
+      }
+    }
+    wake(now);
+}
+
+Tick
+MemController::earliestStart(const Request &req, Tick now) const
+{
+    const auto &bk = banks_[static_cast<std::size_t>(req.dram.rank) *
+                                cfg_.banksPerRank() + req.dram.bank];
+    const auto &rk = ranks_[static_cast<std::size_t>(req.dram.rank)];
+
+    Tick start = std::max(now, channelBlockedUntil_);
+    start = std::max(start, rk.blockedUntil);
+    start = std::max(start, bk.blockedUntil);
+
+    const bool rowHit = bk.openRow == req.dram.row;
+    if (rowHit) {
+        start = std::max(start, bk.colReady);
+    } else {
+        // Need (PRE +) ACT: respect tRC/tRP via actReady, tRAS/tWR via
+        // preReady + tRP when a row is open, and rank-level pacing.
+        Tick actAt = std::max(start, bk.actReady);
+        if (bk.openRow >= 0)
+            actAt = std::max(actAt, bk.preReady + tRP_);
+        const int bankGroup = req.dram.bank / cfg_.banksPerGroup;
+        const Tick rrd =
+            (rk.lastActBankGroup == bankGroup) ? tRRDL_ : tRRDS_;
+        if (rk.lastActAt > 0)
+            actAt = std::max(actAt, rk.lastActAt + rrd);
+        if (rk.faw[rk.fawIdx] > 0)
+            actAt = std::max(actAt, rk.faw[rk.fawIdx] + tFAW_);
+        start = actAt;
+    }
+    return start;
+}
+
+void
+MemController::issue(Request req, Tick now)
+{
+    BankState &bk = bank(req.dram.rank, req.dram.bank);
+    RankState &rk = rank(req.dram.rank);
+    const bool rowHit = bk.openRow == req.dram.row;
+    Tick start = earliestStart(req, now);
+
+    const bool isCounterOp = req.type == ReqType::CounterRead ||
+                             req.type == ReqType::CounterWrite;
+    if (!rowHit) {
+        // Activation path. Ask the tracker about throttling first.
+        // Counter traffic targets the reserved (guarded) counter region
+        // and is neither tracked nor throttled — mirroring Hydra/START,
+        // whose counter stores sit outside the protected address space.
+        ActEvent evt{channel_, req.dram.rank, req.dram.bank, req.dram.row,
+                     start, req.coreId};
+        if (tracker_ != nullptr && !isCounterOp) {
+            const Tick allowedAt = tracker_->throttleUntil(evt);
+            if (allowedAt > start) {
+                // Re-queue: model the throttle as bank unavailability.
+                bk.actReady = std::max(bk.actReady, allowedAt);
+                ++stats_.throttledActs;
+                wake(allowedAt);
+                // Put the request back at the front of its queue.
+                if (req.type == ReqType::Write)
+                    writeQ_.push_front(req);
+                else if (req.type == ReqType::Read)
+                    readQ_.push_front(req);
+                else
+                    counterQ_.push_front(req);
+                return;
+            }
+        }
+
+        bk.openRow = req.dram.row;
+        bk.colReady = start + tRCD_;
+        Tick actCycle = tRC_;
+        if (tracker_ != nullptr)
+            actCycle += tracker_->actExtraTicks();
+        bk.actReady = start + actCycle;
+        bk.preReady = start + tRAS_;
+        rk.lastActAt = start;
+        rk.lastActBankGroup = req.dram.bank / cfg_.banksPerGroup;
+        rk.faw[rk.fawIdx] = start;
+        rk.fawIdx = (rk.fawIdx + 1) % 4;
+
+        ++stats_.activations;
+        ++stats_.rowMisses;
+        if (energy_ != nullptr)
+            energy_->addAct();
+        if (!isCounterOp) {
+            if (groundTruth_ != nullptr)
+                groundTruth_->onActivation(channel_, req.dram.rank,
+                                           req.dram.bank, req.dram.row);
+            if (tracker_ != nullptr) {
+                scratch_.clear();
+                tracker_->onActivation(evt, scratch_);
+                for (const Mitigation &m : scratch_)
+                    applyMitigation(m, start);
+            }
+        }
+    } else {
+        ++stats_.rowHits;
+    }
+
+    // Column access and data transfer.
+    const bool isWrite =
+        req.type == ReqType::Write || req.type == ReqType::CounterWrite;
+    Tick colAt = std::max(start, bk.colReady);
+    Tick dataAt = colAt + tCL_;
+    if (dataAt < dataBusFree_) {
+        colAt += dataBusFree_ - dataAt;
+        dataAt = dataBusFree_;
+    }
+    dataBusFree_ = dataAt + tBL_;
+    bk.colReady = std::max(bk.colReady, colAt + tBL_);
+    const Tick doneAt = dataAt + tBL_;
+    if (isWrite)
+        bk.preReady = std::max(bk.preReady, doneAt + tWR_);
+
+    switch (req.type) {
+      case ReqType::Read:
+        ++stats_.reads;
+        if (energy_ != nullptr)
+            energy_->addRead(false);
+        break;
+      case ReqType::Write:
+        ++stats_.writes;
+        if (energy_ != nullptr)
+            energy_->addWrite(false);
+        break;
+      case ReqType::CounterRead:
+        ++stats_.counterReads;
+        if (energy_ != nullptr)
+            energy_->addRead(true);
+        break;
+      case ReqType::CounterWrite:
+        ++stats_.counterWrites;
+        if (energy_ != nullptr)
+            energy_->addWrite(true);
+        break;
+    }
+
+    if (req.sink != nullptr || req.type == ReqType::Read) {
+        inflight_.push(InFlight{doneAt, req});
+        wake(doneAt);
+    }
+    wake(now + 1);
+}
+
+bool
+MemController::tryIssueFrom(std::deque<Request> &queue, Tick now,
+                            bool isWrite)
+{
+    (void)isWrite;
+    if (queue.empty())
+        return false;
+
+    // FR-FCFS: first ready row hit, else oldest ready request. The scan
+    // window bounds scheduler work per cycle (hardware schedulers window
+    // similarly).
+    std::size_t pick = queue.size();
+    std::size_t oldestReady = queue.size();
+    Tick bestWake = kTickMax;
+    const std::size_t scanLimit = std::min<std::size_t>(queue.size(), 48);
+
+    for (std::size_t i = 0; i < scanLimit; ++i) {
+        const Request &req = queue[i];
+        const auto &bk = banks_[static_cast<std::size_t>(req.dram.rank) *
+                                    cfg_.banksPerRank() + req.dram.bank];
+        const Tick start = earliestStart(req, now);
+        if (start <= now) {
+            if (bk.openRow == req.dram.row) {
+                pick = i;
+                break;
+            }
+            if (oldestReady == queue.size())
+                oldestReady = i;
+        } else {
+            bestWake = std::min(bestWake, start);
+        }
+    }
+    if (pick == queue.size())
+        pick = oldestReady;
+    if (pick == queue.size()) {
+        if (bestWake != kTickMax)
+            wake(bestWake);
+        return false;
+    }
+
+    Request req = queue[pick];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+    issue(req, now);
+    return true;
+}
+
+void
+MemController::recomputeWake(Tick now)
+{
+    // Merge the wake watermarks accumulated during this tick (enqueue,
+    // issue completion times, per-request earliest-start estimates) with
+    // the structural ones (completions, refresh deadlines).
+    Tick next = nextWorkAt_;
+    if (!inflight_.empty())
+        next = std::min(next, inflight_.top().doneAt);
+    for (const auto &rk : ranks_)
+        next = std::min(next, rk.nextRefreshAt);
+    nextWorkAt_ = std::max(next, now + 1);
+}
+
+void
+MemController::tick(Tick now)
+{
+    if (now < nextWorkAt_)
+        return;
+    nextWorkAt_ = kTickMax;
+
+    serviceCompletions(now);
+    serviceRefresh(now);
+
+    if (now < channelBlockedUntil_) {
+        wake(channelBlockedUntil_);
+        recomputeWake(now);
+        return;
+    }
+
+    // Write drain hysteresis.
+    if (!writeMode_ && (writeQ_.size() >= kWriteQCap * 3 / 4 ||
+                        (readQ_.empty() && writeQ_.size() >= 64)))
+        writeMode_ = true;
+    if (writeMode_ && writeQ_.size() <= kWriteQCap / 8)
+        writeMode_ = false;
+
+    // Priority: injected counter traffic, then demand.
+    bool issued = tryIssueFrom(counterQ_, now, false);
+    if (!issued) {
+        if (writeMode_)
+            issued = tryIssueFrom(writeQ_, now, true);
+        else
+            issued = tryIssueFrom(readQ_, now, false);
+        // Opportunistic writes when the read path has nothing ready.
+        if (!issued && !writeMode_ && !writeQ_.empty())
+            issued = tryIssueFrom(writeQ_, now, true);
+    }
+    if (issued)
+        wake(now + 1);
+
+    recomputeWake(now);
+}
+
+} // namespace dapper

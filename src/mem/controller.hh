@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Per-channel DDR5 memory controller with command-level bank timing.
+ *
+ * Models the timing behaviour the DAPPER paper's Perf-Attacks exploit:
+ *  - per-bank ACT/PRE/column timing (tRC, tRCD, tRP, tRAS, tWR, tCCD);
+ *  - per-rank tRRD_S/tRRD_L and tFAW activation pacing;
+ *  - a shared data bus (tBL occupancy per 64B burst);
+ *  - periodic auto-refresh (tREFI / tRFC) per rank;
+ *  - FR-FCFS scheduling with write-drain mode;
+ *  - priority service of tracker-injected RH-counter traffic;
+ *  - mitigation blocking windows: VRR (one bank), RFMsb / DRFMsb (same
+ *    bank number across all bank groups), PRAC ABO (whole channel), and
+ *    bulk "refresh all rows" structure resets (rank / channel);
+ *  - BlockHammer-style activation throttling via the tracker hook.
+ *
+ * The controller is tick()-driven on the core clock but keeps a
+ * next-work watermark so idle or blocked phases cost almost nothing.
+ */
+
+#ifndef DAPPER_MEM_CONTROLLER_HH
+#define DAPPER_MEM_CONTROLLER_HH
+
+#include <cstdint>
+#include <deque>
+#include <queue>
+#include <vector>
+
+#include "src/common/config.hh"
+#include "src/common/types.hh"
+#include "src/energy/energy_model.hh"
+#include "src/mem/request.hh"
+#include "src/rh/ground_truth.hh"
+#include "src/rh/tracker.hh"
+
+namespace dapper {
+
+/** Aggregate controller statistics. */
+struct MemControllerStats
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t counterReads = 0;
+    std::uint64_t counterWrites = 0;
+    std::uint64_t activations = 0;
+    std::uint64_t rowHits = 0;
+    std::uint64_t rowMisses = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t vrrCommands = 0;
+    std::uint64_t rfmCommands = 0;
+    std::uint64_t bulkResets = 0;
+    std::uint64_t throttledActs = 0;
+    /// Sum of bank-blocking durations imposed by refresh/mitigations
+    /// (bank-ticks; one tick of 8 blocked banks counts 8).
+    Tick busyBlockedTicks = 0;
+    std::uint64_t readLatencySum = 0;
+    std::uint64_t readLatencyCount = 0;
+
+    double
+    avgReadLatency() const
+    {
+        return readLatencyCount
+                   ? static_cast<double>(readLatencySum) / readLatencyCount
+                   : 0.0;
+    }
+};
+
+class MemController
+{
+  public:
+    MemController(const SysConfig &cfg, int channel, Tracker *tracker,
+                  GroundTruth *groundTruth, EnergyModel *energy);
+
+    /** Late tracker wiring (the System builds the tracker after us). */
+    void setTracker(Tracker *tracker) { tracker_ = tracker; }
+
+    /** Enqueue a request; returns false if the target queue is full. */
+    bool enqueue(const Request &req, Tick now);
+
+    void tick(Tick now);
+
+    bool readQueueFull() const { return readQ_.size() >= kReadQCap; }
+    bool writeQueueFull() const { return writeQ_.size() >= kWriteQCap; }
+    std::size_t readQueueDepth() const { return readQ_.size(); }
+
+    const MemControllerStats &stats() const { return stats_; }
+    int channel() const { return channel_; }
+
+    /** Earliest tick at which this controller has work to do. */
+    Tick nextWorkAt() const { return nextWorkAt_; }
+
+    /**
+     * Apply a tracker mitigation action (public so the System can route
+     * tREFW-boundary actions here as well).
+     */
+    void applyMitigation(const Mitigation &m, Tick now);
+
+  private:
+    static constexpr std::size_t kReadQCap = 512;
+    static constexpr std::size_t kWriteQCap = 512;
+    static constexpr std::size_t kCounterQCap = 4096;
+
+    struct BankState
+    {
+        std::int32_t openRow = -1;
+        Tick actReady = 0;     ///< Earliest next ACT (tRC / tRP).
+        Tick colReady = 0;     ///< Earliest next column command.
+        Tick preReady = 0;     ///< Earliest precharge (tRAS / tWR).
+        Tick blockedUntil = 0; ///< Mitigation / refresh blocking.
+    };
+
+    struct RankState
+    {
+        Tick lastActAt = 0;
+        std::int32_t lastActBankGroup = -1;
+        Tick faw[4] = {0, 0, 0, 0}; ///< Ring of last four ACT times.
+        int fawIdx = 0;
+        Tick blockedUntil = 0;
+        Tick nextRefreshAt = 0;
+    };
+
+    struct InFlight
+    {
+        Tick doneAt;
+        Request req;
+        bool
+        operator>(const InFlight &other) const
+        {
+            return doneAt > other.doneAt;
+        }
+    };
+
+    BankState &bank(int rank, int bank);
+    RankState &rank(int rank);
+
+    void serviceCompletions(Tick now);
+    void serviceRefresh(Tick now);
+    bool tryIssueFrom(std::deque<Request> &queue, Tick now, bool isWrite);
+    /** Earliest tick request could begin; kTickMax if bank blocked. */
+    Tick earliestStart(const Request &req, Tick now) const;
+    void issue(Request req, Tick now);
+    void wake(Tick at)
+    {
+        if (at < nextWorkAt_)
+            nextWorkAt_ = at;
+    }
+    void recomputeWake(Tick now);
+    void blockBank(int rankId, int bankId, Tick from, Tick duration);
+
+    const SysConfig cfg_;
+    const int channel_;
+    Tracker *tracker_;
+    GroundTruth *groundTruth_;
+    EnergyModel *energy_;
+
+    // Cached timing in ticks.
+    const Tick tRCD_, tRP_, tCL_, tRC_, tRAS_, tRRDS_, tRRDL_, tWR_, tRFC_,
+        tREFI_, tBL_, tFAW_;
+
+    std::vector<BankState> banks_;
+    std::vector<RankState> ranks_;
+    Tick dataBusFree_ = 0;
+    Tick channelBlockedUntil_ = 0;
+    bool writeMode_ = false;
+
+    std::deque<Request> readQ_;
+    std::deque<Request> writeQ_;
+    std::deque<Request> counterQ_;
+    std::priority_queue<InFlight, std::vector<InFlight>,
+                        std::greater<InFlight>>
+        inflight_;
+
+    MitigationVec scratch_;
+    MemControllerStats stats_;
+    Tick nextWorkAt_ = 0;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_MEM_CONTROLLER_HH

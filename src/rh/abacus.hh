@@ -1,0 +1,68 @@
+/**
+ * @file
+ * ABACUS: All-Bank Activation Counters (Olgun et al., USENIX Security
+ * 2024), configured as in Section III-A of the DAPPER paper: one
+ * Misra-Gries tracker shared across all banks of a channel, with a
+ * per-entry per-bank bit-vector to avoid double counting, and a spillover
+ * counter that floors the count of untracked rows.
+ *
+ * The tracker is sized for the maximum number of aggressor rows one bank
+ * can see in a refresh window at the given N_RH. When the spillover
+ * counter reaches N_M every untracked row may have reached the threshold,
+ * forcing a channel-wide "refresh all rows" reset (Fig. 2d) — the
+ * Perf-Attack surface sequential ever-new row IDs exploit.
+ */
+
+#ifndef DAPPER_RH_ABACUS_HH
+#define DAPPER_RH_ABACUS_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/rh/base_tracker.hh"
+
+namespace dapper {
+
+class AbacusTracker : public BaseTracker
+{
+  public:
+    explicit AbacusTracker(const SysConfig &cfg);
+
+    void onActivation(const ActEvent &e, MitigationVec &out) override;
+    void onRefreshWindow(Tick now, MitigationVec &out) override;
+
+    StorageEstimate storage() const override;
+    std::string name() const override { return "ABACUS"; }
+
+    int entriesPerChannel() const { return entries_; }
+    std::uint64_t spillResets() const { return spillResets_; }
+    std::uint32_t spillOf(int channel) const
+    {
+        return channels_[static_cast<std::size_t>(channel)].spill;
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint32_t count = 0;
+        std::uint64_t bits = 0; ///< One bit per (rank, bank) position.
+    };
+
+    struct ChannelState
+    {
+        std::unordered_map<std::int32_t, Entry> table; ///< Keyed by row id.
+        std::uint64_t spillRaw = 0; ///< Untracked ACTs this window.
+        std::uint32_t spill = 0;    ///< spillRaw / entries (MG floor).
+        std::size_t probe = 0;      ///< Rotating replacement scan cursor.
+    };
+
+    void clearChannel(ChannelState &ch);
+
+    int entries_;
+    std::vector<ChannelState> channels_;
+    std::uint64_t spillResets_ = 0;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_RH_ABACUS_HH

@@ -1,0 +1,96 @@
+#include "src/rh/blockhammer.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dapper {
+
+BlockHammerTracker::BlockHammerTracker(const SysConfig &cfg)
+    : BaseTracker(cfg), hashSeed_(mixHash64(cfg.seed ^ 0xb10cULL))
+{
+    // Blacklist threshold and rate limit are sized so a row's worst-case
+    // activation count per tREFW stays below N_RH / 2 (the double-sided
+    // damage budget) even across the epoch reset: per epoch a row gets
+    // at most nBL un-throttled activations plus (epoch / delay) throttled
+    // ones, and there are two epochs per window:
+    //   2 * (N_RH/16 + N_RH/16) = N_RH/4  <  N_RH/2.
+    // This conservatism is intrinsic to throttling-based defense and is
+    // what makes BlockHammer collapse at ultra-low thresholds (Fig. 14).
+    nBL_ = std::max(2, cfg.nRH / 16);
+    epoch_ = std::max<Tick>(1, cfg.tREFW() / 2);
+    nextEpochAt_ = epoch_;
+    throttleDelay_ = std::max<Tick>(
+        1, 8 * cfg.tREFW() / static_cast<Tick>(cfg.nRH));
+
+    const int banksTotal =
+        cfg.channels * cfg.ranksPerChannel * cfg.banksPerRank();
+    cbf_.resize(static_cast<std::size_t>(banksTotal));
+    lastAct_.resize(static_cast<std::size_t>(banksTotal));
+    for (auto &vec : cbf_)
+        vec.assign(static_cast<std::size_t>(kHashes) * kCountersPerBank, 0);
+    for (auto &vec : lastAct_)
+        vec.assign(kCountersPerBank, 0);
+}
+
+std::uint32_t
+BlockHammerTracker::hashOf(int h, int row) const
+{
+    return static_cast<std::uint32_t>(
+        mixHash64(static_cast<std::uint64_t>(row) ^
+                  (hashSeed_ + static_cast<std::uint64_t>(h) *
+                                   0x9e3779b97f4a7c15ULL)) %
+        kCountersPerBank);
+}
+
+std::uint16_t
+BlockHammerTracker::minCount(int bankIdx, int row) const
+{
+    const auto &vec = cbf_[static_cast<std::size_t>(bankIdx)];
+    std::uint16_t m = 0xffff;
+    for (int h = 0; h < kHashes; ++h)
+        m = std::min(m, vec[static_cast<std::size_t>(h) *
+                                kCountersPerBank + hashOf(h, row)]);
+    return m;
+}
+
+Tick
+BlockHammerTracker::throttleUntil(const ActEvent &e)
+{
+    const int bankIdx = bankIndex(e.channel, e.rank, e.bank);
+    if (minCount(bankIdx, e.row) < nBL_)
+        return 0;
+    const Tick last = lastAct_[static_cast<std::size_t>(bankIdx)]
+                              [hashOf(0, e.row)];
+    const Tick allowed = last + throttleDelay_;
+    if (allowed > e.now)
+        ++throttleEvents_;
+    return allowed;
+}
+
+void
+BlockHammerTracker::onActivation(const ActEvent &e, MitigationVec &out)
+{
+    (void)out;
+    const int bankIdx = bankIndex(e.channel, e.rank, e.bank);
+    auto &vec = cbf_[static_cast<std::size_t>(bankIdx)];
+    for (int h = 0; h < kHashes; ++h) {
+        auto &cnt = vec[static_cast<std::size_t>(h) * kCountersPerBank +
+                        hashOf(h, e.row)];
+        if (cnt < 0xffff)
+            ++cnt;
+    }
+    lastAct_[static_cast<std::size_t>(bankIdx)][hashOf(0, e.row)] = e.now;
+}
+
+void
+BlockHammerTracker::onPeriodic(Tick now, MitigationVec &out)
+{
+    (void)out;
+    if (now < nextEpochAt_)
+        return;
+    nextEpochAt_ += epoch_;
+    for (auto &vec : cbf_)
+        std::memset(vec.data(), 0, vec.size() * sizeof(std::uint16_t));
+}
+
+} // namespace dapper

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * BlockHammer: throttling-based mitigation using per-bank counting Bloom
+ * filters to blacklist rapidly-activated rows (Yaglikci et al., HPCA
+ * 2021; compared in Section VI-I of the DAPPER paper).
+ *
+ * Rows whose minimum CBF count crosses the blacklist threshold are
+ * rate-limited so they cannot reach N_RH within the filter epoch. The
+ * false-positive throttling of benign rows — which explodes as N_RH (and
+ * hence the blacklist threshold) shrinks — is what Fig. 14 shows.
+ */
+
+#ifndef DAPPER_RH_BLOCKHAMMER_HH
+#define DAPPER_RH_BLOCKHAMMER_HH
+
+#include <vector>
+
+#include "src/rh/base_tracker.hh"
+
+namespace dapper {
+
+class BlockHammerTracker : public BaseTracker
+{
+  public:
+    static constexpr int kHashes = 2;
+    static constexpr int kCountersPerBank = 1024;
+
+    explicit BlockHammerTracker(const SysConfig &cfg);
+
+    void onActivation(const ActEvent &e, MitigationVec &out) override;
+    Tick throttleUntil(const ActEvent &e) override;
+    void onPeriodic(Tick now, MitigationVec &out) override;
+
+    StorageEstimate
+    storage() const override
+    {
+        // Two CBFs x 1K x 2B per bank, 64 banks per 32GB channel pair.
+        const double perBankKB = 2.0 * kCountersPerBank * 2.0 / 1024.0;
+        return {perBankKB * cfg_.banksPerRank() * cfg_.ranksPerChannel,
+                0.0};
+    }
+    std::string name() const override { return "BlockHammer"; }
+
+    int blacklistThreshold() const { return nBL_; }
+    std::uint64_t throttleEvents() const { return throttleEvents_; }
+
+  private:
+    std::uint32_t hashOf(int h, int row) const;
+    std::uint16_t minCount(int bankIdx, int row) const;
+
+    int nBL_;            ///< Blacklist threshold per epoch.
+    Tick epoch_;         ///< Filter reset period (tREFW / 2).
+    Tick nextEpochAt_;
+    Tick throttleDelay_; ///< Min spacing of blacklisted-row ACTs.
+    std::uint64_t hashSeed_;
+    /// Per (channel, rank, bank): kHashes x kCountersPerBank counters.
+    std::vector<std::vector<std::uint16_t>> cbf_;
+    /// Per (channel, rank, bank): last ACT tick per CBF entry (hash 0).
+    std::vector<std::vector<Tick>> lastAct_;
+    std::uint64_t throttleEvents_ = 0;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_RH_BLOCKHAMMER_HH

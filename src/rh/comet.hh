@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CoMeT: Count-Min-Sketch row tracking (Bostanci et al., HPCA 2024),
+ * configured as in Section III-A of the DAPPER paper: per-bank CT with
+ * four hash functions x 512 counters, mitigation threshold N_RH / 4, a
+ * 128-entry Recent Aggressor Table (RAT), periodic structure reset every
+ * tREFW / 3 by refreshing all DRAM rows, a 256-entry RAT miss history,
+ * and an extra reset when the RAT miss rate exceeds 25%.
+ *
+ * Perf-Attack surface: activating more rows than the RAT holds causes
+ * counter overestimation (the CMS cannot be reset per-row) and repeated
+ * whole-rank "refresh all rows" resets, each blocking the rank for
+ * ~2.4 ms (Fig. 2c).
+ */
+
+#ifndef DAPPER_RH_COMET_HH
+#define DAPPER_RH_COMET_HH
+
+#include <vector>
+
+#include "src/rh/base_tracker.hh"
+
+namespace dapper {
+
+class CometTracker : public BaseTracker
+{
+  public:
+    static constexpr int kHashes = 4;
+    static constexpr int kCountersPerHash = 512;
+    static constexpr int kRatEntries = 128;
+    static constexpr int kMissHistory = 256;
+    static constexpr double kMissRateForReset = 0.25;
+
+    explicit CometTracker(const SysConfig &cfg);
+
+    void onActivation(const ActEvent &e, MitigationVec &out) override;
+    void onPeriodic(Tick now, MitigationVec &out) override;
+    void onRefreshWindow(Tick now, MitigationVec &out) override;
+
+    StorageEstimate storage() const override;
+    std::string name() const override { return "CoMeT"; }
+
+    std::uint64_t bulkResets() const { return bulkResets_; }
+    std::uint32_t estimateOf(int channel, int rank, int bank, int row) const;
+
+  private:
+    struct RatEntry
+    {
+        std::uint64_t key = 0;
+        std::uint16_t count = 0;
+        std::uint64_t lru = 0;
+        bool valid = false;
+    };
+
+    struct ChannelState
+    {
+        /// Per (rank, bank): kHashes x kCountersPerHash counters.
+        std::vector<std::vector<std::uint16_t>> ct;
+        std::vector<RatEntry> rat;
+        std::uint64_t lruClock = 1;
+        int missWindow = 0;   ///< Lookups recorded in the history window.
+        int missCount = 0;
+        Tick nextResetAt = 0;
+        Tick resetCooldownUntil = 0;
+    };
+
+    std::uint32_t hashOf(int h, int row) const;
+    void resetChannel(int channel, MitigationVec &out, Tick now);
+
+    int nMc_;          ///< CoMeT mitigation threshold N_RH / 4.
+    Tick resetPeriod_; ///< tREFW / 3.
+    std::uint64_t hashSeed_;
+    std::vector<ChannelState> channels_;
+    std::uint64_t bulkResets_ = 0;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_RH_COMET_HH

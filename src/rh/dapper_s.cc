@@ -1,0 +1,113 @@
+#include "src/rh/dapper_s.hh"
+
+#include <bit>
+#include <cstring>
+
+namespace dapper {
+
+DapperSTracker::DapperSTracker(const SysConfig &cfg) : BaseTracker(cfg)
+{
+    rowBits_ = std::bit_width(cfg.rowsPerRank()) - 1;
+    groupShift_ = std::bit_width(
+                      static_cast<unsigned>(cfg.rowGroupSize)) - 1;
+    numGroups_ = cfg.rowsPerRank() >>
+                 static_cast<unsigned>(groupShift_);
+    resetPeriod_ = cfg.dapperSReset();
+    nextResetAt_ = resetPeriod_;
+
+    const int rankCount = cfg.channels * cfg.ranksPerChannel;
+    ranks_.reserve(static_cast<std::size_t>(rankCount));
+    for (int r = 0; r < rankCount; ++r) {
+        ranks_.emplace_back(rowBits_,
+                            mixHash64(cfg.seed + 0x5eedULL +
+                                      static_cast<std::uint64_t>(r)));
+        ranks_.back().rgc.assign(numGroups_, 0);
+    }
+}
+
+void
+DapperSTracker::resetAll()
+{
+    ++rekeys_;
+    for (std::size_t r = 0; r < ranks_.size(); ++r) {
+        ranks_[r].cipher.rekey(rng_.next());
+        std::memset(ranks_[r].rgc.data(), 0,
+                    ranks_[r].rgc.size() * sizeof(std::uint16_t));
+    }
+}
+
+void
+DapperSTracker::onActivation(const ActEvent &e, MitigationVec &out)
+{
+    RankState &rs = ranks_[static_cast<std::size_t>(
+        rankIndex(e.channel, e.rank))];
+    const std::uint64_t hashed =
+        rs.cipher.encrypt(rankRowId(e.bank, e.row));
+    const std::uint64_t group = hashed >> static_cast<unsigned>(groupShift_);
+
+    if (++rs.rgc[group] < nM_)
+        return;
+
+    // Mitigation: decrypt every member of the group back to its original
+    // address and refresh its victims, then reset the counter.
+    const std::uint64_t base = group << static_cast<unsigned>(groupShift_);
+    for (int i = 0; i < cfg_.rowGroupSize; ++i) {
+        const std::uint64_t rowId =
+            rs.cipher.decrypt(base + static_cast<std::uint64_t>(i));
+        int bank = 0;
+        int row = 0;
+        fromRankRowId(rowId, bank, row);
+        out.push_back(victimRefresh(e.channel, e.rank, bank, row));
+    }
+    rs.rgc[group] = 0;
+    ++mitigations;
+}
+
+void
+DapperSTracker::onPeriodic(Tick now, MitigationVec &out)
+{
+    (void)out;
+    if (resetPeriod_ >= cfg_.tREFW())
+        return; // Handled by onRefreshWindow.
+    if (now >= nextResetAt_) {
+        nextResetAt_ += resetPeriod_;
+        resetAll();
+    }
+}
+
+void
+DapperSTracker::onRefreshWindow(Tick now, MitigationVec &out)
+{
+    (void)now;
+    (void)out;
+    if (resetPeriod_ >= cfg_.tREFW())
+        resetAll();
+}
+
+StorageEstimate
+DapperSTracker::storage() const
+{
+    // RGCs per 32GB (one channel): numGroups x counter byte-width x ranks.
+    const double width = nM_ <= 255 ? 1.0 : 2.0;
+    const double rgcKB = static_cast<double>(numGroups_) * width *
+                         cfg_.ranksPerChannel / 1024.0;
+    return {rgcKB, 0.0};
+}
+
+std::uint32_t
+DapperSTracker::rgcOf(int channel, int rank, std::uint64_t group) const
+{
+    return ranks_[static_cast<std::size_t>(rankIndex(channel, rank))]
+        .rgc[group];
+}
+
+std::uint64_t
+DapperSTracker::groupOf(int channel, int rank, int bank, int row) const
+{
+    const RankState &rs = ranks_[static_cast<std::size_t>(
+        rankIndex(channel, rank))];
+    return rs.cipher.encrypt(rankRowId(bank, row)) >>
+           static_cast<unsigned>(groupShift_);
+}
+
+} // namespace dapper

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * DAPPER-S: the paper's baseline secure-hash tracker (Section V).
+ *
+ * Rows of each rank are mapped through a Low-Latency Block Cipher into a
+ * randomized space; a Row Group Counter (RGC) tracks each group of 256
+ * consecutive hashed addresses. All RGCs live in SRAM in the memory
+ * controller — no DRAM counter traffic exists to attack. When an RGC
+ * reaches N_M = N_RH / 2, the group's hashed addresses are decrypted and
+ * every member row receives a mitigative refresh, then the counter
+ * resets. Keys and counters reset every treset (default: one tREFW).
+ *
+ * DAPPER-S defeats Mapping-Capturing attacks statistically (Table II)
+ * but remains vulnerable to the mapping-agnostic streaming and refresh
+ * attacks (Fig. 9) — which DAPPER-H then addresses.
+ */
+
+#ifndef DAPPER_RH_DAPPER_S_HH
+#define DAPPER_RH_DAPPER_S_HH
+
+#include <vector>
+
+#include "src/rh/base_tracker.hh"
+#include "src/rh/llbc.hh"
+
+namespace dapper {
+
+class DapperSTracker : public BaseTracker
+{
+  public:
+    explicit DapperSTracker(const SysConfig &cfg);
+
+    void onActivation(const ActEvent &e, MitigationVec &out) override;
+    void onPeriodic(Tick now, MitigationVec &out) override;
+    void onRefreshWindow(Tick now, MitigationVec &out) override;
+
+    StorageEstimate storage() const override;
+    std::string name() const override { return "DAPPER-S"; }
+
+    std::uint32_t rgcOf(int channel, int rank, std::uint64_t group) const;
+    std::uint64_t groupOf(int channel, int rank, int bank, int row) const;
+    std::uint64_t numGroups() const { return numGroups_; }
+    std::uint64_t rekeys() const { return rekeys_; }
+
+  private:
+    struct RankState
+    {
+        Llbc cipher;
+        std::vector<std::uint16_t> rgc;
+        explicit RankState(int bits, std::uint64_t seed)
+            : cipher(bits, seed)
+        {
+        }
+    };
+
+    void resetAll();
+
+    int rowBits_;
+    int groupShift_;
+    std::uint64_t numGroups_;
+    Tick resetPeriod_;
+    Tick nextResetAt_;
+    std::vector<RankState> ranks_;
+    std::uint64_t rekeys_ = 0;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_RH_DAPPER_S_HH

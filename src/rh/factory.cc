@@ -1,0 +1,109 @@
+#include "src/rh/factory.hh"
+
+#include <stdexcept>
+
+#include "src/rh/abacus.hh"
+#include "src/rh/blockhammer.hh"
+#include "src/rh/comet.hh"
+#include "src/rh/dapper_h.hh"
+#include "src/rh/dapper_s.hh"
+#include "src/rh/graphene.hh"
+#include "src/rh/hydra.hh"
+#include "src/rh/para.hh"
+#include "src/rh/prac.hh"
+#include "src/rh/pride.hh"
+#include "src/rh/start.hh"
+
+namespace dapper {
+
+std::string
+trackerName(TrackerKind kind)
+{
+    switch (kind) {
+      case TrackerKind::None: return "None";
+      case TrackerKind::Para: return "PARA";
+      case TrackerKind::ParaDrfmSb: return "PARA-DRFMsb";
+      case TrackerKind::Pride: return "PrIDE";
+      case TrackerKind::PrideRfmSb: return "PrIDE-RFMsb";
+      case TrackerKind::Prac: return "PRAC";
+      case TrackerKind::BlockHammer: return "BlockHammer";
+      case TrackerKind::Hydra: return "Hydra";
+      case TrackerKind::Start: return "START";
+      case TrackerKind::Comet: return "CoMeT";
+      case TrackerKind::Abacus: return "ABACUS";
+      case TrackerKind::Graphene: return "Graphene";
+      case TrackerKind::DapperS: return "DAPPER-S";
+      case TrackerKind::DapperH: return "DAPPER-H";
+      case TrackerKind::DapperHBr2: return "DAPPER-H-BR2";
+      case TrackerKind::DapperHDrfmSb: return "DAPPER-H-DRFMsb";
+      case TrackerKind::DapperHNoBitVector: return "DAPPER-H-noBV";
+    }
+    return "?";
+}
+
+bool
+reservesLlc(TrackerKind kind)
+{
+    return kind == TrackerKind::Start;
+}
+
+void
+adjustConfigFor(TrackerKind kind, SysConfig &cfg)
+{
+    switch (kind) {
+      case TrackerKind::ParaDrfmSb:
+      case TrackerKind::DapperHDrfmSb:
+        cfg.mitigationCmd = SysConfig::MitigationCmd::DrfmSb;
+        break;
+      case TrackerKind::DapperHBr2:
+        cfg.blastRadius = 2;
+        break;
+      default:
+        break;
+    }
+}
+
+std::unique_ptr<Tracker>
+makeTracker(TrackerKind kind, SysConfig &cfg, Llc *llc)
+{
+    adjustConfigFor(kind, cfg);
+    switch (kind) {
+      case TrackerKind::None:
+        return nullptr;
+      case TrackerKind::Para:
+      case TrackerKind::ParaDrfmSb:
+        return std::make_unique<ParaTracker>(cfg);
+      case TrackerKind::Pride:
+        return std::make_unique<PrideTracker>(cfg, false);
+      case TrackerKind::PrideRfmSb:
+        return std::make_unique<PrideTracker>(cfg, true);
+      case TrackerKind::Prac:
+        return std::make_unique<PracTracker>(cfg);
+      case TrackerKind::BlockHammer:
+        return std::make_unique<BlockHammerTracker>(cfg);
+      case TrackerKind::Hydra:
+        return std::make_unique<HydraTracker>(cfg);
+      case TrackerKind::Start: {
+        auto tracker = std::make_unique<StartTracker>(cfg);
+        tracker->attachLlc(llc);
+        return tracker;
+      }
+      case TrackerKind::Comet:
+        return std::make_unique<CometTracker>(cfg);
+      case TrackerKind::Abacus:
+        return std::make_unique<AbacusTracker>(cfg);
+      case TrackerKind::Graphene:
+        return std::make_unique<GrapheneTracker>(cfg);
+      case TrackerKind::DapperS:
+        return std::make_unique<DapperSTracker>(cfg);
+      case TrackerKind::DapperH:
+      case TrackerKind::DapperHBr2:
+      case TrackerKind::DapperHDrfmSb:
+        return std::make_unique<DapperHTracker>(cfg);
+      case TrackerKind::DapperHNoBitVector:
+        return std::make_unique<DapperHTracker>(cfg, false, true);
+    }
+    throw std::invalid_argument("bad TrackerKind");
+}
+
+} // namespace dapper

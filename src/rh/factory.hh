@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Tracker factory: the single place experiments name defenses.
+ */
+
+#ifndef DAPPER_RH_FACTORY_HH
+#define DAPPER_RH_FACTORY_HH
+
+#include <memory>
+#include <string>
+
+#include "src/common/config.hh"
+#include "src/rh/tracker.hh"
+
+namespace dapper {
+
+class Llc;
+
+enum class TrackerKind
+{
+    None,
+    Para,
+    ParaDrfmSb,
+    Pride,
+    PrideRfmSb,
+    Prac,
+    BlockHammer,
+    Hydra,
+    Start,
+    Comet,
+    Abacus,
+    Graphene,
+    DapperS,
+    DapperH,
+    DapperHBr2,
+    DapperHDrfmSb,
+    DapperHNoBitVector, ///< Ablation.
+};
+
+std::string trackerName(TrackerKind kind);
+
+/**
+ * Apply the command-flavour adjustments a tracker variant requires
+ * (DRFMsb mitigation command, blast radius 2). Must run before any
+ * component copies the config.
+ */
+void adjustConfigFor(TrackerKind kind, SysConfig &cfg);
+
+/**
+ * Build a tracker against an already-adjusted config (makeTracker calls
+ * adjustConfigFor itself, so standalone use stays correct).
+ */
+std::unique_ptr<Tracker> makeTracker(TrackerKind kind, SysConfig &cfg,
+                                     Llc *llc);
+
+/** Whether this tracker reserves half the LLC (START). */
+bool reservesLlc(TrackerKind kind);
+
+} // namespace dapper
+
+#endif // DAPPER_RH_FACTORY_HH

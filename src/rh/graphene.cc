@@ -1,0 +1,84 @@
+#include "src/rh/graphene.hh"
+
+#include <algorithm>
+
+namespace dapper {
+
+GrapheneTracker::GrapheneTracker(const SysConfig &cfg) : BaseTracker(cfg)
+{
+    // Per-bank worst case: activations-per-window / N_M entries ensure
+    // no aggressor escapes the table (the Misra-Gries guarantee).
+    const std::uint64_t actsPerBank = cfg.tREFW() / cfg.tRC();
+    entries_ = std::max<int>(
+        8, static_cast<int>(actsPerBank / static_cast<std::uint64_t>(
+                                              std::max(1, nM_))));
+    banks_.resize(static_cast<std::size_t>(cfg.channels) *
+                  cfg.ranksPerChannel * cfg.banksPerRank());
+    for (auto &bank : banks_)
+        bank.counts.reserve(static_cast<std::size_t>(entries_) * 2);
+}
+
+void
+GrapheneTracker::onActivation(const ActEvent &e, MitigationVec &out)
+{
+    BankTable &table = banks_[static_cast<std::size_t>(
+        bankIndex(e.channel, e.rank, e.bank))];
+
+    auto it = table.counts.find(e.row);
+    if (it == table.counts.end()) {
+        if (table.counts.size() <
+            static_cast<std::size_t>(entries_)) {
+            table.counts.emplace(e.row, table.spill + 1);
+            return;
+        }
+        // Misra-Gries: account the untracked activation in the floor
+        // and replace a floor-level entry if one exists.
+        ++table.spillRaw;
+        table.spill = static_cast<std::uint32_t>(
+            table.spillRaw / static_cast<std::uint64_t>(entries_));
+        auto probe = table.counts.begin();
+        for (int probes = 0;
+             probes < 8 && probe != table.counts.end(); ++probes, ++probe) {
+            if (probe->second <= table.spill) {
+                table.counts.erase(probe);
+                table.counts.emplace(e.row, table.spill + 1);
+                break;
+            }
+        }
+        // Per-bank sizing keeps spill below N_M within a window (the
+        // Graphene guarantee), so no bulk reset path is needed.
+        return;
+    }
+
+    if (++it->second >= static_cast<std::uint32_t>(nM_)) {
+        out.push_back(victimRefresh(e.channel, e.rank, e.bank, e.row));
+        it->second = table.spill;
+        ++mitigations;
+    }
+}
+
+void
+GrapheneTracker::onRefreshWindow(Tick now, MitigationVec &out)
+{
+    (void)now;
+    (void)out;
+    for (auto &table : banks_) {
+        table.counts.clear();
+        table.spill = 0;
+        table.spillRaw = 0;
+    }
+}
+
+StorageEstimate
+GrapheneTracker::storage() const
+{
+    // Per 32GB: row-id CAM (2B) + counter (2B) per entry, per bank.
+    const int banksTotal = cfg_.ranksPerChannel * cfg_.banksPerRank();
+    const double camKB = static_cast<double>(entries_) * 2.0 *
+                         banksTotal / 1024.0;
+    const double sramKB = static_cast<double>(entries_) * 2.0 *
+                          banksTotal / 1024.0;
+    return {sramKB, camKB};
+}
+
+} // namespace dapper

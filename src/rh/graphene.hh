@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Graphene: per-bank Misra-Gries aggressor tracking (Park et al.,
+ * MICRO 2020). The paper cites it ([46]) as the exact-but-expensive
+ * end of the design space: per-bank tables sized for the worst-case
+ * aggressor count give precise tracking and natural Perf-Attack
+ * resilience, at a CAM cost that explodes at ultra-low N_RH — the
+ * motivation for the shared-structure trackers DAPPER competes with.
+ *
+ * Included as an additional comparator: it bounds the best-case
+ * security/performance a counter-based tracker can reach, so the
+ * ablation bench can show what DAPPER gives up (nothing measurable)
+ * versus what it saves (an order of magnitude of CAM).
+ */
+
+#ifndef DAPPER_RH_GRAPHENE_HH
+#define DAPPER_RH_GRAPHENE_HH
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/rh/base_tracker.hh"
+
+namespace dapper {
+
+class GrapheneTracker : public BaseTracker
+{
+  public:
+    explicit GrapheneTracker(const SysConfig &cfg);
+
+    void onActivation(const ActEvent &e, MitigationVec &out) override;
+    void onRefreshWindow(Tick now, MitigationVec &out) override;
+
+    StorageEstimate storage() const override;
+    std::string name() const override { return "Graphene"; }
+
+    int entriesPerBank() const { return entries_; }
+
+  private:
+    struct BankTable
+    {
+        std::unordered_map<std::int32_t, std::uint32_t> counts;
+        std::uint32_t spill = 0;     ///< Misra-Gries floor.
+        std::uint64_t spillRaw = 0;
+    };
+
+    int entries_;
+    std::vector<BankTable> banks_; ///< Per (channel, rank, bank).
+};
+
+} // namespace dapper
+
+#endif // DAPPER_RH_GRAPHENE_HH

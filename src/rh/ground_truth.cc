@@ -1,0 +1,121 @@
+#include "src/rh/ground_truth.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dapper {
+
+GroundTruth::GroundTruth(const SysConfig &cfg)
+    : cfg_(cfg),
+      rowsPerBank_(cfg.rowsPerBank),
+      nRH_(static_cast<std::uint32_t>(cfg.nRH))
+{
+    const int banksTotal = cfg.ranksPerChannel * cfg.banksPerRank();
+    damage_.resize(static_cast<std::size_t>(cfg.channels) * banksTotal);
+    for (auto &vec : damage_)
+        vec.assign(static_cast<std::size_t>(rowsPerBank_), 0);
+    refreshSlice_.assign(
+        static_cast<std::size_t>(cfg.channels) * cfg.ranksPerChannel, 0);
+    // 8192 auto-refresh commands cover the bank each tREFW.
+    sliceRows_ = std::max(1, rowsPerBank_ / 8192);
+}
+
+std::vector<std::uint16_t> &
+GroundTruth::bankVec(int channel, int rank, int bank)
+{
+    const int banksTotal = cfg_.ranksPerChannel * cfg_.banksPerRank();
+    return damage_[static_cast<std::size_t>(channel) * banksTotal +
+                   rank * cfg_.banksPerRank() + bank];
+}
+
+void
+GroundTruth::bump(std::vector<std::uint16_t> &vec, int row)
+{
+    if (row < 0 || row >= rowsPerBank_)
+        return;
+    auto &cell = vec[static_cast<std::size_t>(row)];
+    if (cell < 0xffff)
+        ++cell;
+    if (cell > maxDamageEver_)
+        maxDamageEver_ = cell;
+    if (cell >= nRH_) {
+        if (violations_ == 0) {
+            firstViolation_ = current_;
+            firstViolation_.row = row;
+        }
+        ++violations_;
+    }
+}
+
+void
+GroundTruth::onActivation(int channel, int rank, int bank, int row)
+{
+    ++activations_;
+    current_ = {channel, rank, bank, row};
+    auto &vec = bankVec(channel, rank, bank);
+    bump(vec, row - 1);
+    bump(vec, row + 1);
+}
+
+void
+GroundTruth::onVictimRefresh(int channel, int rank, int bank, int row,
+                             int blastRadius)
+{
+    auto &vec = bankVec(channel, rank, bank);
+    for (int d = 1; d <= blastRadius; ++d) {
+        if (row - d >= 0)
+            vec[static_cast<std::size_t>(row - d)] = 0;
+        if (row + d < rowsPerBank_)
+            vec[static_cast<std::size_t>(row + d)] = 0;
+    }
+}
+
+void
+GroundTruth::onAutoRefresh(int channel, int rank)
+{
+    auto &slice =
+        refreshSlice_[static_cast<std::size_t>(channel) *
+                          cfg_.ranksPerChannel + rank];
+    const int start = slice * sliceRows_;
+    for (int bank = 0; bank < cfg_.banksPerRank(); ++bank) {
+        auto &vec = bankVec(channel, rank, bank);
+        for (int row = start;
+             row < start + sliceRows_ && row < rowsPerBank_; ++row)
+            vec[static_cast<std::size_t>(row)] = 0;
+    }
+    slice = (slice + 1) % std::max(1, rowsPerBank_ / sliceRows_);
+}
+
+void
+GroundTruth::onBulkRankRefresh(int channel, int rank)
+{
+    for (int bank = 0; bank < cfg_.banksPerRank(); ++bank) {
+        auto &vec = bankVec(channel, rank, bank);
+        std::memset(vec.data(), 0, vec.size() * sizeof(std::uint16_t));
+    }
+}
+
+void
+GroundTruth::onBulkChannelRefresh(int channel)
+{
+    for (int rank = 0; rank < cfg_.ranksPerChannel; ++rank)
+        onBulkRankRefresh(channel, rank);
+}
+
+void
+GroundTruth::onWindowBoundary()
+{
+    for (auto &vec : damage_)
+        std::memset(vec.data(), 0, vec.size() * sizeof(std::uint16_t));
+}
+
+std::uint32_t
+GroundTruth::damageOf(int channel, int rank, int bank, int row) const
+{
+    const int banksTotal = cfg_.ranksPerChannel * cfg_.banksPerRank();
+    return damage_[static_cast<std::size_t>(channel) * banksTotal +
+                   rank * cfg_.banksPerRank() + bank]
+                  [static_cast<std::size_t>(row)];
+}
+
+} // namespace dapper

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Ground-truth RowHammer safety checker.
+ *
+ * Tracks, for every DRAM row, the disturbance ("damage") accumulated from
+ * neighbor-row activations since the row was last refreshed by any means
+ * (auto-refresh slice, victim-row refresh, bulk refresh) or since the
+ * current refresh window began. Following the paper's threat model
+ * (Section II-C: "an attack succeeds if any DRAM row exceeds the RH
+ * threshold within tREFW"), damage is scoped to a tREFW window — the
+ * same convention under which N_M = N_RH / 2 plus a per-window structure
+ * reset is a sound design, used by Hydra, CoMeT and DAPPER alike. A
+ * tracker is RowHammer-safe iff no row's damage reaches N_RH within any
+ * window. Integration and property tests assert this invariant under the
+ * paper's attack patterns.
+ */
+
+#ifndef DAPPER_RH_GROUND_TRUTH_HH
+#define DAPPER_RH_GROUND_TRUTH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/config.hh"
+
+namespace dapper {
+
+class GroundTruth
+{
+  public:
+    explicit GroundTruth(const SysConfig &cfg);
+
+    /** Aggressor row activated: neighbors accumulate damage. */
+    void onActivation(int channel, int rank, int bank, int row);
+
+    /**
+     * Victim-row refresh around an aggressor: rows within @p blastRadius
+     * on each side are refreshed (damage cleared).
+     */
+    void onVictimRefresh(int channel, int rank, int bank, int row,
+                         int blastRadius);
+
+    /** Auto-refresh: the rank's next slice of rows in every bank. */
+    void onAutoRefresh(int channel, int rank);
+
+    /** Bulk refresh of every row in the rank. */
+    void onBulkRankRefresh(int channel, int rank);
+
+    /** Bulk refresh of every row in the channel. */
+    void onBulkChannelRefresh(int channel);
+
+    /** tREFW boundary: damage accounting is per-window (Section II-C). */
+    void onWindowBoundary();
+
+    /** Highest damage any row ever reached. */
+    std::uint32_t maxDamageEver() const { return maxDamageEver_; }
+
+    /** Number of damage increments that reached nRH (bit-flip events). */
+    std::uint64_t violations() const { return violations_; }
+
+    /** Location of the first violation (valid if violations() > 0). */
+    struct Location
+    {
+        int channel = -1;
+        int rank = -1;
+        int bank = -1;
+        int row = -1;
+    };
+    const Location &firstViolation() const { return firstViolation_; }
+
+    std::uint64_t activations() const { return activations_; }
+
+    /** Current damage of one row (tests). */
+    std::uint32_t damageOf(int channel, int rank, int bank, int row) const;
+
+  private:
+    std::vector<std::uint16_t> &bankVec(int channel, int rank, int bank);
+    void bump(std::vector<std::uint16_t> &vec, int row);
+
+    const SysConfig cfg_;
+    int rowsPerBank_;
+    std::uint32_t nRH_;
+    // [channel][rank * banks + bank] -> damage per row
+    std::vector<std::vector<std::uint16_t>> damage_;
+    std::vector<int> refreshSlice_; ///< per (channel,rank) rotating pointer
+    int sliceRows_;                 ///< rows refreshed per REF per bank
+    std::uint32_t maxDamageEver_ = 0;
+    std::uint64_t violations_ = 0;
+    std::uint64_t activations_ = 0;
+    Location firstViolation_;
+    Location current_; ///< Coordinates of the activation being applied.
+};
+
+} // namespace dapper
+
+#endif // DAPPER_RH_GROUND_TRUTH_HH

@@ -1,0 +1,154 @@
+#include "src/rh/hydra.hh"
+
+#include <algorithm>
+#include <cstring>
+
+namespace dapper {
+
+HydraTracker::HydraTracker(const SysConfig &cfg) : BaseTracker(cfg)
+{
+    rccSets_ = kRccEntries / kRccWays;
+    nGC_ = std::max(1, static_cast<int>(kGcFraction * nM_));
+
+    const std::uint64_t groups = cfg.rowsPerRank() / kGroupSize;
+    ranks_.resize(static_cast<std::size_t>(cfg.channels) *
+                  cfg.ranksPerChannel);
+    for (auto &rs : ranks_) {
+        rs.gct.assign(groups, 0);
+        rs.perRow.assign(groups, false);
+        rs.rct.assign(cfg.rowsPerRank(), 0);
+        rs.rcc.assign(static_cast<std::size_t>(rccSets_) * kRccWays,
+                      RccEntry{});
+    }
+}
+
+void
+HydraTracker::counterLocation(std::uint64_t rowId, int &bank, int &row) const
+{
+    // Reserved region: the top rows of each bank hold the RCT. 32 row
+    // counters per cache line; spread lines over banks then rows.
+    const std::uint64_t line = rowId / 32;
+    bank = static_cast<int>(line % static_cast<std::uint64_t>(
+                                       cfg_.banksPerRank()));
+    const int reservedRows = 64;
+    row = cfg_.rowsPerBank - 1 -
+          static_cast<int>((line / static_cast<std::uint64_t>(
+                                       cfg_.banksPerRank())) %
+                           static_cast<std::uint64_t>(reservedRows));
+}
+
+void
+HydraTracker::onActivation(const ActEvent &e, MitigationVec &out)
+{
+    RankState &rs = ranks_[static_cast<std::size_t>(
+        rankIndex(e.channel, e.rank))];
+    const std::uint64_t rowId = rankRowId(e.bank, e.row);
+    const std::uint64_t group = rowId / kGroupSize;
+
+    if (!rs.perRow[group]) {
+        if (++rs.gct[group] < nGC_)
+            return;
+        // Escalate to per-row tracking; rows start at the group count
+        // (conservative: any row may have contributed all of it).
+        rs.perRow[group] = true;
+        const std::uint64_t base = group * kGroupSize;
+        for (int i = 0; i < kGroupSize; ++i)
+            rs.rct[base + static_cast<std::uint64_t>(i)] =
+                static_cast<std::uint16_t>(nGC_);
+    }
+
+    // Per-row path through the RCC.
+    const int set = static_cast<int>(rowId %
+                                     static_cast<std::uint64_t>(rccSets_));
+    RccEntry *base = &rs.rcc[static_cast<std::size_t>(set) * kRccWays];
+    RccEntry *entry = nullptr;
+    for (int w = 0; w < kRccWays; ++w) {
+        if (base[w].valid && base[w].rowId == rowId) {
+            entry = &base[w];
+            break;
+        }
+    }
+
+    if (entry != nullptr) {
+        ++rccHits_;
+    } else {
+        ++rccMisses_;
+        // Random eviction; dirty victim writes back, new counter fetched.
+        RccEntry *victim = nullptr;
+        for (int w = 0; w < kRccWays; ++w) {
+            if (!base[w].valid) {
+                victim = &base[w];
+                break;
+            }
+        }
+        if (victim == nullptr)
+            victim = &base[rng_.below(kRccWays)];
+
+        int cBank = 0;
+        int cRow = 0;
+        if (victim->valid && victim->dirty) {
+            counterLocation(victim->rowId, cBank, cRow);
+            out.push_back(Mitigation::counterWrite(e.channel, e.rank,
+                                                   cBank, cRow));
+        }
+        counterLocation(rowId, cBank, cRow);
+        out.push_back(Mitigation::counterRead(e.channel, e.rank, cBank,
+                                              cRow));
+        victim->rowId = rowId;
+        victim->valid = true;
+        victim->dirty = false;
+        entry = victim;
+    }
+
+    entry->dirty = true;
+    auto &cnt = rs.rct[rowId];
+    if (++cnt >= nM_) {
+        out.push_back(victimRefresh(e.channel, e.rank, e.bank, e.row));
+        cnt = 0;
+        ++mitigations;
+    }
+}
+
+void
+HydraTracker::onRefreshWindow(Tick now, MitigationVec &out)
+{
+    (void)now;
+    (void)out;
+    for (auto &rs : ranks_) {
+        std::memset(rs.gct.data(), 0,
+                    rs.gct.size() * sizeof(std::uint16_t));
+        std::fill(rs.perRow.begin(), rs.perRow.end(), false);
+        std::memset(rs.rct.data(), 0,
+                    rs.rct.size() * sizeof(std::uint16_t));
+        for (auto &entry : rs.rcc)
+            entry = RccEntry{};
+    }
+}
+
+StorageEstimate
+HydraTracker::storage() const
+{
+    // Per 32GB (one channel: 2 ranks). GCT: rowsPerRank/128 x 2B; RCC:
+    // 4K x (tag ~21b + count 16b ~ 5B).
+    const double gctKB = static_cast<double>(cfg_.rowsPerRank()) /
+                         kGroupSize * 2.0 / 1024.0 * cfg_.ranksPerChannel;
+    const double rccKB =
+        kRccEntries * 5.0 / 1024.0 * cfg_.ranksPerChannel;
+    return {gctKB + rccKB, 0.0};
+}
+
+std::uint32_t
+HydraTracker::rctCount(int channel, int rank, std::uint64_t rowId) const
+{
+    return ranks_[static_cast<std::size_t>(rankIndex(channel, rank))]
+        .rct[rowId];
+}
+
+bool
+HydraTracker::groupPerRow(int channel, int rank, std::uint64_t rowId) const
+{
+    return ranks_[static_cast<std::size_t>(rankIndex(channel, rank))]
+        .perRow[rowId / kGroupSize];
+}
+
+} // namespace dapper

@@ -1,0 +1,70 @@
+#include "src/rh/llbc.hh"
+
+#include <stdexcept>
+
+namespace dapper {
+
+Llbc::Llbc(int bits, std::uint64_t seed) : bits_(bits)
+{
+    if (bits < 2 || bits > 62)
+        throw std::invalid_argument("Llbc width must be in [2, 62]");
+    leftBits_ = bits / 2;
+    rightBits_ = bits - leftBits_;
+    rekey(seed);
+}
+
+void
+Llbc::rekey(std::uint64_t seed)
+{
+    std::uint64_t sm = seed ^ 0xd1b54a32d192ed03ULL;
+    for (auto &key : keys_)
+        key = splitmix64(sm);
+}
+
+// An unbalanced Feistel round maps (L:a bits, R:b bits) to
+// (R, L ^ F(R) truncated to a bits) and then swaps widths; after an even
+// number of rounds the halves return to their original widths, so four
+// rounds keep the domain stable even for odd n.
+std::uint64_t
+Llbc::encrypt(std::uint64_t plain) const
+{
+    int lBits = leftBits_;
+    int rBits = rightBits_;
+    std::uint64_t left = plain >> rBits;
+    std::uint64_t right = plain & ((1ULL << rBits) - 1);
+
+    for (int round = 0; round < kRounds; ++round) {
+        const std::uint64_t next = left ^ roundF(right, keys_[round], lBits);
+        left = right;
+        right = next;
+        const int tmp = lBits;
+        lBits = rBits;
+        rBits = tmp;
+    }
+    return (left << rBits) | right;
+}
+
+std::uint64_t
+Llbc::decrypt(std::uint64_t cipher) const
+{
+    // After kRounds (even), widths are back to (leftBits_, rightBits_).
+    int lBits = leftBits_;
+    int rBits = rightBits_;
+    std::uint64_t left = cipher >> rBits;
+    std::uint64_t right = cipher & ((1ULL << rBits) - 1);
+
+    for (int round = kRounds - 1; round >= 0; --round) {
+        // Invert: (left', right') = (right, left ^ F(right)).
+        const int tmp = lBits;
+        lBits = rBits;
+        rBits = tmp;
+        const std::uint64_t prevRight = left;
+        const std::uint64_t prevLeft =
+            right ^ roundF(prevRight, keys_[round], lBits);
+        left = prevLeft;
+        right = prevRight;
+    }
+    return (left << rBits) | right;
+}
+
+} // namespace dapper

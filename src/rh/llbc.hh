@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Low-Latency Block Cipher (LLBC) used by DAPPER for secure row-to-group
+ * hashing (Section V-B of the paper).
+ *
+ * The paper uses a four-round low-latency block cipher in the style of
+ * CEASER / CUBE / SCARF to encrypt n-bit row addresses (21 bits for the
+ * default 2M-row per-rank randomized space), with one 16-bit key per round
+ * generated at boot and refreshed every tREFW.
+ *
+ * We implement a four-round keyed Feistel network over an arbitrary bit
+ * width n (2 <= n <= 62). A Feistel construction is a bijection on
+ * [0, 2^n) by design, and is trivially invertible by running the rounds
+ * backwards — the property DAPPER requires to decrypt group members back
+ * to their original row addresses for mitigative refreshes. For odd n the
+ * two halves are unbalanced (floor/ceil), alternating per round.
+ */
+
+#ifndef DAPPER_RH_LLBC_HH
+#define DAPPER_RH_LLBC_HH
+
+#include <array>
+#include <cstdint>
+
+#include "src/common/rng.hh"
+
+namespace dapper {
+
+/**
+ * Four-round Feistel bijection on [0, 2^n).
+ */
+class Llbc
+{
+  public:
+    static constexpr int kRounds = 4;
+
+    /**
+     * @param bits Block width n; domain is [0, 2^n).
+     * @param seed Key material seed (keys derived via SplitMix64).
+     */
+    explicit Llbc(int bits, std::uint64_t seed = 1);
+
+    /** Replace all round keys (DAPPER rekeys every tREFW / treset). */
+    void rekey(std::uint64_t seed);
+
+    /** Encrypt a value in [0, 2^n). */
+    std::uint64_t encrypt(std::uint64_t plain) const;
+
+    /** Decrypt; inverse of encrypt. */
+    std::uint64_t decrypt(std::uint64_t cipher) const;
+
+    int bits() const { return bits_; }
+    std::uint64_t domainSize() const { return 1ULL << bits_; }
+
+  private:
+    /** Round function: keyed integer hash truncated to @p outBits. */
+    static std::uint64_t
+    roundF(std::uint64_t value, std::uint64_t key, int outBits)
+    {
+        const std::uint64_t mixed = mixHash64(value * 0x9e3779b97f4a7c15ULL ^
+                                              key);
+        return mixed & ((outBits >= 64) ? ~0ULL : ((1ULL << outBits) - 1));
+    }
+
+    int bits_;
+    int leftBits_;  ///< Width of the left half (floor(n/2)).
+    int rightBits_; ///< Width of the right half (ceil(n/2)).
+    std::array<std::uint64_t, kRounds> keys_ = {};
+};
+
+} // namespace dapper
+
+#endif // DAPPER_RH_LLBC_HH

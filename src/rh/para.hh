@@ -1,0 +1,48 @@
+/**
+ * @file
+ * PARA: Probabilistic Adjacent Row Activation (Kim et al., ISCA 2014).
+ *
+ * Stateless probabilistic mitigation: every activation triggers a victim
+ * refresh with probability p. We set p = k / N_RH with k chosen so the
+ * probability that an aggressor reaches N_RH activations without any
+ * neighbor refresh is below 1e-7 ((1 - k/N)^N ~= e^-k).
+ */
+
+#ifndef DAPPER_RH_PARA_HH
+#define DAPPER_RH_PARA_HH
+
+#include "src/rh/base_tracker.hh"
+
+namespace dapper {
+
+class ParaTracker : public BaseTracker
+{
+  public:
+    /// e^-18 ~= 1.5e-8 failure probability per aggressor per window.
+    static constexpr double kStrength = 18.0;
+
+    explicit ParaTracker(const SysConfig &cfg)
+        : BaseTracker(cfg), p_(kStrength / cfg.nRH)
+    {
+    }
+
+    void
+    onActivation(const ActEvent &e, MitigationVec &out) override
+    {
+        if (rng_.chance(p_)) {
+            out.push_back(victimRefresh(e.channel, e.rank, e.bank, e.row));
+            ++mitigations;
+        }
+    }
+
+    StorageEstimate storage() const override { return {0.1, 0.0}; }
+    std::string name() const override { return "PARA"; }
+    double probability() const { return p_; }
+
+  private:
+    double p_;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_RH_PARA_HH

@@ -1,0 +1,54 @@
+#include "src/rh/pride.hh"
+
+#include <algorithm>
+
+namespace dapper {
+
+PrideTracker::PrideTracker(const SysConfig &cfg, bool useRfmSb)
+    : BaseTracker(cfg), useRfmSb_(useRfmSb)
+{
+    // RFM cadence scales with how aggressively the threshold demands
+    // mitigation: one RFM per tREFI suffices down to N_RH ~ 1K, doubling
+    // for every further halving of the threshold.
+    rfmsPerTrefi_ = std::max(1, 1024 / cfg.nRH);
+    rfmInterval_ = std::max<Tick>(1, cfg.tREFI() / rfmsPerTrefi_);
+    nextRfmAt_ = rfmInterval_;
+    fifo_.resize(static_cast<std::size_t>(cfg.channels) *
+                 cfg.ranksPerChannel);
+}
+
+void
+PrideTracker::onActivation(const ActEvent &e, MitigationVec &out)
+{
+    (void)out;
+    if (!rng_.chance(kSampleProb))
+        return;
+    auto &queue = fifo_[static_cast<std::size_t>(
+        rankIndex(e.channel, e.rank))];
+    if (queue.size() < kFifoDepth)
+        queue.push_back({e.channel, e.rank, e.bank, e.row});
+}
+
+void
+PrideTracker::onPeriodic(Tick now, MitigationVec &out)
+{
+    if (now < nextRfmAt_)
+        return;
+    nextRfmAt_ += rfmInterval_;
+
+    // Each rank spends its RFM opportunity on the oldest sample.
+    for (auto &queue : fifo_) {
+        if (queue.empty())
+            continue;
+        const Sample s = queue.front();
+        queue.pop_front();
+        if (useRfmSb_)
+            out.push_back({Mitigation::Kind::RfmSb, s.channel, s.rank,
+                           s.bank, s.row});
+        else
+            out.push_back(victimRefresh(s.channel, s.rank, s.bank, s.row));
+        ++mitigations;
+    }
+}
+
+} // namespace dapper

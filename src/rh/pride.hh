@@ -1,0 +1,62 @@
+/**
+ * @file
+ * PrIDE: probabilistic in-DRAM tracker with RFM-carried mitigations
+ * (Jaleel et al., ISCA 2024).
+ *
+ * Each bank samples activations with probability 1/16 into a small FIFO;
+ * mitigations are performed when the periodic RFM budget arrives. At low
+ * N_RH PrIDE requires multiple RFMs per tREFI, which is where its
+ * overhead (and its RFMsb-variant bandwidth loss) comes from (Fig. 15/16).
+ */
+
+#ifndef DAPPER_RH_PRIDE_HH
+#define DAPPER_RH_PRIDE_HH
+
+#include <deque>
+#include <vector>
+
+#include "src/rh/base_tracker.hh"
+
+namespace dapper {
+
+class PrideTracker : public BaseTracker
+{
+  public:
+    static constexpr double kSampleProb = 1.0 / 16.0;
+    static constexpr int kFifoDepth = 2;
+
+    /**
+     * @param useRfmSb issue mitigations as same-bank RFM commands
+     *        (PrIDE-RFMsb in Fig. 15/16) instead of per-bank VRR.
+     */
+    PrideTracker(const SysConfig &cfg, bool useRfmSb);
+
+    void onActivation(const ActEvent &e, MitigationVec &out) override;
+    void onPeriodic(Tick now, MitigationVec &out) override;
+
+    StorageEstimate storage() const override { return {0.5, 0.0}; }
+    std::string
+    name() const override
+    {
+        return useRfmSb_ ? "PrIDE-RFMsb" : "PrIDE";
+    }
+
+    /** RFM commands per tREFI required at this threshold. */
+    int rfmsPerTrefi() const { return rfmsPerTrefi_; }
+
+  private:
+    struct Sample
+    {
+        std::int32_t channel, rank, bank, row;
+    };
+
+    bool useRfmSb_;
+    int rfmsPerTrefi_;
+    Tick rfmInterval_;
+    Tick nextRfmAt_ = 0;
+    std::vector<std::deque<Sample>> fifo_; ///< One per (channel, rank).
+};
+
+} // namespace dapper
+
+#endif // DAPPER_RH_PRIDE_HH

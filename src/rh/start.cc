@@ -1,0 +1,78 @@
+#include "src/rh/start.hh"
+
+#include <cstring>
+
+#include "src/cache/llc.hh"
+
+namespace dapper {
+
+StartTracker::StartTracker(const SysConfig &cfg) : BaseTracker(cfg)
+{
+    rct_.resize(static_cast<std::size_t>(cfg.channels) *
+                cfg.ranksPerChannel);
+    for (auto &vec : rct_)
+        vec.assign(cfg.rowsPerRank(), 0);
+}
+
+void
+StartTracker::counterLocation(std::uint64_t rowId, int &bank, int &row) const
+{
+    const std::uint64_t line = rowId / kCountersPerLine;
+    bank = static_cast<int>(line % static_cast<std::uint64_t>(
+                                       cfg_.banksPerRank()));
+    const int reservedRows = 256;
+    row = cfg_.rowsPerBank - 1 -
+          static_cast<int>((line / static_cast<std::uint64_t>(
+                                       cfg_.banksPerRank())) %
+                           static_cast<std::uint64_t>(reservedRows));
+}
+
+void
+StartTracker::onActivation(const ActEvent &e, MitigationVec &out)
+{
+    const int ri = rankIndex(e.channel, e.rank);
+    const std::uint64_t rowId = rankRowId(e.bank, e.row);
+
+    // The counter line must be in the reserved LLC region; a miss costs a
+    // DRAM fetch and possibly a dirty-victim writeback.
+    const std::uint64_t counterLine =
+        (static_cast<std::uint64_t>(ri) * cfg_.rowsPerRank() + rowId) /
+        kCountersPerLine;
+    if (llc_ != nullptr) {
+        const auto res = llc_->counterAccess(counterLine, true);
+        if (!res.hit) {
+            int cBank = 0;
+            int cRow = 0;
+            counterLocation(rowId, cBank, cRow);
+            if (res.evictedDirty)
+                out.push_back(Mitigation::counterWrite(e.channel, e.rank,
+                                                       cBank, cRow));
+            out.push_back(Mitigation::counterRead(e.channel, e.rank, cBank,
+                                                  cRow));
+        }
+    }
+
+    auto &cnt = rct_[static_cast<std::size_t>(ri)][rowId];
+    if (++cnt >= nM_) {
+        out.push_back(victimRefresh(e.channel, e.rank, e.bank, e.row));
+        cnt = 0;
+        ++mitigations;
+    }
+}
+
+void
+StartTracker::onRefreshWindow(Tick now, MitigationVec &out)
+{
+    (void)now;
+    (void)out;
+    for (auto &vec : rct_)
+        std::memset(vec.data(), 0, vec.size() * sizeof(std::uint16_t));
+}
+
+std::uint32_t
+StartTracker::rctCount(int channel, int rank, std::uint64_t rowId) const
+{
+    return rct_[static_cast<std::size_t>(rankIndex(channel, rank))][rowId];
+}
+
+} // namespace dapper

@@ -1,0 +1,153 @@
+/**
+ * @file
+ * Common interface for host-side RowHammer trackers.
+ *
+ * The memory controller notifies the tracker of every row activation
+ * (ACT). The tracker responds with zero or more mitigation actions:
+ * victim-row refreshes (VRR / DRFMsb), same-bank RFM commands, bulk
+ * "refresh all rows" structure resets (CoMeT / ABACUS early reset), or
+ * injected DRAM counter traffic (Hydra / START counter fetch + update).
+ * Trackers may additionally tax every activation (PRAC read-modify-write)
+ * or throttle specific activations (BlockHammer).
+ */
+
+#ifndef DAPPER_RH_TRACKER_HH
+#define DAPPER_RH_TRACKER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/config.hh"
+#include "src/common/types.hh"
+
+namespace dapper {
+
+/** A row activation observed by the memory controller. */
+struct ActEvent
+{
+    std::int32_t channel = 0;
+    std::int32_t rank = 0;
+    std::int32_t bank = 0; ///< Flat bank id within the rank.
+    std::int32_t row = 0;
+    Tick now = 0;
+    std::int32_t coreId = -1;
+};
+
+/** One mitigation action requested by a tracker. */
+struct Mitigation
+{
+    enum class Kind
+    {
+        VrrRow,       ///< Refresh victims of (rank,bank,row); blocks bank.
+        DrfmSbRow,    ///< Same, via DRFMsb; blocks bank# across all groups.
+        RfmSb,        ///< Same-bank RFM (PrIDE); refreshes victims too.
+        AboRfm,       ///< PRAC Alert Back-Off; blocks all banks in channel.
+        BulkRank,     ///< Refresh every row in the rank (structure reset).
+        BulkChannel,  ///< Refresh every row in the channel.
+        CounterRead,  ///< Fetch an RH counter from DRAM (injected read).
+        CounterWrite, ///< Write back an RH counter to DRAM.
+    };
+
+    Kind kind;
+    std::int32_t channel = 0;
+    std::int32_t rank = 0;
+    std::int32_t bank = 0;
+    std::int32_t row = 0;
+
+    static Mitigation
+    vrr(std::int32_t ch, std::int32_t rank, std::int32_t bank,
+        std::int32_t row)
+    {
+        return {Kind::VrrRow, ch, rank, bank, row};
+    }
+    static Mitigation
+    counterRead(std::int32_t ch, std::int32_t rank, std::int32_t bank,
+                std::int32_t row)
+    {
+        return {Kind::CounterRead, ch, rank, bank, row};
+    }
+    static Mitigation
+    counterWrite(std::int32_t ch, std::int32_t rank, std::int32_t bank,
+                 std::int32_t row)
+    {
+        return {Kind::CounterWrite, ch, rank, bank, row};
+    }
+};
+
+using MitigationVec = std::vector<Mitigation>;
+
+/** SRAM / CAM cost estimate for Table III. */
+struct StorageEstimate
+{
+    double sramKB = 0.0;
+    double camKB = 0.0;
+    /// Die area from prior-work scaling: ~0.00078 mm^2/KB SRAM, 2x for CAM.
+    double
+    areaMm2() const
+    {
+        return sramKB * 0.00078 + camKB * 0.00186;
+    }
+};
+
+/**
+ * Abstract host-side RowHammer tracker.
+ *
+ * One tracker object serves the whole system; per-channel / per-rank
+ * structures are indexed internally from the ActEvent coordinates.
+ */
+class Tracker
+{
+  public:
+    virtual ~Tracker() = default;
+
+    /** Observe an ACT; append mitigation actions to @p out. */
+    virtual void onActivation(const ActEvent &event, MitigationVec &out) = 0;
+
+    /**
+     * Called by the system once per tREFW boundary (structures that reset
+     * on the refresh window: DAPPER tables, Hydra counters, ABACUS MG).
+     * May emit actions (none of the implemented trackers need to).
+     */
+    virtual void onRefreshWindow(Tick now, MitigationVec &out)
+    {
+        (void)now;
+        (void)out;
+    }
+
+    /**
+     * Periodic hook driven by the controller clock for trackers with
+     * sub-tREFW periods (CoMeT tREFW/3 reset, DAPPER-S treset, PrIDE RFM
+     * cadence). Called at every ACT issue and at tREFI boundaries.
+     */
+    virtual void onPeriodic(Tick now, MitigationVec &out)
+    {
+        (void)now;
+        (void)out;
+    }
+
+    /** Extra per-ACT latency added to the bank cycle (PRAC RMW). */
+    virtual Tick actExtraTicks() const { return 0; }
+
+    /**
+     * Throttle hook (BlockHammer): earliest Tick at which the given
+     * activation may issue; return 0 for "no restriction".
+     */
+    virtual Tick throttleUntil(const ActEvent &event)
+    {
+        (void)event;
+        return 0;
+    }
+
+    /** Storage cost per 32GB memory (Table III). */
+    virtual StorageEstimate storage() const = 0;
+
+    virtual std::string name() const = 0;
+
+    /** Total mitigative refreshes issued (for stats / energy). */
+    std::uint64_t mitigations = 0;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_RH_TRACKER_HH

@@ -1,0 +1,110 @@
+#include "src/sim/experiment.hh"
+
+#include <sstream>
+
+#include "src/common/stats.hh"
+
+namespace dapper {
+
+namespace {
+
+std::map<std::string, double> baselineCache;
+
+std::string
+fingerprint(const SysConfig &cfg, const std::string &workload,
+            AttackKind attack, Tick horizon)
+{
+    std::ostringstream os;
+    os << workload << '|' << static_cast<int>(attack) << '|'
+       << cfg.numCores << '|' << cfg.channels << '|'
+       << cfg.ranksPerChannel << '|' << cfg.llcBytes << '|' << cfg.llcWays
+       << '|' << cfg.timeScale << '|' << cfg.seed << '|' << horizon;
+    return os.str();
+}
+
+} // namespace
+
+Tick
+defaultHorizon(const SysConfig &cfg)
+{
+    return 2 * cfg.tREFW();
+}
+
+RunResult
+runOnce(const SysConfig &cfg, const std::string &workload,
+        AttackKind attack, TrackerKind tracker, Tick horizon)
+{
+    SysConfig runCfg = cfg;
+    if (horizon == 0)
+        horizon = defaultHorizon(runCfg);
+
+    AddressMapper mapper(runCfg);
+    const WorkloadParams &params = findWorkload(workload);
+
+    std::vector<std::unique_ptr<TraceGen>> gens;
+    int attackerCore = -1;
+    for (int i = 0; i < runCfg.numCores; ++i) {
+        const bool isAttacker =
+            attack != AttackKind::None && i == runCfg.numCores - 1;
+        if (isAttacker) {
+            attackerCore = i;
+            gens.push_back(makeAttackGen(attack, runCfg, mapper,
+                                         runCfg.seed + 777));
+        } else {
+            gens.push_back(std::make_unique<BenignGen>(
+                params, runCfg, i, runCfg.seed + 13));
+        }
+    }
+
+    System sys(runCfg, tracker, std::move(gens), attackerCore);
+    sys.run(horizon);
+
+    RunResult result;
+    std::vector<double> benign;
+    for (int i = 0; i < runCfg.numCores; ++i) {
+        result.coreIpc.push_back(sys.ipc(i));
+        if (i != attackerCore)
+            benign.push_back(std::max(1e-9, sys.ipc(i)));
+    }
+    result.benignIpcMean = geomean(benign);
+    if (sys.tracker() != nullptr)
+        result.mitigations = sys.tracker()->mitigations;
+    for (int c = 0; c < runCfg.channels; ++c) {
+        const auto &stats = sys.controller(c).stats();
+        result.bulkResets += stats.bulkResets;
+        result.counterTraffic += stats.counterReads + stats.counterWrites;
+        result.activations += stats.activations;
+    }
+    result.maxDamage = sys.groundTruth().maxDamageEver();
+    result.rhViolations = sys.groundTruth().violations();
+    result.energyNj = sys.energy().totalNj();
+    return result;
+}
+
+double
+normalizedPerf(const SysConfig &cfg, const std::string &workload,
+               AttackKind attack, TrackerKind tracker, Baseline baseline,
+               Tick horizon)
+{
+    if (horizon == 0)
+        horizon = defaultHorizon(cfg);
+    const AttackKind baseAttack =
+        baseline == Baseline::SameAttack ? attack : AttackKind::None;
+    const std::string key = fingerprint(cfg, workload, baseAttack, horizon);
+    auto it = baselineCache.find(key);
+    if (it == baselineCache.end()) {
+        const RunResult base = runOnce(cfg, workload, baseAttack,
+                                       TrackerKind::None, horizon);
+        it = baselineCache.emplace(key, base.benignIpcMean).first;
+    }
+    const RunResult run = runOnce(cfg, workload, attack, tracker, horizon);
+    return it->second > 0.0 ? run.benignIpcMean / it->second : 0.0;
+}
+
+void
+clearBaselineCache()
+{
+    baselineCache.clear();
+}
+
+} // namespace dapper

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Experiment harness shared by the benches: builds a system (3 benign
+ * copies + optional attacker, or 4 homogeneous benign copies), runs it,
+ * and reports normalized performance against the unprotected no-attack
+ * baseline — the paper's measurement protocol (DESIGN.md §3).
+ */
+
+#ifndef DAPPER_SIM_EXPERIMENT_HH
+#define DAPPER_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/config.hh"
+#include "src/rh/factory.hh"
+#include "src/sim/system.hh"
+#include "src/workload/attacks.hh"
+#include "src/workload/benign.hh"
+
+namespace dapper {
+
+/** One simulation outcome. */
+struct RunResult
+{
+    std::vector<double> coreIpc; ///< Per core.
+    double benignIpcMean = 0.0;  ///< Geomean over benign cores.
+    std::uint64_t mitigations = 0;
+    std::uint64_t bulkResets = 0;
+    std::uint64_t counterTraffic = 0;
+    std::uint64_t activations = 0;
+    std::uint32_t maxDamage = 0;
+    std::uint64_t rhViolations = 0;
+    double energyNj = 0.0;
+};
+
+/** Default simulated horizon: two (scaled) refresh windows. */
+Tick defaultHorizon(const SysConfig &cfg);
+
+/**
+ * Run one configuration. With attack == None all cores run the benign
+ * workload (homogeneous); otherwise cores 0..n-2 are benign and the last
+ * core runs the attack stream.
+ */
+RunResult runOnce(const SysConfig &cfg, const std::string &workload,
+                  AttackKind attack, TrackerKind tracker, Tick horizon = 0);
+
+/**
+ * Which insecure baseline a normalized result divides by.
+ *
+ * - NoAttack: unprotected system, no attacker (Figs. 1/3/4/5: the bars
+ *   include the attack's own bandwidth cost, which is why cache
+ *   thrashing shows ~0.6 there).
+ * - SameAttack: unprotected system running the same attack (Figs. 9/10/
+ *   12/13/16: isolates the *tracker-induced* overhead, the quantity the
+ *   paper's "DAPPER-H incurs only 0.9% under Perf-Attacks" refers to).
+ */
+enum class Baseline
+{
+    NoAttack,
+    SameAttack,
+};
+
+/**
+ * Normalized performance of the benign cores versus the chosen insecure
+ * baseline. Baselines are memoized per (workload, attack, config
+ * fingerprint) within the process.
+ */
+double normalizedPerf(const SysConfig &cfg, const std::string &workload,
+                      AttackKind attack, TrackerKind tracker,
+                      Baseline baseline = Baseline::NoAttack,
+                      Tick horizon = 0);
+
+/** Clear the baseline memo (tests that vary configs heavily). */
+void clearBaselineCache();
+
+} // namespace dapper
+
+#endif // DAPPER_SIM_EXPERIMENT_HH

@@ -1,0 +1,92 @@
+#include "src/sim/system.hh"
+
+#include <cassert>
+
+namespace dapper {
+
+System::System(const SysConfig &cfg, TrackerKind kind,
+               std::vector<std::unique_ptr<TraceGen>> gens,
+               int attackerCore)
+    : cfg_(cfg), mapper_(cfg_), gens_(std::move(gens))
+{
+    cfg_.validate();
+    assert(static_cast<int>(gens_.size()) == cfg_.numCores);
+
+    // Variant trackers adjust command flavour / blast radius; this must
+    // happen before any component copies the config.
+    adjustConfigFor(kind, cfg_);
+
+    groundTruth_ = std::make_unique<GroundTruth>(cfg_);
+
+    std::vector<MemController *> mcPtrs;
+    controllers_.reserve(static_cast<std::size_t>(cfg_.channels));
+    for (int c = 0; c < cfg_.channels; ++c) {
+        controllers_.push_back(std::make_unique<MemController>(
+            cfg_, c, nullptr, groundTruth_.get(), &energy_));
+        mcPtrs.push_back(controllers_.back().get());
+    }
+
+    llc_ = std::make_unique<Llc>(cfg_, mapper_, mcPtrs);
+    if (reservesLlc(kind))
+        llc_->reserveWays(cfg_.llcWays / 2);
+
+    tracker_ = makeTracker(kind, cfg_, llc_.get());
+    for (auto &mc : controllers_)
+        mc->setTracker(tracker_.get());
+
+    cores_.reserve(static_cast<std::size_t>(cfg_.numCores));
+    for (int i = 0; i < cfg_.numCores; ++i) {
+        // The paper's attacker is an ordinary user-privilege application
+        // on one core (Section II-C): same core resources as everyone.
+        (void)attackerCore;
+        cores_.push_back(std::make_unique<Core>(cfg_, i, gens_[i].get(),
+                                                llc_.get(), mcPtrs,
+                                                &mapper_, cfg_.coreMshrs));
+    }
+
+    nextWindowAt_ = cfg_.tREFW();
+    periodicStep_ = std::max<Tick>(1, cfg_.tREFI() / 4);
+    nextPeriodicAt_ = periodicStep_;
+}
+
+void
+System::applySystemMitigations(const MitigationVec &actions, Tick now)
+{
+    for (const Mitigation &m : actions)
+        controllers_[static_cast<std::size_t>(m.channel)]->applyMitigation(
+            m, now);
+}
+
+void
+System::run(Tick horizon)
+{
+    Tracker *tracker = tracker_.get();
+    while (now_ < horizon) {
+        const Tick t = now_;
+        for (auto &core : cores_)
+            core->tick(t);
+        for (auto &mc : controllers_)
+            mc->tick(t);
+
+        if (t >= nextPeriodicAt_) {
+            nextPeriodicAt_ += periodicStep_;
+            if (tracker != nullptr) {
+                scratch_.clear();
+                tracker->onPeriodic(t, scratch_);
+                applySystemMitigations(scratch_, t);
+            }
+        }
+        if (t >= nextWindowAt_) {
+            nextWindowAt_ += cfg_.tREFW();
+            groundTruth_->onWindowBoundary();
+            if (tracker != nullptr) {
+                scratch_.clear();
+                tracker->onRefreshWindow(t, scratch_);
+                applySystemMitigations(scratch_, t);
+            }
+        }
+        ++now_;
+    }
+}
+
+} // namespace dapper

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Top-level simulated system: cores, shared LLC, per-channel memory
+ * controllers, one RowHammer tracker, the ground-truth safety checker,
+ * and the energy model, wired per Table I of the paper.
+ */
+
+#ifndef DAPPER_SIM_SYSTEM_HH
+#define DAPPER_SIM_SYSTEM_HH
+
+#include <memory>
+#include <vector>
+
+#include "src/cache/llc.hh"
+#include "src/common/config.hh"
+#include "src/cpu/core.hh"
+#include "src/dram/address.hh"
+#include "src/energy/energy_model.hh"
+#include "src/mem/controller.hh"
+#include "src/rh/factory.hh"
+#include "src/rh/ground_truth.hh"
+#include "src/rh/tracker.hh"
+#include "src/workload/trace_gen.hh"
+
+namespace dapper {
+
+class System
+{
+  public:
+    /**
+     * @param gens one trace generator per core (ownership transferred).
+     * @param attackerCore index of the attacker core (gets a deeper
+     *        outstanding-request budget), or -1 for none.
+     */
+    System(const SysConfig &cfg, TrackerKind kind,
+           std::vector<std::unique_ptr<TraceGen>> gens,
+           int attackerCore = -1);
+
+    /** Advance the whole system to @p horizon ticks. */
+    void run(Tick horizon);
+
+    double
+    ipc(int core) const
+    {
+        return now_ > 0 ? static_cast<double>(cores_[core]->retired()) /
+                              static_cast<double>(now_)
+                        : 0.0;
+    }
+
+    Tick now() const { return now_; }
+    const SysConfig &config() const { return cfg_; }
+    Tracker *tracker() { return tracker_.get(); }
+    GroundTruth &groundTruth() { return *groundTruth_; }
+    EnergyModel &energy() { return energy_; }
+    Llc &llc() { return *llc_; }
+    MemController &controller(int channel)
+    {
+        return *controllers_[static_cast<std::size_t>(channel)];
+    }
+    Core &core(int idx) { return *cores_[static_cast<std::size_t>(idx)]; }
+    const AddressMapper &mapper() const { return mapper_; }
+
+  private:
+    void applySystemMitigations(const MitigationVec &actions, Tick now);
+
+    SysConfig cfg_;
+    AddressMapper mapper_;
+    EnergyModel energy_;
+    std::unique_ptr<GroundTruth> groundTruth_;
+    std::unique_ptr<Tracker> tracker_;
+    std::vector<std::unique_ptr<MemController>> controllers_;
+    std::unique_ptr<Llc> llc_;
+    std::vector<std::unique_ptr<TraceGen>> gens_;
+    std::vector<std::unique_ptr<Core>> cores_;
+    Tick now_ = 0;
+    Tick nextWindowAt_;
+    Tick nextPeriodicAt_;
+    Tick periodicStep_;
+    MitigationVec scratch_;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_SIM_SYSTEM_HH

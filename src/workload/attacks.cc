@@ -1,0 +1,287 @@
+#include "src/workload/attacks.hh"
+
+#include <stdexcept>
+
+#include "src/common/rng.hh"
+
+namespace dapper {
+
+namespace {
+
+/** Common base: bypassing reads, zero bubbles, coordinates via mapper. */
+class AttackBase : public TraceGen
+{
+  public:
+    AttackBase(const SysConfig &cfg, const AddressMapper &mapper,
+               std::uint64_t seed)
+        : cfg_(cfg), mapper_(mapper), rng_(seed)
+    {
+    }
+
+  protected:
+    TraceRecord
+    record(int channel, int rank, int bank, int row, int col = 0,
+           bool bypass = true) const
+    {
+        DramAddress addr;
+        addr.channel = channel;
+        addr.rank = rank;
+        addr.bank = bank;
+        addr.row = row;
+        addr.col = col;
+        TraceRecord rec;
+        rec.bubbles = 0;
+        rec.isWrite = false;
+        rec.bypassLlc = bypass;
+        rec.addr = mapper_.encode(addr);
+        return rec;
+    }
+
+    SysConfig cfg_;
+    const AddressMapper &mapper_;
+    Rng rng_;
+    std::uint64_t n_ = 0;
+};
+
+/** Sequential sweep over several LLC-sized regions (cached accesses). */
+class CacheThrashGen : public AttackBase
+{
+  public:
+    using AttackBase::AttackBase;
+
+    TraceRecord
+    next() override
+    {
+        const std::uint64_t sweepLines =
+            4 * cfg_.llcBytes / static_cast<std::uint64_t>(cfg_.lineBytes);
+        const std::uint64_t line = n_++ % sweepLines;
+        TraceRecord rec;
+        rec.bubbles = 0;
+        rec.isWrite = false;
+        rec.bypassLlc = false;
+        rec.addr = line * static_cast<std::uint64_t>(cfg_.lineBytes);
+        return rec;
+    }
+
+    std::string name() const override { return "attack-cache-thrash"; }
+};
+
+/** 64 rows, same RCC set (row mod 128), across all banks (Fig 2a). */
+class HydraRccGen : public AttackBase
+{
+  public:
+    using AttackBase::AttackBase;
+
+    TraceRecord
+    next() override
+    {
+        const std::uint64_t n = n_++;
+        const int channel =
+            static_cast<int>(n % static_cast<std::uint64_t>(cfg_.channels));
+        const std::uint64_t m = n / static_cast<std::uint64_t>(cfg_.channels);
+        const int slot = static_cast<int>(m % 64);
+        const int bank = slot % cfg_.banksPerRank();
+        // Rows congruent mod 128 share a Row Counter Cache set.
+        const int row = 8192 + (slot / cfg_.banksPerRank()) * 128;
+        return record(channel, 0, bank, row);
+    }
+
+    std::string name() const override { return "attack-hydra-rcc"; }
+};
+
+/** Stream every row in every rank (Fig 2b / §V-E streaming attack). */
+class StreamingGen : public AttackBase
+{
+  public:
+    StreamingGen(const SysConfig &cfg, const AddressMapper &mapper,
+                 std::uint64_t seed, bool cached)
+        : AttackBase(cfg, mapper, seed), cached_(cached)
+    {
+    }
+
+    TraceRecord
+    next() override
+    {
+        const std::uint64_t n = n_++;
+        const int banks = cfg_.banksPerRank();
+        const int channel =
+            static_cast<int>(n % static_cast<std::uint64_t>(cfg_.channels));
+        std::uint64_t m = n / static_cast<std::uint64_t>(cfg_.channels);
+        const int rank = static_cast<int>(
+            m % static_cast<std::uint64_t>(cfg_.ranksPerChannel));
+        m /= static_cast<std::uint64_t>(cfg_.ranksPerChannel);
+        const int bank = static_cast<int>(
+            m % static_cast<std::uint64_t>(banks));
+        m /= static_cast<std::uint64_t>(banks);
+        const int row = static_cast<int>(
+            m % static_cast<std::uint64_t>(cfg_.rowsPerBank));
+        return record(channel, rank, bank, row, 0, !cached_);
+    }
+
+    std::string
+    name() const override
+    {
+        return cached_ ? "attack-start-stream" : "attack-streaming";
+    }
+
+  private:
+    bool cached_;
+};
+
+/** Cycle over 192 distinct rows (> 128-entry RAT) rapidly (Fig 2c). */
+class CometRatGen : public AttackBase
+{
+  public:
+    using AttackBase::AttackBase;
+
+    TraceRecord
+    next() override
+    {
+        const std::uint64_t n = n_++;
+        const int channel =
+            static_cast<int>(n % static_cast<std::uint64_t>(cfg_.channels));
+        const std::uint64_t m = n / static_cast<std::uint64_t>(cfg_.channels);
+        const int slot = static_cast<int>(m % 192);
+        const int bank = slot % cfg_.banksPerRank();
+        const int row = 16384 + (slot / cfg_.banksPerRank()) * 64;
+        return record(channel, 0, bank, row);
+    }
+
+    std::string name() const override { return "attack-comet-rat"; }
+};
+
+/** Sequential ever-new row IDs across banks (Fig 2d). */
+class AbacusSpillGen : public AttackBase
+{
+  public:
+    using AttackBase::AttackBase;
+
+    TraceRecord
+    next() override
+    {
+        const std::uint64_t n = n_++;
+        const int banks = cfg_.banksPerRank();
+        const int channel =
+            static_cast<int>(n % static_cast<std::uint64_t>(cfg_.channels));
+        const std::uint64_t m = n / static_cast<std::uint64_t>(cfg_.channels);
+        const int bank = static_cast<int>(
+            m % static_cast<std::uint64_t>(banks));
+        const int row = static_cast<int>(
+            (m / static_cast<std::uint64_t>(banks)) %
+            static_cast<std::uint64_t>(cfg_.rowsPerBank));
+        return record(channel, 0, bank, row);
+    }
+
+    std::string name() const override { return "attack-abacus-spill"; }
+};
+
+/** Hammer two rows in each of 8 banks per rank (§V-E refresh attack). */
+class RefreshAttackGen : public AttackBase
+{
+  public:
+    using AttackBase::AttackBase;
+
+    TraceRecord
+    next() override
+    {
+        const std::uint64_t n = n_++;
+        const int channel =
+            static_cast<int>(n % static_cast<std::uint64_t>(cfg_.channels));
+        std::uint64_t m = n / static_cast<std::uint64_t>(cfg_.channels);
+        const int rank = static_cast<int>(
+            m % static_cast<std::uint64_t>(cfg_.ranksPerChannel));
+        m /= static_cast<std::uint64_t>(cfg_.ranksPerChannel);
+        const int slot = static_cast<int>(m % 16);
+        const int bank = slot % 8;
+        const int row = 32768 + (slot / 8) * 2; // Two rows, 2 apart.
+        return record(channel, rank, bank, row);
+    }
+
+    std::string name() const override { return "attack-refresh"; }
+};
+
+/**
+ * Two-phase mapping-capturing probe (§V-D): hammer a target row to
+ * N_M - 1, then sweep candidate rows in another bank watching for the
+ * mitigation. The simulated attacker has no timing feedback loop here;
+ * the closed-form success analysis lives in src/analysis.
+ */
+class MappingProbeGen : public AttackBase
+{
+  public:
+    MappingProbeGen(const SysConfig &cfg, const AddressMapper &mapper,
+                    std::uint64_t seed)
+        : AttackBase(cfg, mapper, seed), hammerLeft_(cfg.nM() - 1)
+    {
+    }
+
+    TraceRecord
+    next() override
+    {
+        if (hammerLeft_ > 0) {
+            --hammerLeft_;
+            // Alternate two rows in bank 0 to defeat the open-row policy.
+            return record(0, 0, 0, 40960 + static_cast<int>(n_++ % 2) * 2);
+        }
+        // Phase 2: sweep rows in bank 1.
+        const int row = static_cast<int>(
+            probe_++ % static_cast<std::uint64_t>(cfg_.rowsPerBank));
+        if (probe_ % 4096 == 0)
+            hammerLeft_ = cfg_.nM() - 1; // Re-arm periodically.
+        return record(0, 0, 1, row);
+    }
+
+    std::string name() const override { return "attack-mapping-probe"; }
+
+  private:
+    int hammerLeft_;
+    std::uint64_t probe_ = 0;
+};
+
+} // namespace
+
+std::string
+attackName(AttackKind kind)
+{
+    switch (kind) {
+      case AttackKind::None: return "none";
+      case AttackKind::CacheThrash: return "cache-thrash";
+      case AttackKind::HydraRcc: return "hydra-rcc";
+      case AttackKind::StartStream: return "start-stream";
+      case AttackKind::CometRat: return "comet-rat";
+      case AttackKind::AbacusSpill: return "abacus-spill";
+      case AttackKind::Streaming: return "streaming";
+      case AttackKind::RefreshAttack: return "refresh";
+      case AttackKind::MappingProbe: return "mapping-probe";
+    }
+    return "?";
+}
+
+std::unique_ptr<TraceGen>
+makeAttackGen(AttackKind kind, const SysConfig &cfg,
+              const AddressMapper &mapper, std::uint64_t seed)
+{
+    switch (kind) {
+      case AttackKind::None:
+        return nullptr;
+      case AttackKind::CacheThrash:
+        return std::make_unique<CacheThrashGen>(cfg, mapper, seed);
+      case AttackKind::HydraRcc:
+        return std::make_unique<HydraRccGen>(cfg, mapper, seed);
+      case AttackKind::StartStream:
+        return std::make_unique<StreamingGen>(cfg, mapper, seed, true);
+      case AttackKind::CometRat:
+        return std::make_unique<CometRatGen>(cfg, mapper, seed);
+      case AttackKind::AbacusSpill:
+        return std::make_unique<AbacusSpillGen>(cfg, mapper, seed);
+      case AttackKind::Streaming:
+        return std::make_unique<StreamingGen>(cfg, mapper, seed, false);
+      case AttackKind::RefreshAttack:
+        return std::make_unique<RefreshAttackGen>(cfg, mapper, seed);
+      case AttackKind::MappingProbe:
+        return std::make_unique<MappingProbeGen>(cfg, mapper, seed);
+    }
+    throw std::invalid_argument("bad AttackKind");
+}
+
+} // namespace dapper

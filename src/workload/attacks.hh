@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Performance-Attack address-stream generators (paper Sections III-B,
+ * V-D, V-E).
+ *
+ * Each generator emits the DRAM activation pattern the paper describes:
+ *  - CacheThrash: classic LLC-thrashing stream (the baseline attack);
+ *  - HydraRcc: >32 rows mapping to the same Row Counter Cache set across
+ *    banks, forcing RCC set-conflict misses and counter traffic (Fig 2a);
+ *  - StartStream: stream over all rows, filling START's reserved LLC
+ *    counter region and forcing counter fetches (Fig 2b);
+ *  - CometRat: rapid activation of more rows than the 128-entry RAT
+ *    holds, forcing counter overestimation and early resets (Fig 2c);
+ *  - AbacusSpill: ever-new row IDs across banks, overflowing the shared
+ *    Misra-Gries spillover counter (Fig 2d);
+ *  - Streaming: activate every row in the rank (mapping-agnostic, §V-E);
+ *  - RefreshAttack: hammer a few rows per bank to continually trigger
+ *    group mitigations (mapping-agnostic, §V-E);
+ *  - MappingProbe: the two-phase mapping-capturing probe of §V-D.
+ *
+ * Attack accesses bypass the LLC (modeling engineered uncached access)
+ * except CacheThrash, whose entire point is cache pollution.
+ */
+
+#ifndef DAPPER_WORKLOAD_ATTACKS_HH
+#define DAPPER_WORKLOAD_ATTACKS_HH
+
+#include <memory>
+#include <string>
+
+#include "src/common/config.hh"
+#include "src/dram/address.hh"
+#include "src/workload/trace_gen.hh"
+
+namespace dapper {
+
+enum class AttackKind
+{
+    None,
+    CacheThrash,
+    HydraRcc,
+    StartStream,
+    CometRat,
+    AbacusSpill,
+    Streaming,
+    RefreshAttack,
+    MappingProbe,
+};
+
+/** Human-readable attack name. */
+std::string attackName(AttackKind kind);
+
+/** Build the generator for @p kind (nullptr for None). */
+std::unique_ptr<TraceGen> makeAttackGen(AttackKind kind,
+                                        const SysConfig &cfg,
+                                        const AddressMapper &mapper,
+                                        std::uint64_t seed);
+
+} // namespace dapper
+
+#endif // DAPPER_WORKLOAD_ATTACKS_HH

@@ -1,0 +1,175 @@
+#include "src/workload/benign.hh"
+
+#include <bit>
+#include <stdexcept>
+
+namespace dapper {
+
+namespace {
+
+// name, suite, mpki, hotFrac, seqRun, writeFrac, footprintMB
+// MPKI / locality values follow published memory characterizations of the
+// suites (memory-bound outliers: mcf, lbm, parest, fotonik3d, GemsFDTD...).
+const std::vector<WorkloadParams> kTable = {
+    // ---- SPEC CPU2006 (23) ----
+    {"401.bzip2", "SPEC2K6", 3.5, 0.55, 6.0, 0.35, 256},
+    {"403.gcc", "SPEC2K6", 2.2, 0.60, 4.0, 0.30, 128},
+    {"410.bwaves", "SPEC2K6", 18.0, 0.15, 24.0, 0.20, 512},
+    {"416.gamess", "SPEC2K6", 0.2, 0.85, 4.0, 0.25, 64},
+    {"429.mcf", "SPEC2K6", 55.0, 0.20, 1.3, 0.25, 1024},
+    {"433.milc", "SPEC2K6", 22.0, 0.10, 8.0, 0.30, 512},
+    {"434.zeusmp", "SPEC2K6", 6.0, 0.35, 12.0, 0.25, 256},
+    {"435.gromacs", "SPEC2K6", 0.8, 0.75, 6.0, 0.25, 64},
+    {"436.cactusADM", "SPEC2K6", 6.5, 0.30, 10.0, 0.30, 256},
+    {"437.leslie3d", "SPEC2K6", 15.0, 0.20, 16.0, 0.25, 512},
+    {"444.namd", "SPEC2K6", 0.4, 0.80, 5.0, 0.20, 64},
+    {"445.gobmk", "SPEC2K6", 0.8, 0.70, 3.0, 0.25, 64},
+    {"450.soplex", "SPEC2K6", 25.0, 0.25, 2.5, 0.20, 512},
+    {"456.hmmer", "SPEC2K6", 1.2, 0.70, 8.0, 0.30, 64},
+    {"458.sjeng", "SPEC2K6", 0.5, 0.75, 2.5, 0.25, 64},
+    {"459.GemsFDTD", "SPEC2K6", 20.0, 0.15, 14.0, 0.30, 512},
+    {"462.libquantum", "SPEC2K6", 24.0, 0.05, 32.0, 0.15, 256},
+    {"464.h264ref", "SPEC2K6", 0.6, 0.75, 6.0, 0.25, 64},
+    {"470.lbm", "SPEC2K6", 28.0, 0.05, 20.0, 0.45, 512},
+    {"471.omnetpp", "SPEC2K6", 19.0, 0.30, 1.4, 0.30, 256},
+    {"473.astar", "SPEC2K6", 7.5, 0.45, 1.8, 0.25, 256},
+    {"482.sphinx3", "SPEC2K6", 11.0, 0.35, 5.0, 0.10, 256},
+    {"483.xalancbmk", "SPEC2K6", 9.0, 0.45, 1.6, 0.20, 256},
+    // ---- SPEC CPU2017 (18) ----
+    {"500.perlbench", "SPEC2K17", 1.0, 0.70, 3.0, 0.30, 128},
+    {"502.gcc", "SPEC2K17", 5.5, 0.50, 3.0, 0.30, 256},
+    {"505.mcf", "SPEC2K17", 38.0, 0.25, 1.3, 0.25, 1024},
+    {"507.cactuBSSN", "SPEC2K17", 9.5, 0.30, 10.0, 0.30, 512},
+    {"508.namd", "SPEC2K17", 0.4, 0.80, 5.0, 0.20, 64},
+    {"510.parest", "SPEC2K17", 30.0, 0.15, 1.5, 0.25, 1024},
+    {"511.povray", "SPEC2K17", 0.1, 0.90, 4.0, 0.25, 32},
+    {"519.lbm", "SPEC2K17", 32.0, 0.05, 20.0, 0.45, 512},
+    {"520.omnetpp", "SPEC2K17", 21.0, 0.30, 1.4, 0.30, 256},
+    {"523.xalancbmk", "SPEC2K17", 10.0, 0.45, 1.6, 0.20, 256},
+    {"525.x264", "SPEC2K17", 2.0, 0.65, 8.0, 0.30, 128},
+    {"531.deepsjeng", "SPEC2K17", 1.5, 0.65, 2.5, 0.25, 128},
+    {"538.imagick", "SPEC2K17", 0.5, 0.80, 10.0, 0.30, 128},
+    {"541.leela", "SPEC2K17", 0.5, 0.75, 2.5, 0.20, 64},
+    {"544.nab", "SPEC2K17", 1.1, 0.70, 6.0, 0.25, 128},
+    {"549.fotonik3d", "SPEC2K17", 26.0, 0.10, 16.0, 0.30, 512},
+    {"554.roms", "SPEC2K17", 14.0, 0.20, 14.0, 0.30, 512},
+    {"557.xz", "SPEC2K17", 4.0, 0.50, 2.0, 0.35, 256},
+    // ---- TPC (4) ----
+    {"tpcc64", "TPC", 14.0, 0.40, 1.5, 0.35, 1024},
+    {"tpch2", "TPC", 9.0, 0.35, 6.0, 0.15, 1024},
+    {"tpch6", "TPC", 11.0, 0.30, 8.0, 0.15, 1024},
+    {"tpch17", "TPC", 8.0, 0.35, 5.0, 0.15, 1024},
+    // ---- Hadoop (3) ----
+    {"hadoop-grep", "Hadoop", 6.0, 0.40, 8.0, 0.20, 512},
+    {"hadoop-wordcount", "Hadoop", 7.0, 0.40, 6.0, 0.30, 512},
+    {"hadoop-sort", "Hadoop", 10.0, 0.30, 5.0, 0.40, 1024},
+    // ---- MediaBench (3) ----
+    {"mediabench-h264dec", "MediaBench", 2.5, 0.60, 10.0, 0.30, 128},
+    {"mediabench-h264enc", "MediaBench", 3.0, 0.55, 10.0, 0.35, 128},
+    {"mediabench-jpeg2000", "MediaBench", 4.0, 0.50, 12.0, 0.30, 128},
+    // ---- YCSB (6) ----
+    {"ycsb-a", "YCSB", 13.0, 0.40, 1.2, 0.45, 1024},
+    {"ycsb-b", "YCSB", 12.0, 0.45, 1.2, 0.10, 1024},
+    {"ycsb-c", "YCSB", 11.0, 0.45, 1.2, 0.00, 1024},
+    {"ycsb-d", "YCSB", 10.0, 0.50, 1.3, 0.10, 1024},
+    {"ycsb-e", "YCSB", 15.0, 0.35, 3.0, 0.10, 1024},
+    {"ycsb-f", "YCSB", 13.0, 0.40, 1.2, 0.30, 1024},
+};
+
+} // namespace
+
+const std::vector<WorkloadParams> &
+workloadTable()
+{
+    return kTable;
+}
+
+const WorkloadParams &
+findWorkload(const std::string &name)
+{
+    for (const auto &w : kTable)
+        if (w.name == name)
+            return w;
+    throw std::invalid_argument("unknown workload: " + name);
+}
+
+std::vector<std::string>
+workloadsInSuite(const std::string &suite)
+{
+    std::vector<std::string> out;
+    for (const auto &w : kTable)
+        if (suite == "All" || w.suite == suite)
+            out.push_back(w.name);
+    return out;
+}
+
+std::vector<std::string>
+representativeWorkloads()
+{
+    // Cross-suite mix spanning the memory-intensity range: the most
+    // attack-sensitive (high RBMPKI) plus moderate and compute-bound.
+    return {"429.mcf",      "470.lbm",       "510.parest",
+            "549.fotonik3d", "471.omnetpp",  "462.libquantum",
+            "tpcc64",       "hadoop-sort",   "mediabench-h264dec",
+            "ycsb-a",       "483.xalancbmk", "456.hmmer"};
+}
+
+BenignGen::BenignGen(const WorkloadParams &params, const SysConfig &cfg,
+                     int coreId, std::uint64_t seed)
+    : params_(params),
+      rng_(seed ^ (static_cast<std::uint64_t>(coreId) << 32) ^
+           mixHash64(std::hash<std::string>{}(params.name)))
+{
+    lineBytesLog2_ = std::bit_width(
+                         static_cast<unsigned>(cfg.lineBytes)) - 1;
+    // Hot set: sized to mostly fit a fair share of the LLC.
+    hotLines_ = (cfg.llcBytes / 2) /
+                static_cast<std::uint64_t>(cfg.lineBytes) /
+                static_cast<std::uint64_t>(cfg.numCores);
+    if (hotLines_ == 0)
+        hotLines_ = 1;
+    coldLines_ = static_cast<std::uint64_t>(params.footprintMB) * 1024 *
+                 1024 / static_cast<std::uint64_t>(cfg.lineBytes);
+    if (coldLines_ == 0)
+        coldLines_ = 1;
+    totalLines_ = cfg.totalBytes() / cfg.lineBytes;
+    // Slice the physical address space per core so homogeneous copies do
+    // not share data.
+    coreOffset_ = (totalLines_ / 8) *
+                  static_cast<std::uint64_t>(coreId % 8);
+    const double perMem = 1000.0 / params.mpki;
+    bubbles_ = perMem > 1.0
+                   ? static_cast<std::uint32_t>(perMem - 1.0)
+                   : 0;
+    cursor_ = coreOffset_ % coldLines_;
+}
+
+TraceRecord
+BenignGen::next()
+{
+    TraceRecord rec;
+    rec.bubbles = bubbles_;
+    rec.isWrite = rng_.chance(params_.writeFrac);
+
+    std::uint64_t line;
+    if (rng_.chance(params_.hotFrac)) {
+        line = coreOffset_ + rng_.below(hotLines_);
+    } else {
+        if (runLeft_ == 0) {
+            // Start a new sequential run at a random cold location.
+            cursor_ = rng_.below(coldLines_);
+            const double run = params_.seqRun;
+            runLeft_ = static_cast<std::uint32_t>(
+                1.0 + rng_.uniform() * 2.0 * (run - 1.0) + 0.5);
+            if (runLeft_ == 0)
+                runLeft_ = 1;
+        }
+        line = coreOffset_ + hotLines_ + (cursor_ % coldLines_);
+        ++cursor_;
+        --runLeft_;
+    }
+    rec.addr = (line % totalLines_) << lineBytesLog2_;
+    return rec;
+}
+
+} // namespace dapper

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Trace-generator interface: a stream of instruction records feeding one
+ * core. Each record carries a number of non-memory ("bubble")
+ * instructions followed by one memory access, the representation used by
+ * Ramulator-style trace-driven cores.
+ */
+
+#ifndef DAPPER_WORKLOAD_TRACE_GEN_HH
+#define DAPPER_WORKLOAD_TRACE_GEN_HH
+
+#include <cstdint>
+#include <string>
+
+namespace dapper {
+
+struct TraceRecord
+{
+    std::uint32_t bubbles = 0; ///< Non-memory instructions first.
+    bool isWrite = false;
+    bool bypassLlc = false;    ///< Attacker streams go straight to DRAM.
+    std::uint64_t addr = 0;    ///< Byte address of the memory access.
+};
+
+class TraceGen
+{
+  public:
+    virtual ~TraceGen() = default;
+    virtual TraceRecord next() = 0;
+    virtual std::string name() const = 0;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_WORKLOAD_TRACE_GEN_HH

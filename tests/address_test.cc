@@ -1,0 +1,120 @@
+/**
+ * @file
+ * AddressMapper: decode/encode roundtrips, field ranges, interleaving
+ * properties, and the rank-row-id mapping DAPPER randomizes over.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.hh"
+#include "src/dram/address.hh"
+
+namespace dapper {
+namespace {
+
+TEST(Address, RoundTripRandom)
+{
+    SysConfig cfg;
+    AddressMapper mapper(cfg);
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t addr =
+            rng.below(cfg.totalBytes()) & ~std::uint64_t(cfg.lineBytes - 1);
+        const DramAddress d = mapper.decode(addr);
+        EXPECT_EQ(mapper.encode(d), addr);
+    }
+}
+
+TEST(Address, FieldsInRange)
+{
+    SysConfig cfg;
+    AddressMapper mapper(cfg);
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const DramAddress d = mapper.decode(rng.below(cfg.totalBytes()));
+        EXPECT_GE(d.channel, 0);
+        EXPECT_LT(d.channel, cfg.channels);
+        EXPECT_GE(d.rank, 0);
+        EXPECT_LT(d.rank, cfg.ranksPerChannel);
+        EXPECT_GE(d.bank, 0);
+        EXPECT_LT(d.bank, cfg.banksPerRank());
+        EXPECT_GE(d.row, 0);
+        EXPECT_LT(d.row, cfg.rowsPerBank);
+        EXPECT_GE(d.col, 0);
+        EXPECT_LT(d.col, cfg.linesPerRow());
+    }
+}
+
+TEST(Address, SequentialLinesStayInRowThenInterleaveChannels)
+{
+    SysConfig cfg;
+    AddressMapper mapper(cfg);
+    // Consecutive lines fill a row (row-buffer locality); the next 8KB
+    // chunk lands on the other channel (channel bits above column bits).
+    const DramAddress a = mapper.decode(0);
+    const DramAddress b = mapper.decode(64);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_EQ(a.row, b.row);
+    EXPECT_EQ(a.bank, b.bank);
+    EXPECT_EQ(b.col, a.col + 1);
+
+    const DramAddress c = mapper.decode(static_cast<std::uint64_t>(
+        cfg.rowBytes)); // Next row-sized chunk.
+    EXPECT_NE(c.channel, a.channel);
+}
+
+TEST(Address, RowBitChangeKeepsOtherFields)
+{
+    SysConfig cfg;
+    AddressMapper mapper(cfg);
+    DramAddress d;
+    d.channel = 1;
+    d.rank = 1;
+    d.bank = 17;
+    d.row = 12345;
+    d.col = 77;
+    const DramAddress back = mapper.decode(mapper.encode(d));
+    EXPECT_EQ(back.channel, d.channel);
+    EXPECT_EQ(back.rank, d.rank);
+    EXPECT_EQ(back.bank, d.bank);
+    EXPECT_EQ(back.row, d.row);
+    EXPECT_EQ(back.col, d.col);
+}
+
+TEST(Address, RankRowIdRoundTrip)
+{
+    SysConfig cfg;
+    AddressMapper mapper(cfg);
+    DramAddress d;
+    d.bank = 31;
+    d.row = 65535;
+    const std::uint64_t id = mapper.rankRowId(d);
+    EXPECT_EQ(id, cfg.rowsPerRank() - 1);
+    std::int32_t bank = 0;
+    std::int32_t row = 0;
+    mapper.fromRankRowId(id, bank, row);
+    EXPECT_EQ(bank, 31);
+    EXPECT_EQ(row, 65535);
+}
+
+TEST(Address, EightChannelConfig)
+{
+    SysConfig cfg;
+    cfg.channels = 8;
+    AddressMapper mapper(cfg);
+    Rng rng(3);
+    bool sawHighChannel = false;
+    for (int i = 0; i < 4000; ++i) {
+        const std::uint64_t addr = rng.below(cfg.totalBytes());
+        const DramAddress d = mapper.decode(addr);
+        EXPECT_LT(d.channel, 8);
+        if (d.channel >= 4)
+            sawHighChannel = true;
+        EXPECT_EQ(mapper.encode(d),
+                  addr & ~std::uint64_t(cfg.lineBytes - 1));
+    }
+    EXPECT_TRUE(sawHighChannel);
+}
+
+} // namespace
+} // namespace dapper

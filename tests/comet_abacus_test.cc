@@ -1,0 +1,208 @@
+/**
+ * @file
+ * CoMeT and ABACUS unit tests: Count-Min-Sketch never undercounts, RAT
+ * behaviour and early resets, Misra-Gries tracking with the spillover
+ * floor, bit-vector semantics, and the spillover-overflow channel reset.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/rh/abacus.hh"
+#include "src/rh/comet.hh"
+
+namespace dapper {
+namespace {
+
+SysConfig
+cfg500()
+{
+    SysConfig cfg;
+    cfg.nRH = 500;
+    return cfg;
+}
+
+ActEvent
+act(int bank, int row, Tick now = 0)
+{
+    return {0, 0, bank, row, now, 0};
+}
+
+int
+countKind(const MitigationVec &v, Mitigation::Kind kind)
+{
+    int n = 0;
+    for (const auto &m : v)
+        if (m.kind == kind)
+            ++n;
+    return n;
+}
+
+TEST(Comet, SketchNeverUndercounts)
+{
+    SysConfig cfg = cfg500();
+    CometTracker tracker(cfg);
+    MitigationVec out;
+    for (int i = 0; i < 57; ++i)
+        tracker.onActivation(act(3, 1234), out);
+    EXPECT_GE(tracker.estimateOf(0, 0, 3, 1234), 57u);
+}
+
+TEST(Comet, MitigatesAtQuarterThreshold)
+{
+    SysConfig cfg = cfg500();
+    CometTracker tracker(cfg);
+    MitigationVec out;
+    int acts = 0;
+    int vrr = 0;
+    for (int i = 0; i < cfg.nRH && vrr == 0; ++i) {
+        out.clear();
+        tracker.onActivation(act(3, 1234), out);
+        ++acts;
+        vrr = countKind(out, Mitigation::Kind::VrrRow);
+    }
+    EXPECT_EQ(vrr, 1);
+    EXPECT_LE(acts, cfg.nRH / 4); // N_M(CoMeT) = N_RH / 4.
+}
+
+TEST(Comet, RatTracksMitigatedRowAcrossRepeats)
+{
+    SysConfig cfg = cfg500();
+    CometTracker tracker(cfg);
+    MitigationVec out;
+    int totalVrr = 0;
+    for (int i = 0; i < cfg.nRH; ++i) {
+        out.clear();
+        tracker.onActivation(act(3, 1234), out);
+        totalVrr += countKind(out, Mitigation::Kind::VrrRow);
+    }
+    // The sketch saturates and cannot reset, but the RAT re-arms the row
+    // after each mitigation: expect ~nRH / (nRH/4) = 4 mitigations.
+    EXPECT_GE(totalVrr, 3);
+    EXPECT_LE(totalVrr, 6);
+}
+
+TEST(Comet, PeriodicResetEveryThirdOfWindow)
+{
+    SysConfig cfg = cfg500();
+    CometTracker tracker(cfg);
+    MitigationVec out;
+    tracker.onPeriodic(cfg.tREFW() / 3 + 1, out);
+    EXPECT_EQ(countKind(out, Mitigation::Kind::BulkRank),
+              cfg.channels * cfg.ranksPerChannel);
+    EXPECT_EQ(tracker.bulkResets(),
+              static_cast<std::uint64_t>(cfg.channels));
+}
+
+TEST(Comet, RatThrashingTriggersExtraResets)
+{
+    SysConfig cfg = cfg500();
+    CometTracker tracker(cfg);
+    MitigationVec out;
+    std::uint64_t resets = 0;
+    // The paper's attack: cycle over 192 rows (> 128 RAT entries) until
+    // the sketch saturates and RAT misses dominate.
+    for (int round = 0; round < 400; ++round)
+        for (int j = 0; j < 192; ++j) {
+            out.clear();
+            tracker.onActivation(
+                act(j % 32, 16384 + (j / 32) * 64,
+                    static_cast<Tick>(round) * 5000), out);
+            resets += static_cast<std::uint64_t>(
+                countKind(out, Mitigation::Kind::BulkRank));
+        }
+    EXPECT_GT(resets, 0u);
+}
+
+TEST(Abacus, SizedByWindowAndThreshold)
+{
+    SysConfig cfg = cfg500();
+    cfg.timeScale = 1.0;
+    AbacusTracker tracker(cfg);
+    // Physical window: 666K ACTs / 248 => ~2.6K entries (paper: 2466).
+    EXPECT_NEAR(tracker.entriesPerChannel(), 2466, 300);
+}
+
+TEST(Abacus, BitVectorAvoidsCrossBankOvercount)
+{
+    SysConfig cfg = cfg500();
+    AbacusTracker tracker(cfg);
+    MitigationVec out;
+    // The same row id in every bank, one sweep: one entry, bits set, no
+    // counting.
+    for (int bank = 0; bank < 32; ++bank)
+        tracker.onActivation(act(bank, 4096), out);
+    EXPECT_TRUE(out.empty());
+    // Hammering a single (bank,row) counts once per activation after the
+    // bit is set.
+    int acts = 0;
+    for (int i = 0; i < cfg.nM() + 4 && out.empty(); ++i) {
+        tracker.onActivation(act(0, 4096), out);
+        ++acts;
+    }
+    EXPECT_FALSE(out.empty());
+    EXPECT_LE(acts, cfg.nM() + 1);
+}
+
+TEST(Abacus, MitigationRefreshesRowInAllBanks)
+{
+    SysConfig cfg = cfg500();
+    AbacusTracker tracker(cfg);
+    MitigationVec out;
+    for (int i = 0; i < cfg.nM() + 4 && out.empty(); ++i)
+        tracker.onActivation(act(0, 4096), out);
+    // The shared counter cannot attribute the row to one bank.
+    EXPECT_EQ(countKind(out, Mitigation::Kind::VrrRow),
+              cfg.ranksPerChannel * cfg.banksPerRank());
+}
+
+TEST(Abacus, SpilloverOverflowResetsChannel)
+{
+    SysConfig cfg = cfg500();
+    AbacusTracker tracker(cfg);
+    MitigationVec out;
+    const std::uint64_t needed =
+        static_cast<std::uint64_t>(tracker.entriesPerChannel()) *
+        static_cast<std::uint64_t>(cfg.nM() - 2);
+    // The paper's attack: ever-new row ids across banks. Fill the table,
+    // then spill.
+    std::uint64_t resets = 0;
+    std::uint64_t acts = 0;
+    int row = 0;
+    while (resets == 0 && acts < 4 * needed) {
+        out.clear();
+        tracker.onActivation(act(static_cast<int>(acts % 32), row), out);
+        row = (row + 1) % cfg.rowsPerBank;
+        ++acts;
+        resets += static_cast<std::uint64_t>(
+            countKind(out, Mitigation::Kind::BulkChannel));
+    }
+    EXPECT_EQ(resets, 1u);
+    EXPECT_EQ(tracker.spillResets(), 1u);
+    // Overflow takes ~entries x N_M untracked activations (paper: the
+    // spillover counter overflows every N x N_RH/2 activations).
+    EXPECT_GT(acts, needed / 2);
+    EXPECT_LT(acts, needed * 3);
+    EXPECT_EQ(tracker.spillOf(0), 0u); // Cleared by the reset.
+}
+
+TEST(Abacus, WindowResetClearsTable)
+{
+    SysConfig cfg = cfg500();
+    AbacusTracker tracker(cfg);
+    MitigationVec out;
+    for (int i = 0; i < 100; ++i)
+        tracker.onActivation(act(0, 4096), out);
+    tracker.onRefreshWindow(0, out);
+    // After the reset the row must be re-inserted from scratch: hammer
+    // again and expect the full threshold before mitigation.
+    out.clear();
+    int acts = 0;
+    for (int i = 0; i < cfg.nM() + 4 && out.empty(); ++i) {
+        tracker.onActivation(act(0, 4096), out);
+        ++acts;
+    }
+    EXPECT_GE(acts, cfg.nM() - 2);
+}
+
+} // namespace
+} // namespace dapper

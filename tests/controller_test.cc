@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Memory controller timing tests: row-hit vs row-miss latency, tRC /
+ * tRRD pacing, refresh blocking, mitigation blocking windows (VRR,
+ * RFMsb/DRFMsb granularity, bulk resets), counter-traffic priority, and
+ * write drain.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/mem/controller.hh"
+
+namespace dapper {
+namespace {
+
+struct CaptureSink : MemSink
+{
+    std::vector<std::pair<Tick, Request>> done;
+    void
+    memDone(const Request &req, Tick now) override
+    {
+        done.emplace_back(now, req);
+    }
+};
+
+class ControllerTest : public ::testing::Test
+{
+  protected:
+    ControllerTest() : mc_(cfg_, 0, nullptr, nullptr, nullptr) {}
+
+    Request
+    read(int rank, int bank, int row, int col = 0)
+    {
+        Request req;
+        req.dram = {0, rank, bank, row, col};
+        req.type = ReqType::Read;
+        req.sink = &sink_;
+        return req;
+    }
+
+    void
+    runTo(Tick end)
+    {
+        for (; now_ < end; ++now_)
+            mc_.tick(now_);
+    }
+
+    SysConfig cfg_;
+    CaptureSink sink_;
+    MemController mc_;
+    Tick now_ = 0;
+};
+
+TEST_F(ControllerTest, RowMissLatencyIsActPlusCasPlusBurst)
+{
+    ASSERT_TRUE(mc_.enqueue(read(0, 0, 100), 0));
+    runTo(500);
+    ASSERT_EQ(sink_.done.size(), 1u);
+    // tRCD + tCL + tBL = 16 + 16 + 2.5 ns = 138 ticks.
+    const Tick expected = cfg_.tRCD() + cfg_.tCL() + cfg_.tBL();
+    EXPECT_NEAR(static_cast<double>(sink_.done[0].first),
+                static_cast<double>(expected), 8.0);
+}
+
+TEST_F(ControllerTest, RowHitIsFasterThanRowMiss)
+{
+    ASSERT_TRUE(mc_.enqueue(read(0, 0, 100, 0), 0));
+    runTo(400);
+    ASSERT_EQ(sink_.done.size(), 1u);
+    const Tick missDone = sink_.done[0].first;
+
+    ASSERT_TRUE(mc_.enqueue(read(0, 0, 100, 1), now_));
+    const Tick start = now_;
+    runTo(now_ + 400);
+    ASSERT_EQ(sink_.done.size(), 2u);
+    const Tick hitLatency = sink_.done[1].first - start;
+    EXPECT_LT(hitLatency, missDone);
+    EXPECT_EQ(mc_.stats().rowHits, 1u);
+    EXPECT_EQ(mc_.stats().rowMisses, 1u);
+}
+
+TEST_F(ControllerTest, SameBankActsRespectTrc)
+{
+    // Two different rows in the same bank: the second ACT waits ~tRC.
+    ASSERT_TRUE(mc_.enqueue(read(0, 0, 100), 0));
+    ASSERT_TRUE(mc_.enqueue(read(0, 0, 200), 0));
+    runTo(1000);
+    ASSERT_EQ(sink_.done.size(), 2u);
+    const Tick gap = sink_.done[1].first - sink_.done[0].first;
+    EXPECT_GE(gap, cfg_.tRC() - cfg_.tRCD());
+}
+
+TEST_F(ControllerTest, DifferentBanksOverlap)
+{
+    ASSERT_TRUE(mc_.enqueue(read(0, 0, 100), 0));
+    ASSERT_TRUE(mc_.enqueue(read(0, 8, 100), 0)); // Other bank group.
+    runTo(1000);
+    ASSERT_EQ(sink_.done.size(), 2u);
+    const Tick gap = sink_.done[1].first - sink_.done[0].first;
+    EXPECT_LT(gap, cfg_.tRC() / 2); // Bank-level parallelism.
+    EXPECT_GE(gap, cfg_.tRRDS());
+}
+
+TEST_F(ControllerTest, RefreshHappensEveryTrefi)
+{
+    runTo(cfg_.tREFI() * 5);
+    // Two ranks, ~4-5 refresh slots each elapsed.
+    EXPECT_GE(mc_.stats().refreshes, 7u);
+    EXPECT_LE(mc_.stats().refreshes, 12u);
+}
+
+TEST_F(ControllerTest, VrrBlocksOnlyTargetBank)
+{
+    mc_.applyMitigation({Mitigation::Kind::VrrRow, 0, 0, 3, 500}, 0);
+    ASSERT_TRUE(mc_.enqueue(read(0, 3, 100), 0)); // Blocked bank.
+    ASSERT_TRUE(mc_.enqueue(read(0, 4, 100), 0)); // Free bank.
+    runTo(1200);
+    ASSERT_EQ(sink_.done.size(), 2u);
+    // The free-bank read (bank 4) completes first, well before VRR ends.
+    EXPECT_EQ(sink_.done[0].second.dram.bank, 4);
+    EXPECT_GE(sink_.done[1].first, cfg_.vrrTicks());
+}
+
+TEST_F(ControllerTest, DrfmSbBlocksSameBankAcrossGroups)
+{
+    // DRFMsb on bank 2 blocks banks {2, 6, 10, ...} (same position in
+    // every group) but not bank 3.
+    mc_.applyMitigation({Mitigation::Kind::DrfmSbRow, 0, 0, 2, 500}, 0);
+    ASSERT_TRUE(mc_.enqueue(read(0, 6, 100), 0));  // 2nd group, same pos.
+    ASSERT_TRUE(mc_.enqueue(read(0, 3, 100), 0));  // Different position.
+    runTo(2000);
+    ASSERT_EQ(sink_.done.size(), 2u);
+    EXPECT_EQ(sink_.done[0].second.dram.bank, 3);
+    EXPECT_GE(sink_.done[1].first, cfg_.drfmSbTicks());
+}
+
+TEST_F(ControllerTest, BulkRankRefreshBlocksWholeRankForLong)
+{
+    mc_.applyMitigation({Mitigation::Kind::BulkRank, 0, 0, 0, 0}, 0);
+    ASSERT_TRUE(mc_.enqueue(read(0, 9, 50), 0));
+    ASSERT_TRUE(mc_.enqueue(read(1, 9, 50), 0)); // Other rank: free.
+    runTo(cfg_.bulkRefreshRank() + 2000);
+    ASSERT_EQ(sink_.done.size(), 2u);
+    EXPECT_EQ(sink_.done[0].second.dram.rank, 1);
+    EXPECT_LT(sink_.done[0].first, cfg_.bulkRefreshRank() / 4);
+    EXPECT_GE(sink_.done[1].first, cfg_.bulkRefreshRank());
+    EXPECT_EQ(mc_.stats().bulkResets, 1u);
+}
+
+TEST_F(ControllerTest, CounterTrafficIsCountedAndServed)
+{
+    mc_.applyMitigation(Mitigation::counterRead(0, 0, 5, 60000), 0);
+    mc_.applyMitigation(Mitigation::counterWrite(0, 0, 5, 60000), 0);
+    runTo(2000);
+    EXPECT_EQ(mc_.stats().counterReads, 1u);
+    EXPECT_EQ(mc_.stats().counterWrites, 1u);
+}
+
+TEST_F(ControllerTest, WritesEventuallyDrain)
+{
+    for (int i = 0; i < 20; ++i) {
+        Request req;
+        req.dram = {0, 0, i % 8, 100 + i, 0};
+        req.type = ReqType::Write;
+        ASSERT_TRUE(mc_.enqueue(req, 0));
+    }
+    runTo(20000);
+    EXPECT_EQ(mc_.stats().writes, 20u);
+}
+
+TEST_F(ControllerTest, ReadLatencyStatTracksQueueing)
+{
+    for (int i = 0; i < 16; ++i)
+        ASSERT_TRUE(mc_.enqueue(read(0, 0, 100 + i * 7), 0));
+    runTo(16 * cfg_.tRC() + 2000);
+    EXPECT_EQ(mc_.stats().readLatencyCount, 16u);
+    // Same-bank conflicts: average latency well above the unloaded one.
+    EXPECT_GT(mc_.stats().avgReadLatency(),
+              static_cast<double>(cfg_.tRC()));
+}
+
+} // namespace
+} // namespace dapper

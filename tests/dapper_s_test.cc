@@ -1,0 +1,162 @@
+/**
+ * @file
+ * DAPPER-S unit tests: secure-hash group mapping, RGC counting,
+ * group-wide mitigation, rekeying, and storage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/rh/dapper_s.hh"
+
+namespace dapper {
+namespace {
+
+SysConfig
+cfg500()
+{
+    SysConfig cfg;
+    cfg.nRH = 500;
+    return cfg;
+}
+
+ActEvent
+act(int bank, int row, Tick now = 0)
+{
+    return {0, 0, bank, row, now, 0};
+}
+
+TEST(DapperS, GroupCountIsRowsPerRankOverGroupSize)
+{
+    DapperSTracker tracker(cfg500());
+    EXPECT_EQ(tracker.numGroups(), 8192u); // 2M / 256.
+}
+
+TEST(DapperS, MappingIsUniformish)
+{
+    DapperSTracker tracker(cfg500());
+    std::map<std::uint64_t, int> histogram;
+    for (int row = 0; row < 65536; ++row)
+        ++histogram[tracker.groupOf(0, 0, 3, row)];
+    // 64K rows over 8K groups: mean 8; a good hash keeps the max load
+    // far below a pathological pile-up.
+    int maxLoad = 0;
+    for (const auto &[group, load] : histogram)
+        maxLoad = std::max(maxLoad, load);
+    EXPECT_GT(histogram.size(), 6000u);
+    EXPECT_LT(maxLoad, 40);
+}
+
+TEST(DapperS, CountsUntilMitigationThenResets)
+{
+    SysConfig cfg = cfg500();
+    DapperSTracker tracker(cfg);
+    MitigationVec out;
+    const std::uint64_t group = tracker.groupOf(0, 0, 2, 777);
+
+    // One below the (guard-banded) trigger: no mitigation.
+    for (int i = 0; i < cfg.nM() - 3; ++i) {
+        out.clear();
+        tracker.onActivation(act(2, 777), out);
+        EXPECT_TRUE(out.empty()) << "at " << i;
+    }
+    EXPECT_EQ(tracker.rgcOf(0, 0, group),
+              static_cast<std::uint32_t>(cfg.nM() - 3));
+
+    out.clear();
+    tracker.onActivation(act(2, 777), out);
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(cfg.rowGroupSize));
+    EXPECT_EQ(tracker.rgcOf(0, 0, group), 0u);
+    EXPECT_EQ(tracker.mitigations, 1u);
+}
+
+TEST(DapperS, MitigationRefreshesExactlyTheGroupMembers)
+{
+    SysConfig cfg = cfg500();
+    DapperSTracker tracker(cfg);
+    MitigationVec out;
+    for (int i = 0; i < cfg.nM() - 2; ++i) {
+        out.clear();
+        tracker.onActivation(act(5, 4242), out);
+    }
+    ASSERT_EQ(out.size(), static_cast<std::size_t>(cfg.rowGroupSize));
+
+    // Every refreshed row must map back to the same group, and the
+    // hammered row itself must be among them.
+    const std::uint64_t group = tracker.groupOf(0, 0, 5, 4242);
+    bool foundAggressor = false;
+    std::set<std::pair<int, int>> unique;
+    for (const Mitigation &m : out) {
+        EXPECT_EQ(m.kind, Mitigation::Kind::VrrRow);
+        EXPECT_EQ(tracker.groupOf(0, 0, m.bank, m.row), group);
+        unique.emplace(m.bank, m.row);
+        if (m.bank == 5 && m.row == 4242)
+            foundAggressor = true;
+    }
+    EXPECT_TRUE(foundAggressor);
+    EXPECT_EQ(unique.size(), static_cast<std::size_t>(cfg.rowGroupSize));
+}
+
+TEST(DapperS, RekeyChangesGroupsAndZeroesCounters)
+{
+    SysConfig cfg = cfg500();
+    DapperSTracker tracker(cfg);
+    MitigationVec out;
+    for (int i = 0; i < 100; ++i)
+        tracker.onActivation(act(1, 99), out);
+
+    std::vector<std::uint64_t> before;
+    for (int row = 0; row < 256; ++row)
+        before.push_back(tracker.groupOf(0, 0, 0, row));
+
+    tracker.onRefreshWindow(0, out);
+    EXPECT_EQ(tracker.rekeys(), 1u);
+
+    int moved = 0;
+    for (int row = 0; row < 256; ++row)
+        if (tracker.groupOf(0, 0, 0, row) !=
+            before[static_cast<std::size_t>(row)])
+            ++moved;
+    EXPECT_GT(moved, 250); // Nearly every row regrouped.
+    EXPECT_EQ(tracker.rgcOf(0, 0, tracker.groupOf(0, 0, 1, 99)), 0u);
+}
+
+TEST(DapperS, ShortResetPeriodRekeysViaPeriodicHook)
+{
+    SysConfig cfg = cfg500();
+    cfg.dapperSResetUs = 12.0;
+    DapperSTracker tracker(cfg);
+    MitigationVec out;
+    EXPECT_LT(cfg.dapperSReset(), cfg.tREFW());
+    tracker.onPeriodic(cfg.dapperSReset() + 1, out);
+    EXPECT_EQ(tracker.rekeys(), 1u);
+    tracker.onPeriodic(2 * cfg.dapperSReset() + 1, out);
+    EXPECT_EQ(tracker.rekeys(), 2u);
+}
+
+TEST(DapperS, PerRankTablesAreIndependent)
+{
+    SysConfig cfg = cfg500();
+    DapperSTracker tracker(cfg);
+    MitigationVec out;
+    for (int i = 0; i < 10; ++i)
+        tracker.onActivation({0, 0, 0, 123, 0, 0}, out);
+    for (int i = 0; i < 3; ++i)
+        tracker.onActivation({1, 1, 0, 123, 0, 0}, out);
+    EXPECT_EQ(tracker.rgcOf(0, 0, tracker.groupOf(0, 0, 0, 123)), 10u);
+    EXPECT_EQ(tracker.rgcOf(1, 1, tracker.groupOf(1, 1, 0, 123)), 3u);
+}
+
+TEST(DapperS, StorageMatchesPaperScale)
+{
+    SysConfig cfg = cfg500();
+    cfg.timeScale = 1.0;
+    DapperSTracker tracker(cfg);
+    // 8K 1-byte RGCs per rank, 2 ranks per 32GB channel: 16KB.
+    EXPECT_NEAR(tracker.storage().sramKB, 16.0, 0.1);
+}
+
+} // namespace
+} // namespace dapper

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Ground-truth RowHammer model tests: neighbor damage accounting,
+ * refresh clearing at every granularity, window scoping, and violation
+ * detection.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/rh/ground_truth.hh"
+
+namespace dapper {
+namespace {
+
+SysConfig
+smallCfg()
+{
+    SysConfig cfg;
+    cfg.nRH = 100;
+    return cfg;
+}
+
+TEST(GroundTruth, NeighborsAccumulateDamage)
+{
+    GroundTruth gt(smallCfg());
+    for (int i = 0; i < 10; ++i)
+        gt.onActivation(0, 0, 0, 500);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 499), 10u);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 501), 10u);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 500), 0u);
+    EXPECT_EQ(gt.maxDamageEver(), 10u);
+    EXPECT_EQ(gt.violations(), 0u);
+}
+
+TEST(GroundTruth, EdgeRowsDoNotWrap)
+{
+    GroundTruth gt(smallCfg());
+    gt.onActivation(0, 0, 0, 0);
+    gt.onActivation(0, 0, 0, 65535);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 1), 1u);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 65534), 1u);
+}
+
+TEST(GroundTruth, VictimRefreshClearsBlastRadius)
+{
+    GroundTruth gt(smallCfg());
+    for (int i = 0; i < 50; ++i) {
+        gt.onActivation(0, 0, 0, 500);
+        gt.onActivation(0, 0, 0, 503);
+    }
+    gt.onVictimRefresh(0, 0, 0, 500, 1);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 499), 0u);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 501), 0u);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 502), 50u); // Other aggressor's victim.
+
+    gt.onVictimRefresh(0, 0, 0, 503, 2); // BR2 reaches 501..505.
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 502), 0u);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 504), 0u);
+}
+
+TEST(GroundTruth, ViolationDetectedAtThreshold)
+{
+    GroundTruth gt(smallCfg());
+    for (int i = 0; i < 99; ++i)
+        gt.onActivation(0, 1, 3, 1000);
+    EXPECT_EQ(gt.violations(), 0u);
+    gt.onActivation(0, 1, 3, 1000);
+    EXPECT_EQ(gt.violations(), 2u); // Both neighbors crossed together.
+    EXPECT_EQ(gt.firstViolation().channel, 0);
+    EXPECT_EQ(gt.firstViolation().rank, 1);
+    EXPECT_EQ(gt.firstViolation().bank, 3);
+    EXPECT_EQ(gt.firstViolation().row, 999);
+}
+
+TEST(GroundTruth, DoubleSidedSumsOnSharedVictim)
+{
+    GroundTruth gt(smallCfg());
+    for (int i = 0; i < 30; ++i) {
+        gt.onActivation(0, 0, 0, 500);
+        gt.onActivation(0, 0, 0, 502);
+    }
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 501), 60u); // Both sides.
+}
+
+TEST(GroundTruth, BulkRefreshClearsRank)
+{
+    GroundTruth gt(smallCfg());
+    gt.onActivation(0, 0, 5, 100);
+    gt.onActivation(0, 1, 5, 100);
+    gt.onBulkRankRefresh(0, 0);
+    EXPECT_EQ(gt.damageOf(0, 0, 5, 101), 0u);
+    EXPECT_EQ(gt.damageOf(0, 1, 5, 101), 1u); // Other rank untouched.
+    gt.onBulkChannelRefresh(0);
+    EXPECT_EQ(gt.damageOf(0, 1, 5, 101), 0u);
+}
+
+TEST(GroundTruth, WindowBoundaryScopesDamage)
+{
+    GroundTruth gt(smallCfg());
+    for (int i = 0; i < 80; ++i)
+        gt.onActivation(0, 0, 0, 500);
+    gt.onWindowBoundary();
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 501), 0u);
+    for (int i = 0; i < 80; ++i)
+        gt.onActivation(0, 0, 0, 500);
+    // 160 total activations but never >= 100 within one window.
+    EXPECT_EQ(gt.violations(), 0u);
+}
+
+TEST(GroundTruth, AutoRefreshSweepsTheWholeBank)
+{
+    SysConfig cfg = smallCfg();
+    GroundTruth gt(cfg);
+    gt.onActivation(0, 0, 0, 4); // Damages rows 3 and 5 (slice 0 covers 0-7).
+    gt.onAutoRefresh(0, 0);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 3), 0u);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 5), 0u);
+    // 8192 slices cover all 64K rows.
+    gt.onActivation(0, 0, 0, 64);
+    for (int i = 0; i < 8191; ++i)
+        gt.onAutoRefresh(0, 0);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 63), 0u);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, 65), 0u);
+}
+
+TEST(GroundTruth, ActivationCountTracked)
+{
+    GroundTruth gt(smallCfg());
+    for (int i = 0; i < 7; ++i)
+        gt.onActivation(0, 0, 0, 10);
+    EXPECT_EQ(gt.activations(), 7u);
+}
+
+} // namespace
+} // namespace dapper

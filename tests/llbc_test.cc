@@ -1,0 +1,118 @@
+/**
+ * @file
+ * LLBC (Feistel cipher) unit and property tests: bijectivity,
+ * invertibility, key sensitivity, diffusion.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "src/rh/llbc.hh"
+
+namespace dapper {
+namespace {
+
+TEST(Llbc, RoundTripSmall)
+{
+    Llbc cipher(8, 42);
+    for (std::uint64_t v = 0; v < 256; ++v)
+        EXPECT_EQ(cipher.decrypt(cipher.encrypt(v)), v);
+}
+
+TEST(Llbc, RoundTripDefaultWidth)
+{
+    // 21 bits: the 2M-row per-rank randomized space.
+    Llbc cipher(21, 7);
+    for (std::uint64_t v = 0; v < (1ULL << 21); v += 997)
+        EXPECT_EQ(cipher.decrypt(cipher.encrypt(v)), v);
+}
+
+TEST(Llbc, OutputsStayInDomain)
+{
+    Llbc cipher(21, 11);
+    for (std::uint64_t v = 0; v < (1ULL << 21); v += 4099)
+        EXPECT_LT(cipher.encrypt(v), cipher.domainSize());
+}
+
+TEST(Llbc, FullBijectionSixteenBits)
+{
+    Llbc cipher(16, 1234);
+    std::vector<bool> seen(1 << 16, false);
+    for (std::uint64_t v = 0; v < (1ULL << 16); ++v) {
+        const std::uint64_t c = cipher.encrypt(v);
+        ASSERT_LT(c, seen.size());
+        ASSERT_FALSE(seen[c]) << "collision at " << v;
+        seen[c] = true;
+    }
+}
+
+TEST(Llbc, RekeyChangesMapping)
+{
+    Llbc a(21, 1);
+    Llbc b(21, 1);
+    b.rekey(2);
+    int differs = 0;
+    for (std::uint64_t v = 0; v < 4096; ++v)
+        if (a.encrypt(v) != b.encrypt(v))
+            ++differs;
+    EXPECT_GT(differs, 4000); // Nearly all points move under a new key.
+}
+
+TEST(Llbc, SameSeedIsDeterministic)
+{
+    Llbc a(21, 99);
+    Llbc b(21, 99);
+    for (std::uint64_t v = 0; v < 4096; ++v)
+        EXPECT_EQ(a.encrypt(v), b.encrypt(v));
+}
+
+TEST(Llbc, AvalancheOnInputBitFlip)
+{
+    Llbc cipher(21, 5);
+    // Flipping one input bit should move the output far (diffusion).
+    int bigMoves = 0;
+    for (std::uint64_t v = 0; v < 2048; ++v) {
+        const std::uint64_t c1 = cipher.encrypt(v);
+        const std::uint64_t c2 = cipher.encrypt(v ^ 1);
+        if ((c1 ^ c2) > 0xff)
+            ++bigMoves;
+    }
+    EXPECT_GT(bigMoves, 1900);
+}
+
+TEST(Llbc, RejectsBadWidths)
+{
+    EXPECT_THROW(Llbc(1, 0), std::invalid_argument);
+    EXPECT_THROW(Llbc(63, 0), std::invalid_argument);
+}
+
+/** Property sweep: bijection on odd and even widths. */
+class LlbcWidthTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LlbcWidthTest, BijectionHolds)
+{
+    const int bits = GetParam();
+    Llbc cipher(bits, 31 + bits);
+    const std::uint64_t domain = 1ULL << bits;
+    const std::uint64_t stride = domain > 65536 ? domain / 65536 : 1;
+    std::set<std::uint64_t> outputs;
+    for (std::uint64_t v = 0; v < domain; v += stride) {
+        const std::uint64_t c = cipher.encrypt(v);
+        EXPECT_LT(c, domain);
+        EXPECT_EQ(cipher.decrypt(c), v);
+        outputs.insert(c);
+    }
+    // All sampled points map to distinct outputs.
+    EXPECT_EQ(outputs.size(), (domain + stride - 1) / stride);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LlbcWidthTest,
+                         ::testing::Values(2, 3, 5, 8, 11, 13, 16, 17, 20,
+                                           21, 22, 24, 25));
+
+} // namespace
+} // namespace dapper

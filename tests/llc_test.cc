@@ -1,0 +1,145 @@
+/**
+ * @file
+ * LLC tests: hit/miss behaviour, LRU eviction, writebacks, MSHR
+ * merging, and the START reserved-way counter region.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/cache/llc.hh"
+#include "src/cpu/core.hh"
+#include "src/mem/controller.hh"
+#include "src/sim/system.hh"
+#include "src/workload/benign.hh"
+
+namespace dapper {
+namespace {
+
+class LlcTest : public ::testing::Test
+{
+  protected:
+    LlcTest()
+        : mapper_(cfg_),
+          mc_(cfg_, 0, nullptr, nullptr, nullptr),
+          mc1_(cfg_, 1, nullptr, nullptr, nullptr),
+          llc_(cfg_, mapper_, {&mc_, &mc1_})
+    {
+    }
+
+    void
+    runTo(Tick end)
+    {
+        for (; now_ < end; ++now_) {
+            mc_.tick(now_);
+            mc1_.tick(now_);
+        }
+    }
+
+    SysConfig cfg_;
+    AddressMapper mapper_;
+    MemController mc_;
+    MemController mc1_;
+    Llc llc_;
+    Tick now_ = 0;
+};
+
+TEST_F(LlcTest, MissThenHit)
+{
+    EXPECT_EQ(llc_.access(0x1000, false, nullptr, Llc::kNoSlot, 0),
+              CacheResult::Miss);
+    runTo(2000); // Let the fill return.
+    EXPECT_EQ(llc_.access(0x1000, false, nullptr, Llc::kNoSlot, now_),
+              CacheResult::Hit);
+    EXPECT_EQ(llc_.stats().hits, 1u);
+    EXPECT_EQ(llc_.stats().misses, 1u);
+}
+
+TEST_F(LlcTest, MshrMergesSameLine)
+{
+    EXPECT_EQ(llc_.access(0x2000, false, nullptr, Llc::kNoSlot, 0),
+              CacheResult::Miss);
+    EXPECT_EQ(llc_.access(0x2000, false, nullptr, Llc::kNoSlot, 0),
+              CacheResult::MergedMiss);
+    EXPECT_EQ(llc_.access(0x2040, false, nullptr, Llc::kNoSlot, 0),
+              CacheResult::Miss); // Different line.
+}
+
+TEST_F(LlcTest, DirtyEvictionWritesBack)
+{
+    // Fill one set beyond capacity with dirty lines. Same set index:
+    // stride = sets * lineBytes.
+    const std::uint64_t stride =
+        static_cast<std::uint64_t>(cfg_.llcSets()) * cfg_.lineBytes;
+    for (int i = 0; i < cfg_.llcWays + 4; ++i) {
+        llc_.access(0x8000 + stride * static_cast<std::uint64_t>(i), true,
+                    nullptr, Llc::kNoSlot, now_);
+        runTo(now_ + 400); // Fill between accesses.
+    }
+    runTo(now_ + 5000);
+    EXPECT_GT(llc_.stats().writebacks, 0u);
+}
+
+TEST_F(LlcTest, ReservedWaysShrinkDemandCapacity)
+{
+    llc_.reserveWays(cfg_.llcWays / 2);
+    EXPECT_EQ(llc_.reservedWays(), 8);
+    const std::uint64_t stride =
+        static_cast<std::uint64_t>(cfg_.llcSets()) * cfg_.lineBytes;
+    // Fill 10 lines in one set; with only 8 demand ways the first two
+    // get evicted.
+    for (int i = 0; i < 10; ++i) {
+        llc_.access(stride * static_cast<std::uint64_t>(i), false, nullptr,
+                    Llc::kNoSlot, now_);
+        runTo(now_ + 400);
+    }
+    const auto missesBefore = llc_.stats().misses;
+    EXPECT_EQ(llc_.access(0, false, nullptr, Llc::kNoSlot, now_),
+              CacheResult::Miss); // Evicted by capacity pressure.
+    EXPECT_EQ(llc_.stats().misses, missesBefore + 1);
+}
+
+TEST_F(LlcTest, CounterRegionHitsAndEvictions)
+{
+    llc_.reserveWays(8);
+    const auto first = llc_.counterAccess(42, true);
+    EXPECT_FALSE(first.hit);
+    const auto second = llc_.counterAccess(42, false);
+    EXPECT_TRUE(second.hit);
+
+    // Overflow the reserved ways of set 42's set with distinct counter
+    // lines; eventually the dirty line 42 is evicted.
+    bool sawDirtyEvict = false;
+    for (int i = 1; i <= 9; ++i) {
+        const auto res = llc_.counterAccess(
+            42 + static_cast<std::uint64_t>(i) * cfg_.llcSets(), false);
+        EXPECT_FALSE(res.hit);
+        sawDirtyEvict = sawDirtyEvict || res.evictedDirty;
+    }
+    EXPECT_TRUE(sawDirtyEvict);
+    EXPECT_GT(llc_.stats().counterMisses, 0u);
+}
+
+TEST_F(LlcTest, CounterRegionDisabledWithoutReservation)
+{
+    const auto res = llc_.counterAccess(7, true);
+    EXPECT_FALSE(res.hit);
+    EXPECT_FALSE(res.evictedDirty);
+    EXPECT_EQ(llc_.stats().counterMisses, 0u);
+}
+
+TEST_F(LlcTest, DemandAndCounterRegionsAreDisjoint)
+{
+    llc_.reserveWays(8);
+    // A demand line and a counter line with identical index bits must
+    // not evict each other.
+    llc_.access(0x4000, false, nullptr, Llc::kNoSlot, 0);
+    runTo(2000);
+    const std::uint64_t counterLine = (0x4000ull >> 6);
+    llc_.counterAccess(counterLine, true);
+    EXPECT_EQ(llc_.access(0x4000, false, nullptr, Llc::kNoSlot, now_),
+              CacheResult::Hit);
+    EXPECT_TRUE(llc_.counterAccess(counterLine, false).hit);
+}
+
+} // namespace
+} // namespace dapper

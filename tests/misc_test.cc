@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Remaining unit coverage: RNG, stats helpers, energy model, tracker
+ * factory, Graphene, and the PrIDE/PARA command-variant plumbing.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "src/common/rng.hh"
+#include "src/common/stats.hh"
+#include "src/energy/energy_model.hh"
+#include "src/rh/factory.hh"
+#include "src/rh/graphene.hh"
+
+namespace dapper {
+namespace {
+
+TEST(Rng, DeterministicPerSeed)
+{
+    Rng a(1);
+    Rng b(1);
+    Rng c(2);
+    bool diff = false;
+    for (int i = 0; i < 100; ++i) {
+        const std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        diff = diff || va != c.next();
+    }
+    EXPECT_TRUE(diff);
+}
+
+TEST(Rng, BelowIsInRangeAndCoversIt)
+{
+    Rng rng(3);
+    std::map<std::uint64_t, int> histogram;
+    for (int i = 0; i < 10000; ++i)
+        ++histogram[rng.below(7)];
+    EXPECT_EQ(histogram.size(), 7u);
+    for (const auto &[value, count] : histogram) {
+        EXPECT_LT(value, 7u);
+        EXPECT_GT(count, 1000); // Roughly uniform.
+    }
+}
+
+TEST(Rng, UniformMeanIsHalf)
+{
+    Rng rng(5);
+    double sum = 0.0;
+    for (int i = 0; i < 40000; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / 40000.0, 0.5, 0.01);
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(9);
+    int hits = 0;
+    for (int i = 0; i < 40000; ++i)
+        hits += rng.chance(0.125) ? 1 : 0;
+    EXPECT_NEAR(hits / 40000.0, 0.125, 0.01);
+}
+
+TEST(Stats, GeomeanAndMean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+    EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+    EXPECT_DOUBLE_EQ(minOf({3.0, 1.0, 2.0}), 1.0);
+}
+
+TEST(Energy, AccumulatesPerEvent)
+{
+    EnergyModel energy;
+    energy.addAct();
+    energy.addRead(false);
+    energy.addWrite(true);
+    energy.addRef();
+    energy.addVictimRefresh(2);
+    energy.addBulkRefresh(100);
+    EXPECT_DOUBLE_EQ(energy.totalNj(),
+                     EnergyModel::kActPreNj + EnergyModel::kReadNj +
+                         EnergyModel::kWriteNj + EnergyModel::kRefNj +
+                         2 * EnergyModel::kVrrRowNj +
+                         100 * EnergyModel::kRowRefreshNj);
+    EXPECT_EQ(energy.counterWrites(), 1u);
+    EXPECT_GT(energy.mitigationNj(), 0.0);
+}
+
+TEST(Energy, MitigationShareExcludesDemand)
+{
+    EnergyModel energy;
+    for (int i = 0; i < 100; ++i) {
+        energy.addAct();
+        energy.addRead(false);
+    }
+    EXPECT_DOUBLE_EQ(energy.mitigationNj(), 0.0);
+    energy.addVictimRefresh(2);
+    EXPECT_GT(energy.mitigationNj(), 0.0);
+}
+
+TEST(Factory, EveryKindConstructsAndNames)
+{
+    const TrackerKind kinds[] = {
+        TrackerKind::Para,        TrackerKind::ParaDrfmSb,
+        TrackerKind::Pride,       TrackerKind::PrideRfmSb,
+        TrackerKind::Prac,        TrackerKind::BlockHammer,
+        TrackerKind::Hydra,       TrackerKind::Comet,
+        TrackerKind::Abacus,      TrackerKind::Graphene,
+        TrackerKind::DapperS,     TrackerKind::DapperH,
+        TrackerKind::DapperHBr2,  TrackerKind::DapperHDrfmSb,
+        TrackerKind::DapperHNoBitVector,
+    };
+    for (TrackerKind kind : kinds) {
+        SysConfig cfg;
+        auto tracker = makeTracker(kind, cfg, nullptr);
+        ASSERT_NE(tracker, nullptr) << trackerName(kind);
+        EXPECT_FALSE(tracker->name().empty());
+        EXPECT_GE(tracker->storage().sramKB, 0.0);
+    }
+    SysConfig cfg;
+    EXPECT_EQ(makeTracker(TrackerKind::None, cfg, nullptr), nullptr);
+}
+
+TEST(Factory, VariantsAdjustConfig)
+{
+    SysConfig cfg;
+    adjustConfigFor(TrackerKind::DapperHDrfmSb, cfg);
+    EXPECT_EQ(cfg.mitigationCmd, SysConfig::MitigationCmd::DrfmSb);
+
+    SysConfig cfg2;
+    adjustConfigFor(TrackerKind::DapperHBr2, cfg2);
+    EXPECT_EQ(cfg2.blastRadius, 2);
+
+    SysConfig cfg3;
+    adjustConfigFor(TrackerKind::DapperH, cfg3);
+    EXPECT_EQ(cfg3.blastRadius, 1);
+    EXPECT_EQ(cfg3.mitigationCmd, SysConfig::MitigationCmd::Vrr);
+}
+
+TEST(Factory, OnlyStartReservesLlc)
+{
+    EXPECT_TRUE(reservesLlc(TrackerKind::Start));
+    EXPECT_FALSE(reservesLlc(TrackerKind::Hydra));
+    EXPECT_FALSE(reservesLlc(TrackerKind::DapperH));
+}
+
+TEST(Graphene, ExactTrackingMitigatesAtThreshold)
+{
+    SysConfig cfg;
+    cfg.nRH = 500;
+    GrapheneTracker tracker(cfg);
+    MitigationVec out;
+    int acts = 0;
+    while (out.empty() && acts < cfg.nM() + 4) {
+        tracker.onActivation({0, 0, 2, 4096, 0, 0}, out);
+        ++acts;
+    }
+    ASSERT_FALSE(out.empty());
+    EXPECT_LE(acts, cfg.nM());
+    EXPECT_EQ(out[0].row, 4096);
+}
+
+TEST(Graphene, PerBankTablesAreIndependent)
+{
+    SysConfig cfg;
+    cfg.nRH = 500;
+    GrapheneTracker tracker(cfg);
+    MitigationVec out;
+    for (int i = 0; i < 100; ++i) {
+        tracker.onActivation({0, 0, 2, 4096, 0, 0}, out);
+        tracker.onActivation({0, 0, 3, 4096, 0, 0}, out);
+    }
+    EXPECT_TRUE(out.empty()); // 100 < threshold in each bank.
+}
+
+TEST(Graphene, StorageScalesWorseThanDapper)
+{
+    SysConfig cfg;
+    cfg.nRH = 500;
+    cfg.timeScale = 1.0;
+    GrapheneTracker graphene(cfg);
+    SysConfig cfg2 = cfg;
+    auto dapperH = makeTracker(TrackerKind::DapperH, cfg2, nullptr);
+    // Per-bank worst-case tables dwarf DAPPER-H's shared RGCs, and the
+    // CAM content is the expensive part.
+    EXPECT_GT(graphene.storage().sramKB + graphene.storage().camKB,
+              dapperH->storage().sramKB * 3);
+    EXPECT_GT(graphene.storage().camKB, 100.0);
+}
+
+TEST(Graphene, WindowResetClears)
+{
+    SysConfig cfg;
+    cfg.nRH = 500;
+    GrapheneTracker tracker(cfg);
+    MitigationVec out;
+    for (int i = 0; i < 200; ++i)
+        tracker.onActivation({0, 0, 2, 4096, 0, 0}, out);
+    tracker.onRefreshWindow(0, out);
+    out.clear();
+    int acts = 0;
+    while (out.empty() && acts < cfg.nM() + 4) {
+        tracker.onActivation({0, 0, 2, 4096, 0, 0}, out);
+        ++acts;
+    }
+    EXPECT_GE(acts, cfg.nM() - 2); // Full threshold again.
+}
+
+} // namespace
+} // namespace dapper
