@@ -37,27 +37,35 @@ main(int argc, char **argv)
 
     std::printf("%-26s %10s %12s %12s\n", "Variant", "Benign",
                 "Streaming", "Refresh");
-    for (const Variant &v : variants) {
-        const double benign =
-            normalizedPerf(cfg, workload, AttackKind::None, v.kind,
-                           Baseline::NoAttack, horizon);
-        const double stream =
-            normalizedPerf(cfg, workload, AttackKind::Streaming, v.kind,
-                           Baseline::SameAttack, horizon);
-        const double refresh =
-            normalizedPerf(cfg, workload, AttackKind::RefreshAttack,
-                           v.kind, Baseline::SameAttack, horizon);
-        std::printf("%-26s %10.4f %12.4f %12.4f\n", v.label, benign,
-                    stream, refresh);
-    }
+    const std::size_t nVar = std::size(variants);
+    const auto norms = sweep(opt, nVar * 3, [&](std::size_t i) {
+        const Variant &v = variants[i / 3];
+        switch (i % 3) {
+          case 0:
+            return normalizedPerf(cfg, workload, AttackKind::None,
+                                  v.kind, Baseline::NoAttack, horizon);
+          case 1:
+            return normalizedPerf(cfg, workload, AttackKind::Streaming,
+                                  v.kind, Baseline::SameAttack, horizon);
+          default:
+            return normalizedPerf(cfg, workload,
+                                  AttackKind::RefreshAttack, v.kind,
+                                  Baseline::SameAttack, horizon);
+        }
+    });
+    for (std::size_t v = 0; v < nVar; ++v)
+        std::printf("%-26s %10.4f %12.4f %12.4f\n", variants[v].label,
+                    norms[v * 3], norms[v * 3 + 1], norms[v * 3 + 2]);
 
     // Mitigation-count view of the bit-vector's effect.
     std::printf("\nMitigations under the streaming attack:\n");
-    for (const Variant &v : variants) {
-        const RunResult r = runOnce(cfg, workload, AttackKind::Streaming,
-                                    v.kind, horizon);
-        std::printf("%-26s %llu\n", v.label,
-                    static_cast<unsigned long long>(r.mitigations));
-    }
+    const auto counts = sweep(opt, nVar, [&](std::size_t i) {
+        return runOnce(cfg, workload, AttackKind::Streaming,
+                       variants[i].kind, horizon)
+            .mitigations;
+    });
+    for (std::size_t v = 0; v < nVar; ++v)
+        std::printf("%-26s %llu\n", variants[v].label,
+                    static_cast<unsigned long long>(counts[v]));
     return 0;
 }

@@ -18,6 +18,7 @@
 
 #include "src/common/stats.hh"
 #include "src/sim/experiment.hh"
+#include "src/sim/parallel_runner.hh"
 #include "src/workload/benign.hh"
 
 namespace dapper {
@@ -32,23 +33,76 @@ struct Options
     /// dynamics (Fig. 11's 0.1%-avg / 4.4%-worst band) remain visible.
     double timeScale = 16.0;
     int windows = 2;         ///< Simulated (scaled) tREFW windows.
+    int jobs = 0;            ///< Sweep worker threads (0: auto).
+    Engine engine = Engine::Event; ///< Simulation time-advance engine.
 };
+
+[[noreturn]] inline void
+usage(const char *prog, const char *error, int exitCode = 2)
+{
+    if (error != nullptr)
+        std::fprintf(stderr, "%s: %s\n", prog, error);
+    std::fprintf(stderr,
+                 "usage: %s [options]\n"
+                 "  --full           run all 57 workloads (default: "
+                 "per-suite subset)\n"
+                 "  --nrh N          RowHammer threshold (>= 1, default "
+                 "500)\n"
+                 "  --scale X        window time-compression factor (> 0, "
+                 "default 16)\n"
+                 "  --windows N      simulated (scaled) tREFW windows "
+                 "(>= 1, default 2)\n"
+                 "  --jobs N         sweep worker threads (>= 1, default: "
+                 "DAPPER_JOBS or hardware)\n"
+                 "  --engine E       time-advance engine: event | tick "
+                 "(default event)\n",
+                 prog);
+    std::exit(exitCode);
+}
 
 inline Options
 parse(int argc, char **argv)
 {
     Options opt;
+    const char *prog = argc > 0 ? argv[0] : "bench";
+    auto value = [&](int &i) -> const char * {
+        if (i + 1 >= argc)
+            usage(prog, "missing value for flag");
+        return argv[++i];
+    };
     for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--full") == 0)
+        if (std::strcmp(argv[i], "--full") == 0) {
             opt.full = true;
-        else if (std::strcmp(argv[i], "--nrh") == 0 && i + 1 < argc)
-            opt.nRH = std::atoi(argv[++i]);
-        else if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
-            opt.timeScale = std::atof(argv[++i]);
-        else if (std::strcmp(argv[i], "--windows") == 0 && i + 1 < argc)
-            opt.windows = std::atoi(argv[++i]);
-        else
-            std::fprintf(stderr, "ignoring unknown flag %s\n", argv[i]);
+        } else if (std::strcmp(argv[i], "--nrh") == 0) {
+            opt.nRH = std::atoi(value(i));
+            if (opt.nRH < 1)
+                usage(prog, "--nrh must be >= 1");
+        } else if (std::strcmp(argv[i], "--scale") == 0) {
+            opt.timeScale = std::atof(value(i));
+            if (opt.timeScale <= 0.0)
+                usage(prog, "--scale must be > 0");
+        } else if (std::strcmp(argv[i], "--windows") == 0) {
+            opt.windows = std::atoi(value(i));
+            if (opt.windows < 1)
+                usage(prog, "--windows must be >= 1");
+        } else if (std::strcmp(argv[i], "--jobs") == 0) {
+            opt.jobs = std::atoi(value(i));
+            if (opt.jobs < 1)
+                usage(prog, "--jobs must be >= 1");
+        } else if (std::strcmp(argv[i], "--engine") == 0) {
+            const char *name = value(i);
+            if (std::strcmp(name, "event") == 0)
+                opt.engine = Engine::Event;
+            else if (std::strcmp(name, "tick") == 0)
+                opt.engine = Engine::Tick;
+            else
+                usage(prog, "--engine must be 'event' or 'tick'");
+        } else if (std::strcmp(argv[i], "--help") == 0 ||
+                   std::strcmp(argv[i], "-h") == 0) {
+            usage(prog, nullptr, 0);
+        } else {
+            usage(prog, "unknown flag");
+        }
     }
     return opt;
 }
@@ -56,10 +110,27 @@ parse(int argc, char **argv)
 inline SysConfig
 makeConfig(const Options &opt)
 {
+    // Every bench builds its config(s) through here right after parse(),
+    // so this is also where the process-wide engine choice lands.
+    setDefaultEngine(opt.engine);
     SysConfig cfg;
     cfg.nRH = opt.nRH;
     cfg.timeScale = opt.timeScale;
     return cfg;
+}
+
+/**
+ * Fan fn(i), i in [0, n), across the sweep thread pool; results come
+ * back in index order regardless of scheduling (see ParallelRunner).
+ * Benches precompute their whole configuration grid through this and
+ * then print from the result vector.
+ */
+template <typename Fn>
+inline auto
+sweep(const Options &opt, std::size_t n, Fn fn)
+{
+    ParallelRunner runner(opt.jobs);
+    return runner.map(n, fn);
 }
 
 inline Tick
@@ -90,6 +161,20 @@ population(const Options &opt, int perSuite = 2)
     }
     out.push_back("456.hmmer"); // Compute-bound control.
     return out;
+}
+
+/**
+ * Geomean of @p count consecutive sweep results starting at @p offset —
+ * the common "one grid cell group per printed column" reduction.
+ */
+inline double
+geomeanSlice(const std::vector<double> &values, std::size_t offset,
+             std::size_t count)
+{
+    const auto begin =
+        values.begin() + static_cast<std::ptrdiff_t>(offset);
+    return geomean(std::vector<double>(
+        begin, begin + static_cast<std::ptrdiff_t>(count)));
 }
 
 /** Geomean of per-workload values grouped by suite (plus "All"). */

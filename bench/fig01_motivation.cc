@@ -39,14 +39,21 @@ main(int argc, char **argv)
     };
 
     const auto workloads = population(opt);
+    const std::size_t nCols = std::size(columns);
+    const auto norms =
+        sweep(opt, workloads.size() * nCols, [&](std::size_t i) {
+            const Column &col = columns[i % nCols];
+            return normalizedPerf(cfg, workloads[i / nCols], col.attack,
+                                  col.tracker, Baseline::NoAttack,
+                                  horizon);
+        });
+
     std::map<std::string, std::map<std::string, double>> results;
-    for (const Column &col : columns) {
+    for (std::size_t c = 0; c < nCols; ++c) {
         std::map<std::string, double> perWorkload;
-        for (const auto &name : workloads)
-            perWorkload[name] =
-                normalizedPerf(cfg, name, col.attack, col.tracker,
-                               Baseline::NoAttack, horizon);
-        results[col.label] = bySuite(perWorkload);
+        for (std::size_t w = 0; w < workloads.size(); ++w)
+            perWorkload[workloads[w]] = norms[w * nCols + c];
+        results[columns[c].label] = bySuite(perWorkload);
     }
 
     std::printf("%-14s", "Suite");

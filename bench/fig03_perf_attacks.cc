@@ -42,19 +42,26 @@ main(int argc, char **argv)
         std::printf(" %12s", col.label);
     std::printf("\n");
 
+    const std::size_t nCols = std::size(columns);
+    const auto norms =
+        sweep(opt, workloads.size() * nCols, [&](std::size_t i) {
+            const Column &col = columns[i % nCols];
+            return normalizedPerf(cfg, workloads[i / nCols], col.attack,
+                                  col.tracker, Baseline::NoAttack,
+                                  horizon);
+        });
+
     std::map<std::string, std::vector<double>> hi;
     std::map<std::string, std::vector<double>> all;
-    for (const auto &name : workloads) {
-        const double rbmpki = findWorkload(name).rbmpki();
-        std::printf("%-22s %7.2f", name.c_str(), rbmpki);
-        for (const Column &col : columns) {
-            const double norm =
-                normalizedPerf(cfg, name, col.attack, col.tracker,
-                               Baseline::NoAttack, horizon);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const double rbmpki = findWorkload(workloads[w]).rbmpki();
+        std::printf("%-22s %7.2f", workloads[w].c_str(), rbmpki);
+        for (std::size_t c = 0; c < nCols; ++c) {
+            const double norm = norms[w * nCols + c];
             std::printf(" %12.3f", norm);
-            all[col.label].push_back(norm);
+            all[columns[c].label].push_back(norm);
             if (rbmpki >= 2.0)
-                hi[col.label].push_back(norm);
+                hi[columns[c].label].push_back(norm);
         }
         std::printf("\n");
     }

@@ -45,20 +45,27 @@ main(int argc, char **argv)
         std::printf(" %12s", col.label);
     std::printf("\n");
 
-    for (int nrh : thresholds) {
+    const std::size_t nCols = std::size(columns);
+    const std::size_t nThr = std::size(thresholds);
+    const std::size_t perRow = nCols * workloads.size();
+    const auto norms = sweep(opt, nThr * perRow, [&](std::size_t i) {
         Options local = opt;
-        local.nRH = nrh;
-        SysConfig cfg = makeConfig(local);
+        local.nRH = thresholds[i / perRow];
+        const SysConfig cfg = makeConfig(local);
         const Tick horizon = horizonOf(cfg, local);
-        std::printf("%-8d", nrh);
-        for (const Column &col : columns) {
-            std::vector<double> values;
-            for (const auto &name : workloads)
-                values.push_back(
-                    normalizedPerf(cfg, name, col.attack, col.tracker,
-                                   Baseline::NoAttack, horizon));
-            std::printf(" %12.3f", geomean(values));
-        }
+        const Column &col = columns[(i % perRow) / workloads.size()];
+        return normalizedPerf(cfg, workloads[i % workloads.size()],
+                              col.attack, col.tracker, Baseline::NoAttack,
+                              horizon);
+    });
+
+    for (std::size_t t = 0; t < nThr; ++t) {
+        std::printf("%-8d", thresholds[t]);
+        for (std::size_t c = 0; c < nCols; ++c)
+            std::printf(" %12.3f",
+                        geomeanSlice(norms,
+                                     t * perRow + c * workloads.size(),
+                                     workloads.size()));
         std::printf("\n");
     }
     std::printf("\n(paper: 46-71%% loss at NRH=4K; Hydra/CoMeT worsen "

@@ -44,22 +44,29 @@ main(int argc, char **argv)
         std::printf(" %12s", col.label);
     std::printf("\n");
 
-    for (int mb : llcPerCoreMB) {
-        Options local = opt;
-        SysConfig cfg = makeConfig(local);
+    const std::size_t nCols = std::size(columns);
+    const std::size_t nCaps = std::size(llcPerCoreMB);
+    const std::size_t perRow = nCols * workloads.size();
+    const auto norms = sweep(opt, nCaps * perRow, [&](std::size_t i) {
+        SysConfig cfg = makeConfig(opt);
         cfg.channels = 8;
-        cfg.llcBytes = static_cast<std::uint64_t>(mb) * cfg.numCores
+        cfg.llcBytes = static_cast<std::uint64_t>(llcPerCoreMB[i / perRow]) *
+                           cfg.numCores
                        << 20;
-        const Tick horizon = horizonOf(cfg, local);
-        std::printf("%-9dM", mb);
-        for (const Column &col : columns) {
-            std::vector<double> values;
-            for (const auto &name : workloads)
-                values.push_back(
-                    normalizedPerf(cfg, name, col.attack, col.tracker,
-                                   Baseline::NoAttack, horizon));
-            std::printf(" %12.3f", geomean(values));
-        }
+        const Tick horizon = horizonOf(cfg, opt);
+        const Column &col = columns[(i % perRow) / workloads.size()];
+        return normalizedPerf(cfg, workloads[i % workloads.size()],
+                              col.attack, col.tracker, Baseline::NoAttack,
+                              horizon);
+    });
+
+    for (std::size_t m = 0; m < nCaps; ++m) {
+        std::printf("%-9dM", llcPerCoreMB[m]);
+        for (std::size_t c = 0; c < nCols; ++c)
+            std::printf(" %12.3f",
+                        geomeanSlice(norms,
+                                     m * perRow + c * workloads.size(),
+                                     workloads.size()));
         std::printf("\n");
     }
     std::printf("\n(paper: attacks 30-79%% loss, thrash ~20%%, at 8 "

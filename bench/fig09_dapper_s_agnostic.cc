@@ -30,21 +30,31 @@ main(int argc, char **argv)
                 "Streaming ovh% (vsIdle/vsAtk)",
                 "Refresh ovh% (vsIdle/vsAtk)");
 
+    // Grid: (attack, workload) x {NoAttack, SameAttack} baselines.
+    const std::size_t nAtk = std::size(attacks);
+    const auto norms =
+        sweep(opt, nAtk * workloads.size() * 2, [&](std::size_t i) {
+            const AttackKind attack = attacks[i / (workloads.size() * 2)];
+            const std::size_t rest = i % (workloads.size() * 2);
+            const Baseline baseline =
+                rest % 2 == 0 ? Baseline::NoAttack : Baseline::SameAttack;
+            return normalizedPerf(cfg, workloads[rest / 2], attack,
+                                  TrackerKind::DapperS, baseline, horizon);
+        });
+
     std::map<std::string, std::map<std::string, double>> idleN;
     std::map<std::string, std::map<std::string, double>> atkN;
-    for (AttackKind attack : attacks) {
+    for (std::size_t a = 0; a < nAtk; ++a) {
         std::map<std::string, double> vsIdle;
         std::map<std::string, double> vsAtk;
-        for (const auto &name : workloads) {
-            vsIdle[name] = normalizedPerf(cfg, name, attack,
-                                          TrackerKind::DapperS,
-                                          Baseline::NoAttack, horizon);
-            vsAtk[name] = normalizedPerf(cfg, name, attack,
-                                         TrackerKind::DapperS,
-                                         Baseline::SameAttack, horizon);
+        for (std::size_t w = 0; w < workloads.size(); ++w) {
+            vsIdle[workloads[w]] =
+                norms[a * workloads.size() * 2 + w * 2];
+            vsAtk[workloads[w]] =
+                norms[a * workloads.size() * 2 + w * 2 + 1];
         }
-        idleN[attackName(attack)] = bySuite(vsIdle);
-        atkN[attackName(attack)] = bySuite(vsAtk);
+        idleN[attackName(attacks[a])] = bySuite(vsIdle);
+        atkN[attackName(attacks[a])] = bySuite(vsAtk);
     }
 
     const char *suites[] = {"SPEC2K6", "SPEC2K17",   "TPC", "Hadoop",

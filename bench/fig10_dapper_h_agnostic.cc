@@ -26,22 +26,27 @@ main(int argc, char **argv)
     std::printf("%-22s %7s %16s %16s\n", "Workload", "RBMPKI",
                 "Stream ovh%", "Refresh ovh%");
 
+    const auto norms =
+        sweep(opt, workloads.size() * 2, [&](std::size_t i) {
+            const AttackKind attack = i % 2 == 0
+                                          ? AttackKind::Streaming
+                                          : AttackKind::RefreshAttack;
+            return normalizedPerf(cfg, workloads[i / 2], attack,
+                                  TrackerKind::DapperH,
+                                  Baseline::SameAttack, horizon);
+        });
+
     std::vector<double> streamAll;
     std::vector<double> refreshAll;
-    for (const auto &name : workloads) {
-        const double s =
-            normalizedPerf(cfg, name, AttackKind::Streaming,
-                           TrackerKind::DapperH, Baseline::SameAttack,
-                           horizon);
-        const double r =
-            normalizedPerf(cfg, name, AttackKind::RefreshAttack,
-                           TrackerKind::DapperH, Baseline::SameAttack,
-                           horizon);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const double s = norms[w * 2];
+        const double r = norms[w * 2 + 1];
         streamAll.push_back(s);
         refreshAll.push_back(r);
-        std::printf("%-22s %7.2f %15.2f%% %15.2f%%\n", name.c_str(),
-                    findWorkload(name).rbmpki(), 100.0 * (1.0 - s),
-                    100.0 * (1.0 - r));
+        std::printf("%-22s %7.2f %15.2f%% %15.2f%%\n",
+                    workloads[w].c_str(),
+                    findWorkload(workloads[w]).rbmpki(),
+                    100.0 * (1.0 - s), 100.0 * (1.0 - r));
     }
     std::printf("\n%-30s %15.2f%% %15.2f%%\n", "geomean overhead",
                 100.0 * (1.0 - geomean(streamAll)),

@@ -23,21 +23,25 @@ main(int argc, char **argv)
     std::printf("%-22s %7s %12s %12s\n", "Workload", "RBMPKI", "Norm",
                 "Overhead%");
 
+    const auto norms = sweep(opt, workloads.size(), [&](std::size_t i) {
+        return normalizedPerf(cfg, workloads[i], AttackKind::None,
+                              TrackerKind::DapperH, Baseline::NoAttack,
+                              horizon);
+    });
+
     std::vector<double> all;
     double worst = 1.0;
     std::string worstName;
-    for (const auto &name : workloads) {
-        const double n =
-            normalizedPerf(cfg, name, AttackKind::None,
-                           TrackerKind::DapperH, Baseline::NoAttack,
-                           horizon);
+    for (std::size_t w = 0; w < workloads.size(); ++w) {
+        const double n = norms[w];
         all.push_back(n);
         if (n < worst) {
             worst = n;
-            worstName = name;
+            worstName = workloads[w];
         }
-        std::printf("%-22s %7.2f %12.4f %11.2f%%\n", name.c_str(),
-                    findWorkload(name).rbmpki(), n, 100.0 * (1.0 - n));
+        std::printf("%-22s %7.2f %12.4f %11.2f%%\n", workloads[w].c_str(),
+                    findWorkload(workloads[w]).rbmpki(), n,
+                    100.0 * (1.0 - n));
     }
     std::printf("\ngeomean overhead: %.2f%%  worst: %.2f%% (%s)\n",
                 100.0 * (1.0 - geomean(all)), 100.0 * (1.0 - worst),

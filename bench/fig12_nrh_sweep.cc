@@ -27,27 +27,37 @@ main(int argc, char **argv)
 
     std::printf("%-8s %14s %18s %18s\n", "NRH", "Benign",
                 "Streaming attack", "Refresh attack");
-    for (int nrh : thresholds) {
+    struct Cell
+    {
+        AttackKind attack;
+        Baseline baseline;
+    };
+    const Cell cells[] = {
+        {AttackKind::None, Baseline::NoAttack},
+        {AttackKind::Streaming, Baseline::SameAttack},
+        {AttackKind::RefreshAttack, Baseline::SameAttack},
+    };
+    const std::size_t nThr = std::size(thresholds);
+    const std::size_t perRow = std::size(cells) * workloads.size();
+    const auto norms = sweep(opt, nThr * perRow, [&](std::size_t i) {
         Options local = opt;
-        local.nRH = nrh;
-        SysConfig cfg = makeConfig(local);
+        local.nRH = thresholds[i / perRow];
+        const SysConfig cfg = makeConfig(local);
         const Tick horizon = horizonOf(cfg, local);
-        std::vector<double> benign;
-        std::vector<double> stream;
-        std::vector<double> refresh;
-        for (const auto &name : workloads) {
-            benign.push_back(normalizedPerf(cfg, name, AttackKind::None,
-                                            TrackerKind::DapperH,
-                                            Baseline::NoAttack, horizon));
-            stream.push_back(normalizedPerf(
-                cfg, name, AttackKind::Streaming, TrackerKind::DapperH,
-                Baseline::SameAttack, horizon));
-            refresh.push_back(normalizedPerf(
-                cfg, name, AttackKind::RefreshAttack, TrackerKind::DapperH,
-                Baseline::SameAttack, horizon));
-        }
-        std::printf("%-8d %14.4f %18.4f %18.4f\n", nrh, geomean(benign),
-                    geomean(stream), geomean(refresh));
+        const Cell &cell = cells[(i % perRow) / workloads.size()];
+        return normalizedPerf(cfg, workloads[i % workloads.size()],
+                              cell.attack, TrackerKind::DapperH,
+                              cell.baseline, horizon);
+    });
+
+    for (std::size_t t = 0; t < nThr; ++t) {
+        std::printf("%-8d", thresholds[t]);
+        for (std::size_t c = 0; c < std::size(cells); ++c)
+            std::printf(" %*.4f", c == 0 ? 14 : 18,
+                        geomeanSlice(norms,
+                                     t * perRow + c * workloads.size(),
+                                     workloads.size()));
+        std::printf("\n");
     }
     std::printf("\n(paper: <1%% at NRH>=500; ~6%% at NRH=125 under "
                 "refresh attack)\n");

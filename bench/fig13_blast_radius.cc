@@ -32,27 +32,34 @@ main(int argc, char **argv)
         std::printf(" %16s %18s", trackerName(v).c_str(), "(+refresh)");
     std::printf("\n");
 
-    for (int nrh : thresholds) {
+    const std::size_t nThr = std::size(thresholds);
+    const std::size_t nVar = std::size(variants);
+    // Index: (threshold, variant, {benign, attacked}, workload).
+    const std::size_t perVariant = 2 * workloads.size();
+    const std::size_t perRow = nVar * perVariant;
+    const auto norms = sweep(opt, nThr * perRow, [&](std::size_t i) {
         Options local = opt;
-        local.nRH = nrh;
-        SysConfig cfg = makeConfig(local);
+        local.nRH = thresholds[i / perRow];
+        const SysConfig cfg = makeConfig(local);
         const Tick horizon = horizonOf(cfg, local);
-        std::printf("%-8d", nrh);
-        for (TrackerKind v : variants) {
-            std::vector<double> benign;
-            std::vector<double> attacked;
-            for (const auto &name : workloads) {
-                benign.push_back(normalizedPerf(cfg, name,
-                                                AttackKind::None, v,
-                                                Baseline::NoAttack,
-                                                horizon));
-                attacked.push_back(normalizedPerf(
-                    cfg, name, AttackKind::RefreshAttack, v,
-                    Baseline::SameAttack, horizon));
-            }
-            std::printf(" %16.4f %18.4f", geomean(benign),
-                        geomean(attacked));
-        }
+        const TrackerKind v = variants[(i % perRow) / perVariant];
+        const bool attacked = (i % perVariant) / workloads.size() == 1;
+        return normalizedPerf(
+            cfg, workloads[i % workloads.size()],
+            attacked ? AttackKind::RefreshAttack : AttackKind::None, v,
+            attacked ? Baseline::SameAttack : Baseline::NoAttack,
+            horizon);
+    });
+
+    for (std::size_t t = 0; t < nThr; ++t) {
+        std::printf("%-8d", thresholds[t]);
+        for (std::size_t v = 0; v < nVar; ++v)
+            for (std::size_t half = 0; half < 2; ++half)
+                std::printf(half == 0 ? " %16.4f" : " %18.4f",
+                            geomeanSlice(norms,
+                                         t * perRow + v * perVariant +
+                                             half * workloads.size(),
+                                         workloads.size()));
         std::printf("\n");
     }
     std::printf("\n(paper at NRH=500 +refresh: BR1 ~1%%, BR2 ~2%%, "

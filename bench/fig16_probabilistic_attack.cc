@@ -36,20 +36,27 @@ main(int argc, char **argv)
         std::printf(" %16s", trackerName(v).c_str());
     std::printf("\n");
 
-    for (int nrh : thresholds) {
+    const std::size_t nThr = std::size(thresholds);
+    const std::size_t nVar = std::size(variants);
+    const std::size_t perRow = nVar * workloads.size();
+    const auto norms = sweep(opt, nThr * perRow, [&](std::size_t i) {
         Options local = opt;
-        local.nRH = nrh;
-        SysConfig cfg = makeConfig(local);
+        local.nRH = thresholds[i / perRow];
+        const SysConfig cfg = makeConfig(local);
         const Tick horizon = horizonOf(cfg, local);
-        std::printf("%-8d", nrh);
-        for (TrackerKind v : variants) {
-            std::vector<double> values;
-            for (const auto &name : workloads)
-                values.push_back(normalizedPerf(
-                    cfg, name, AttackKind::RefreshAttack, v,
-                    Baseline::SameAttack, horizon));
-            std::printf(" %16.4f", geomean(values));
-        }
+        return normalizedPerf(cfg, workloads[i % workloads.size()],
+                              AttackKind::RefreshAttack,
+                              variants[(i % perRow) / workloads.size()],
+                              Baseline::SameAttack, horizon);
+    });
+
+    for (std::size_t t = 0; t < nThr; ++t) {
+        std::printf("%-8d", thresholds[t]);
+        for (std::size_t v = 0; v < nVar; ++v)
+            std::printf(" %16.4f",
+                        geomeanSlice(norms,
+                                     t * perRow + v * workloads.size(),
+                                     workloads.size()));
         std::printf("\n");
     }
     std::printf("\n(paper at NRH=125: DAPPER-H 0.94, PARA 0.85, PrIDE "

@@ -27,32 +27,41 @@ main(int argc, char **argv)
 
     std::printf("%-8s %12s %12s %14s %14s\n", "NRH", "PRAC",
                 "PRAC-Perf", "DAPPER-H", "DAPPER-H-Refr");
-    for (int nrh : thresholds) {
+    struct Cell
+    {
+        TrackerKind tracker;
+        AttackKind attack;
+        Baseline baseline;
+    };
+    const Cell cells[] = {
+        {TrackerKind::Prac, AttackKind::None, Baseline::NoAttack},
+        {TrackerKind::Prac, AttackKind::RefreshAttack,
+         Baseline::SameAttack},
+        {TrackerKind::DapperH, AttackKind::None, Baseline::NoAttack},
+        {TrackerKind::DapperH, AttackKind::RefreshAttack,
+         Baseline::SameAttack},
+    };
+    const std::size_t nThr = std::size(thresholds);
+    const std::size_t perRow = std::size(cells) * workloads.size();
+    const auto norms = sweep(opt, nThr * perRow, [&](std::size_t i) {
         Options local = opt;
-        local.nRH = nrh;
-        SysConfig cfg = makeConfig(local);
+        local.nRH = thresholds[i / perRow];
+        const SysConfig cfg = makeConfig(local);
         const Tick horizon = horizonOf(cfg, local);
-        std::vector<double> pracB;
-        std::vector<double> pracA;
-        std::vector<double> dapB;
-        std::vector<double> dapA;
-        for (const auto &name : workloads) {
-            pracB.push_back(normalizedPerf(cfg, name, AttackKind::None,
-                                           TrackerKind::Prac,
-                                           Baseline::NoAttack, horizon));
-            pracA.push_back(normalizedPerf(
-                cfg, name, AttackKind::RefreshAttack, TrackerKind::Prac,
-                Baseline::SameAttack, horizon));
-            dapB.push_back(normalizedPerf(cfg, name, AttackKind::None,
-                                          TrackerKind::DapperH,
-                                          Baseline::NoAttack, horizon));
-            dapA.push_back(normalizedPerf(
-                cfg, name, AttackKind::RefreshAttack, TrackerKind::DapperH,
-                Baseline::SameAttack, horizon));
-        }
-        std::printf("%-8d %12.4f %12.4f %14.4f %14.4f\n", nrh,
-                    geomean(pracB), geomean(pracA), geomean(dapB),
-                    geomean(dapA));
+        const Cell &cell = cells[(i % perRow) / workloads.size()];
+        return normalizedPerf(cfg, workloads[i % workloads.size()],
+                              cell.attack, cell.tracker, cell.baseline,
+                              horizon);
+    });
+
+    for (std::size_t t = 0; t < nThr; ++t) {
+        std::printf("%-8d", thresholds[t]);
+        for (std::size_t c = 0; c < std::size(cells); ++c)
+            std::printf(" %*.4f", c < 2 ? 12 : 14,
+                        geomeanSlice(norms,
+                                     t * perRow + c * workloads.size(),
+                                     workloads.size()));
+        std::printf("\n");
     }
     std::printf("\n(paper: PRAC ~0.93 benign at all NRH; DAPPER-H "
                 ">= 0.96 benign, >= 0.94 attacked)\n");

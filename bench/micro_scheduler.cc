@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Scheduler benchmark: wall-clock of the simulation engine on the
+ * mitigation-blocking-heavy configurations the event-driven scheduler
+ * targets — BlockHammer false-positive throttling at ultra-low N_RH
+ * (Fig. 14's headline case) and CoMeT / ABACUS bulk structure resets,
+ * where banks spend long stretches blocked and the per-tick reference
+ * loop burns its budget on dead cycles.
+ *
+ * Run with --engine event and --engine tick and compare wall-clock; the
+ * printed stats are engine-invariant (bit-identical scheduler contract),
+ * so diffing the two outputs doubles as an equivalence check —
+ * bench/run_all.sh does exactly that and records the speedup in
+ * BENCH_scheduler.json.
+ */
+
+#include "bench/bench_util.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace dapper;
+    using namespace dapper::benchutil;
+
+    const Options opt = parse(argc, argv);
+    printHeader("Scheduler bench: mitigation-blocking configurations",
+                makeConfig(opt));
+
+    struct Cell
+    {
+        const char *label;
+        TrackerKind tracker;
+        AttackKind attack;
+        int nRH;
+    };
+    const Cell cells[] = {
+        {"blockhammer-125", TrackerKind::BlockHammer, AttackKind::None,
+         125},
+        {"blockhammer-250", TrackerKind::BlockHammer, AttackKind::None,
+         250},
+        {"blockhammer-500", TrackerKind::BlockHammer, AttackKind::None,
+         500},
+        {"comet-rat-125", TrackerKind::Comet, AttackKind::CometRat, 125},
+        {"comet-rat-500", TrackerKind::Comet, AttackKind::CometRat, 500},
+        {"abacus-spill-500", TrackerKind::Abacus, AttackKind::AbacusSpill,
+         500},
+    };
+    const std::string workload = "429.mcf";
+
+    std::printf("%-18s %10s %12s %12s %8s\n", "Config", "IPC",
+                "Activations", "Mitigations", "RHviol");
+    for (const Cell &cell : cells) {
+        Options local = opt;
+        local.nRH = cell.nRH;
+        const SysConfig cfg = makeConfig(local);
+        const RunResult r = runOnce(cfg, workload, cell.attack,
+                                    cell.tracker, horizonOf(cfg, local));
+        std::printf("%-18s %10.4f %12llu %12llu %8llu\n", cell.label,
+                    r.benignIpcMean,
+                    static_cast<unsigned long long>(r.activations),
+                    static_cast<unsigned long long>(r.mitigations),
+                    static_cast<unsigned long long>(r.rhViolations));
+    }
+    return 0;
+}

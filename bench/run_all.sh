@@ -1,0 +1,128 @@
+#!/usr/bin/env bash
+# Time every bench binary and emit machine-readable perf snapshots:
+#
+#   BENCH_all.json        per-binary wall-clock for one full pass
+#   BENCH_scheduler.json  event-driven vs tick-by-tick engine speedup
+#                         on scheduler-sensitive benches
+#
+# Usage: bench/run_all.sh [build-dir]
+#   BENCH_ARGS       args for the timing pass  (default: --windows 1 --scale 64)
+#   SCHED_ARGS       args for the engine comparison (default: --windows 1)
+#   OUT_DIR          where the JSON files land (default: repo root)
+
+set -euo pipefail
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${1:-$REPO_ROOT/build}"
+OUT_DIR="${OUT_DIR:-$REPO_ROOT}"
+BENCH_ARGS="${BENCH_ARGS:---windows 1 --scale 64}"
+SCHED_ARGS="${SCHED_ARGS:---windows 1}"
+
+if [ ! -d "$BUILD_DIR" ]; then
+    echo "build dir $BUILD_DIR not found; run: cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+fi
+
+EV_OUT="/tmp/bench_event_$$.txt"
+TK_OUT="/tmp/bench_tick_$$.txt"
+trap 'rm -f "$EV_OUT" "$TK_OUT"' EXIT
+
+now_s() { date +%s.%N; }
+
+elapsed() { # elapsed <start> <end>
+    awk -v a="$1" -v b="$2" 'BEGIN { printf "%.2f", b - a }'
+}
+
+SIM_BENCHES="fig01_motivation fig03_perf_attacks fig04_nrh_sensitivity \
+fig05_llc_sensitivity fig09_dapper_s_agnostic fig10_dapper_h_agnostic \
+fig11_dapper_h_benign fig12_nrh_sweep fig13_blast_radius fig14_blockhammer \
+fig15_probabilistic_benign fig16_probabilistic_attack fig17_prac \
+ablation_dapper_h tab04_energy micro_scheduler"
+ANALYTIC_BENCHES="tab02_mapping_capture tab03_storage"
+
+# ---------------------------------------------------------------------
+# Pass 1: time every binary once.
+# ---------------------------------------------------------------------
+ALL_JSON="$OUT_DIR/BENCH_all.json"
+{
+    echo '{'
+    echo '  "generated_by": "bench/run_all.sh",'
+    echo "  \"args\": \"$BENCH_ARGS\","
+    echo '  "benches": ['
+} > "$ALL_JSON"
+
+first=1
+for bench in $SIM_BENCHES $ANALYTIC_BENCHES; do
+    bin="$BUILD_DIR/$bench"
+    [ -x "$bin" ] || { echo "skipping $bench (not built)" >&2; continue; }
+    case " $ANALYTIC_BENCHES " in
+        *" $bench "*) args="" ;;
+        *) args="$BENCH_ARGS" ;;
+    esac
+    echo "timing $bench $args" >&2
+    t0=$(now_s)
+    # shellcheck disable=SC2086
+    "$bin" $args > /dev/null
+    t1=$(now_s)
+    secs=$(elapsed "$t0" "$t1")
+    [ $first -eq 1 ] || echo ',' >> "$ALL_JSON"
+    first=0
+    printf '    {"name": "%s", "seconds": %s}' "$bench" "$secs" >> "$ALL_JSON"
+done
+{
+    echo ''
+    echo '  ]'
+    echo '}'
+} >> "$ALL_JSON"
+echo "wrote $ALL_JSON" >&2
+
+# ---------------------------------------------------------------------
+# Pass 2: event-driven vs tick-by-tick engine on scheduler-sensitive
+# benches (fig14's BlockHammer throttling and fig03's Perf-Attack grid).
+# ---------------------------------------------------------------------
+SCHED_JSON="$OUT_DIR/BENCH_scheduler.json"
+{
+    echo '{'
+    echo '  "generated_by": "bench/run_all.sh",'
+    echo "  \"args\": \"$SCHED_ARGS\","
+    echo '  "note": "seconds_tick is the pre-refactor per-tick loop (System::runReference); seconds_event is the event-driven scheduler. Outputs are asserted identical.",'
+    echo '  "benches": ['
+} > "$SCHED_JSON"
+
+first=1
+for bench in micro_scheduler fig14_blockhammer fig03_perf_attacks; do
+    bin="$BUILD_DIR/$bench"
+    [ -x "$bin" ] || { echo "skipping $bench (not built)" >&2; continue; }
+    case "$bench" in
+        # micro_scheduler is quick: run its full default horizon so
+        # process startup does not dilute the engine comparison.
+        micro_scheduler) args="" ;;
+        *) args="$SCHED_ARGS" ;;
+    esac
+    echo "engine comparison: $bench $args" >&2
+    t0=$(now_s)
+    # shellcheck disable=SC2086
+    "$bin" $args --jobs 1 --engine event > "$EV_OUT"
+    t1=$(now_s)
+    ev=$(elapsed "$t0" "$t1")
+    t0=$(now_s)
+    # shellcheck disable=SC2086
+    "$bin" $args --jobs 1 --engine tick > "$TK_OUT"
+    t1=$(now_s)
+    tk=$(elapsed "$t0" "$t1")
+    diff -u "$EV_OUT" "$TK_OUT" >&2 ||
+        { echo "ERROR: $bench engine outputs differ (diff above)" >&2
+          exit 1; }
+    speedup=$(awk -v e="$ev" -v t="$tk" 'BEGIN { printf "%.2f", t / e }')
+    echo "  $bench: event ${ev}s tick ${tk}s speedup ${speedup}x" >&2
+    [ $first -eq 1 ] || echo ',' >> "$SCHED_JSON"
+    first=0
+    printf '    {"name": "%s", "seconds_event": %s, "seconds_tick": %s, "speedup": %s}' \
+        "$bench" "$ev" "$tk" "$speedup" >> "$SCHED_JSON"
+done
+{
+    echo ''
+    echo '  ]'
+    echo '}'
+} >> "$SCHED_JSON"
+echo "wrote $SCHED_JSON" >&2

@@ -36,34 +36,31 @@ main(int argc, char **argv)
 
     std::printf("%-8s %10s %14s %14s\n", "NRH", "Benign", "Streaming",
                 "Refresh");
-    for (int nrh : thresholds) {
+    const AttackKind attacks[] = {AttackKind::None, AttackKind::Streaming,
+                                  AttackKind::RefreshAttack};
+    const TrackerKind trackers[] = {TrackerKind::None,
+                                    TrackerKind::DapperH};
+    // Grid: (threshold, tracker, attack).
+    const std::size_t nThr = std::size(thresholds);
+    const std::size_t perRow = std::size(trackers) * std::size(attacks);
+    const auto energies = sweep(opt, nThr * perRow, [&](std::size_t i) {
         Options local = opt;
-        local.nRH = nrh;
-        SysConfig cfg = makeConfig(local);
+        local.nRH = thresholds[i / perRow];
+        const SysConfig cfg = makeConfig(local);
         const Tick horizon = horizonOf(cfg, local);
+        const TrackerKind tracker =
+            trackers[(i % perRow) / std::size(attacks)];
+        return energyOf(cfg, workload, attacks[i % std::size(attacks)],
+                        tracker, horizon);
+    });
 
-        const double baseIdle = energyOf(cfg, workload, AttackKind::None,
-                                         TrackerKind::None, horizon);
-        const double baseStream =
-            energyOf(cfg, workload, AttackKind::Streaming,
-                     TrackerKind::None, horizon);
-        const double baseRefresh =
-            energyOf(cfg, workload, AttackKind::RefreshAttack,
-                     TrackerKind::None, horizon);
-
-        const double benign = energyOf(cfg, workload, AttackKind::None,
-                                       TrackerKind::DapperH, horizon);
-        const double stream =
-            energyOf(cfg, workload, AttackKind::Streaming,
-                     TrackerKind::DapperH, horizon);
-        const double refresh =
-            energyOf(cfg, workload, AttackKind::RefreshAttack,
-                     TrackerKind::DapperH, horizon);
-
-        std::printf("%-8d %9.2f%% %13.2f%% %13.2f%%\n", nrh,
-                    100.0 * (benign / baseIdle - 1.0),
-                    100.0 * (stream / baseStream - 1.0),
-                    100.0 * (refresh / baseRefresh - 1.0));
+    for (std::size_t t = 0; t < nThr; ++t) {
+        const double *base = &energies[t * perRow];
+        const double *dap = base + std::size(attacks);
+        std::printf("%-8d %9.2f%% %13.2f%% %13.2f%%\n", thresholds[t],
+                    100.0 * (dap[0] / base[0] - 1.0),
+                    100.0 * (dap[1] / base[1] - 1.0),
+                    100.0 * (dap[2] / base[2] - 1.0));
     }
     std::printf("\n(paper: 4.5/7.0/7.5%% at 125; 0.1/0.2/1.1%% at 500; "
                 "~0 at 4000)\n");

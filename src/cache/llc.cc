@@ -135,9 +135,14 @@ Llc::memDone(const Request &req, Tick now)
         return; // Spurious (possible after reserved-way reconfiguration).
 
     insertLine(lineAddr, it->second.isWrite, now);
-    for (const auto &waiter : it->second.waiters)
+    for (const auto &waiter : it->second.waiters) {
         waiter.core->completeNow(waiter.slot);
+        waiter.core->wake(now + 1); // Head may retire next tick.
+    }
     mshrs_.erase(it);
+    // An MSHR freed: cores stalled on CacheResult::Blocked can proceed.
+    if (wakeHub_ != nullptr)
+        wakeHub_->requestWakeAll(now + 1);
 }
 
 Llc::CounterAccessResult

@@ -19,6 +19,7 @@
 #include "src/common/config.hh"
 #include "src/dram/address.hh"
 #include "src/mem/request.hh"
+#include "src/sim/scheduler.hh"
 
 namespace dapper {
 
@@ -61,6 +62,12 @@ class Llc : public MemSink
 
     /** Fill path from memory. */
     void memDone(const Request &req, Tick now) override;
+
+    /**
+     * Event-driven wiring (optional): fills free an MSHR, which may
+     * unblock any core, so they broadcast through the hub.
+     */
+    void setWakeHub(WakeHub *hub) { wakeHub_ = hub; }
 
     /**
      * Reserve the low @p ways of every set for RH counter lines (START).
@@ -119,6 +126,7 @@ class Llc : public MemSink
     const SysConfig cfg_;
     const AddressMapper &mapper_;
     std::vector<MemController *> controllers_;
+    WakeHub *wakeHub_ = nullptr;
     int sets_;
     int ways_;
     int reservedWays_ = 0;

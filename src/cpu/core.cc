@@ -51,25 +51,32 @@ Core::completeNow(std::uint32_t slot)
 void
 Core::memDone(const Request &req, Tick now)
 {
-    (void)now;
     rob_[req.tag].done = true;
     --outstanding_;
+    // The head may now retire and an MSHR-limit stall is over; both are
+    // observable no earlier than the next tick (controllers run after
+    // cores within a tick).
+    wake(now + 1);
 }
 
 void
 Core::tick(Tick now)
 {
     now_ = now;
+    bool progress = false;
+    resourceStalled_ = false;
 
     // Timed completions (LLC hits).
     while (!pending_.empty() && pending_.top().first <= now) {
         rob_[pending_.top().second].done = true;
         pending_.pop();
+        progress = true;
     }
 
     // In-order retire, up to width instructions per cycle. Bubbles of the
     // head memory instruction retire first, then the instruction itself
     // once its data arrived.
+    const std::uint64_t retiredBefore = retired_;
     int budget = width_;
     while (budget > 0 && count_ > 0) {
         Slot &head = rob_[static_cast<std::size_t>(head_)];
@@ -97,6 +104,7 @@ Core::tick(Tick now)
         --budget;
         headBubblesPrimed_ = false;
     }
+    progress = progress || retired_ != retiredBefore;
 
     // Fetch/issue, up to width instructions per cycle (bubbles count).
     int budget2 = width_;
@@ -113,8 +121,10 @@ Core::tick(Tick now)
         if (rec_.isWrite) {
             const CacheResult res =
                 llc_->access(rec_.addr, true, this, Llc::kNoSlot, now);
-            if (res == CacheResult::Blocked)
+            if (res == CacheResult::Blocked) {
+                resourceStalled_ = true;
                 break;
+            }
             pushSlot(rec_.bubbles, true);
         } else if (rec_.bypassLlc) {
             if (outstanding_ >= mshrLimit_)
@@ -126,8 +136,10 @@ Core::tick(Tick now)
             req.sink = this;
             MemController *mc =
                 controllers_[static_cast<std::size_t>(req.dram.channel)];
-            if (mc->readQueueFull())
+            if (mc->readQueueFull()) {
+                resourceStalled_ = true;
                 break;
+            }
             const std::uint32_t slot = pushSlot(rec_.bubbles, false);
             req.tag = slot;
             const bool ok = mc->enqueue(req, now);
@@ -145,13 +157,25 @@ Core::tick(Tick now)
                 --count_;
                 occupancy_ -= cost;
                 rob_[slot].valid = false;
+                resourceStalled_ = true;
                 break;
             }
             ++memReads_;
         }
         haveRec_ = false;
         budget2 -= cost;
+        progress = true;
     }
+
+    // Next-event watermark. A core that made progress may make more next
+    // tick. A stalled core changes state only through a scheduled
+    // completion (pending_) or an external wake(): its own memDone, an
+    // LLC fill for a merged miss, or a WakeHub broadcast when an MSHR or
+    // read-queue slot frees. Stalled ticks perform no observable state
+    // change, so skipping them preserves bit-identical behaviour.
+    wakeAt_ = progress ? now + 1
+                       : (pending_.empty() ? kTickMax
+                                           : pending_.top().first);
 }
 
 } // namespace dapper

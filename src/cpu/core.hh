@@ -42,6 +42,36 @@ class Core : public MemSink
 
     void tick(Tick now);
 
+    /**
+     * Earliest tick at which tick(now) can change observable state
+     * (scheduler contract, see src/sim/scheduler.hh). now+1 while the
+     * core is making progress; the earliest scheduled LLC-hit completion
+     * while stalled on one; kTickMax while only an external event
+     * (memory completion, MSHR / queue space freeing) can unblock it.
+     */
+    Tick nextEventAt() const { return wakeAt_; }
+
+    /** External wake: something this core may be blocked on changed. */
+    void
+    wake(Tick at)
+    {
+        if (at < wakeAt_)
+            wakeAt_ = at;
+    }
+
+    /**
+     * WakeHub delivery: wake only if the last tick stalled on a shared
+     * structural resource (LLC MSHR, controller read queue). A core
+     * stalled on its own full reorder window is unblocked exclusively by
+     * its own completions and stays asleep.
+     */
+    void
+    wakeIfResourceStalled(Tick at)
+    {
+        if (resourceStalled_)
+            wake(at);
+    }
+
     /** LLC hit: complete slot at absolute time @p when. */
     void completeAt(std::uint32_t slot, Tick when);
     /** LLC hit helper: complete after @p delay from the current tick. */
@@ -92,6 +122,8 @@ class Core : public MemSink
 
     int outstanding_ = 0; ///< Bypass-path requests in flight.
     Tick now_ = 0;
+    Tick wakeAt_ = 0; ///< Next-event watermark (0: run at first tick).
+    bool resourceStalled_ = false; ///< Fetch hit MSHR/queue exhaustion.
     std::uint64_t retired_ = 0;
     std::uint64_t memReads_ = 0;
 

@@ -73,6 +73,13 @@ MemController::enqueue(const Request &req, Tick now)
         counterQ_.push_back(queued);
         break;
     }
+    // A new request does not invalidate the issue memo (bank/bus state is
+    // untouched); fold its own earliest start into the memoized horizon.
+    if (eventScheduling_ && scanGen_ == stateGen_) {
+        const Tick startAt = earliestStart(queued, now);
+        if (startAt < scanNoIssueBefore_)
+            scanNoIssueBefore_ = startAt;
+    }
     wake(now);
     return true;
 }
@@ -108,6 +115,7 @@ MemController::serviceRefresh(Tick now)
             bk.actReady = std::max(bk.actReady, start + tRFC_);
         }
         rk.nextRefreshAt += tREFI_;
+        ++stateGen_; // Rows closed, banks blocked.
         ++stats_.refreshes;
         if (energy_ != nullptr)
             energy_->addRef();
@@ -131,6 +139,7 @@ MemController::blockBank(int rankId, int bankId, Tick from, Tick duration)
 void
 MemController::applyMitigation(const Mitigation &m, Tick now)
 {
+    ++stateGen_; // Bank / rank / channel blocking windows change.
     switch (m.kind) {
       case Mitigation::Kind::VrrRow:
         blockBank(m.rank, m.bank, now, cfg_.vrrTicks());
@@ -264,6 +273,8 @@ MemController::earliestStart(const Request &req, Tick now) const
 void
 MemController::issue(Request req, Tick now)
 {
+    ++stateGen_; // Bank / rank / data-bus timing advances (or a throttle
+                 // re-queue mutates actReady and the queue order).
     BankState &bk = bank(req.dram.rank, req.dram.bank);
     RankState &rk = rank(req.dram.rank);
     const bool rowHit = bk.openRow == req.dram.row;
@@ -374,7 +385,7 @@ MemController::issue(Request req, Tick now)
 
 bool
 MemController::tryIssueFrom(std::deque<Request> &queue, Tick now,
-                            bool isWrite)
+                            bool isWrite, Tick &issueWake)
 {
     (void)isWrite;
     if (queue.empty())
@@ -409,11 +420,20 @@ MemController::tryIssueFrom(std::deque<Request> &queue, Tick now,
     if (pick == queue.size()) {
         if (bestWake != kTickMax)
             wake(bestWake);
+        if (bestWake < issueWake)
+            issueWake = bestWake;
         return false;
     }
 
     Request req = queue[pick];
+    const bool readWasFull =
+        &queue == &readQ_ && queue.size() >= kReadQCap;
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+    // Cores poll readQueueFull() before enqueueing bypass reads; tell
+    // them when space appears. (issue() may immediately push the request
+    // back on a throttle, making this wake spurious — that is safe.)
+    if (readWasFull && wakeHub_ != nullptr)
+        wakeHub_->requestWakeAll(now + 1);
     issue(req, now);
     return true;
 }
@@ -448,26 +468,47 @@ MemController::tick(Tick now)
         return;
     }
 
-    // Write drain hysteresis.
+    // Write drain hysteresis. Evaluated on every visit — even ones the
+    // issue memo will skip below — because writeMode_ is a latch: the
+    // reference engine updates it at every active tick, and queue sizes
+    // only change on visits both engines share, so keeping it ahead of
+    // the fast path keeps the latch state engine-invariant.
     if (!writeMode_ && (writeQ_.size() >= kWriteQCap * 3 / 4 ||
                         (readQ_.empty() && writeQ_.size() >= 64)))
         writeMode_ = true;
     if (writeMode_ && writeQ_.size() <= kWriteQCap / 8)
         writeMode_ = false;
 
+    // Issue memo fast path: a previous scan concluded that nothing can
+    // start before scanNoIssueBefore_ and no timing state has mutated
+    // since (enqueues folded themselves into the horizon), so the
+    // FR-FCFS scan is skipped outright.
+    if (eventScheduling_ && scanGen_ == stateGen_ &&
+        now < scanNoIssueBefore_) {
+        wake(scanNoIssueBefore_);
+        recomputeWake(now);
+        return;
+    }
+
     // Priority: injected counter traffic, then demand.
-    bool issued = tryIssueFrom(counterQ_, now, false);
+    Tick issueWake = kTickMax;
+    bool issued = tryIssueFrom(counterQ_, now, false, issueWake);
     if (!issued) {
         if (writeMode_)
-            issued = tryIssueFrom(writeQ_, now, true);
+            issued = tryIssueFrom(writeQ_, now, true, issueWake);
         else
-            issued = tryIssueFrom(readQ_, now, false);
+            issued = tryIssueFrom(readQ_, now, false, issueWake);
         // Opportunistic writes when the read path has nothing ready.
         if (!issued && !writeMode_ && !writeQ_.empty())
-            issued = tryIssueFrom(writeQ_, now, true);
+            issued = tryIssueFrom(writeQ_, now, true, issueWake);
     }
-    if (issued)
+    if (issued) {
         wake(now + 1);
+    } else {
+        // Record the concluded scan; exact until stateGen_ moves.
+        scanGen_ = stateGen_;
+        scanNoIssueBefore_ = issueWake;
+    }
 
     recomputeWake(now);
 }

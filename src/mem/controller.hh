@@ -32,6 +32,7 @@
 #include "src/mem/request.hh"
 #include "src/rh/ground_truth.hh"
 #include "src/rh/tracker.hh"
+#include "src/sim/scheduler.hh"
 
 namespace dapper {
 
@@ -73,6 +74,33 @@ class MemController
 
     /** Late tracker wiring (the System builds the tracker after us). */
     void setTracker(Tracker *tracker) { tracker_ = tracker; }
+
+    /**
+     * Event-driven wiring (optional): the controller broadcasts when the
+     * read queue leaves the full state, since any core may be stalled on
+     * readQueueFull().
+     */
+    void setWakeHub(WakeHub *hub) { wakeHub_ = hub; }
+
+    /**
+     * Enable the event-scheduling issue memo. Between bank/bus state
+     * mutations (tracked by a generation counter), a concluded "nothing
+     * can issue before T" scan stays exact: timing state only mutates
+     * through issue(), refresh, and mitigations, and enqueues fold their
+     * own earliest-start into T. Visits inside the memoized window then
+     * skip the FR-FCFS scan entirely. The result stream is bit-identical
+     * either way; the reference engine keeps it off so it reproduces the
+     * pre-refactor per-tick compute schedule faithfully.
+     */
+    void
+    setEventScheduling(bool enabled)
+    {
+        eventScheduling_ = enabled;
+        // Drop any memo recorded under the other engine: enqueues are
+        // only folded into the horizon while event scheduling is on, so
+        // a generation-valid memo from before the switch may be stale.
+        scanNoIssueBefore_ = 0;
+    }
 
     /** Enqueue a request; returns false if the target queue is full. */
     bool enqueue(const Request &req, Tick now);
@@ -135,7 +163,8 @@ class MemController
 
     void serviceCompletions(Tick now);
     void serviceRefresh(Tick now);
-    bool tryIssueFrom(std::deque<Request> &queue, Tick now, bool isWrite);
+    bool tryIssueFrom(std::deque<Request> &queue, Tick now, bool isWrite,
+                      Tick &issueWake);
     /** Earliest tick request could begin; kTickMax if bank blocked. */
     Tick earliestStart(const Request &req, Tick now) const;
     void issue(Request req, Tick now);
@@ -150,6 +179,7 @@ class MemController
     const SysConfig cfg_;
     const int channel_;
     Tracker *tracker_;
+    WakeHub *wakeHub_ = nullptr;
     GroundTruth *groundTruth_;
     EnergyModel *energy_;
 
@@ -173,6 +203,14 @@ class MemController
     MitigationVec scratch_;
     MemControllerStats stats_;
     Tick nextWorkAt_ = 0;
+
+    // Issue memo (see setEventScheduling). stateGen_ counts bank / rank /
+    // bus / queue-order mutations; a recorded scan outcome is valid while
+    // the generation is unchanged.
+    bool eventScheduling_ = false;
+    std::uint64_t stateGen_ = 0;
+    std::uint64_t scanGen_ = ~std::uint64_t(0);
+    Tick scanNoIssueBefore_ = 0;
 };
 
 } // namespace dapper

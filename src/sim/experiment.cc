@@ -1,5 +1,9 @@
 #include "src/sim/experiment.hh"
 
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <sstream>
 
 #include "src/common/stats.hh"
@@ -8,21 +12,58 @@ namespace dapper {
 
 namespace {
 
-std::map<std::string, double> baselineCache;
+std::atomic<Engine> gDefaultEngine{Engine::Event};
+
+/**
+ * One memoized baseline. The once-flag serializes the (expensive)
+ * baseline simulation so concurrent sweep workers asking for the same
+ * key run it exactly once; shared_ptr ownership keeps the entry alive
+ * across a concurrent clearBaselineCache().
+ */
+struct BaselineEntry
+{
+    std::once_flag once;
+    double value = 0.0;
+};
+
+std::mutex gBaselineMutex;
+std::map<std::string, std::shared_ptr<BaselineEntry>> gBaselineCache;
 
 std::string
 fingerprint(const SysConfig &cfg, const std::string &workload,
-            AttackKind attack, Tick horizon)
+            AttackKind attack, Tick horizon, Engine engine)
 {
     std::ostringstream os;
     os << workload << '|' << static_cast<int>(attack) << '|'
        << cfg.numCores << '|' << cfg.channels << '|'
        << cfg.ranksPerChannel << '|' << cfg.llcBytes << '|' << cfg.llcWays
-       << '|' << cfg.timeScale << '|' << cfg.seed << '|' << horizon;
+       << '|' << cfg.timeScale << '|' << cfg.seed << '|' << horizon << '|'
+       << static_cast<int>(engine);
     return os.str();
 }
 
+Engine
+resolve(Engine engine)
+{
+    return engine == Engine::Default
+               ? gDefaultEngine.load(std::memory_order_relaxed)
+               : engine;
+}
+
 } // namespace
+
+void
+setDefaultEngine(Engine engine)
+{
+    if (engine != Engine::Default)
+        gDefaultEngine.store(engine, std::memory_order_relaxed);
+}
+
+Engine
+defaultEngine()
+{
+    return gDefaultEngine.load(std::memory_order_relaxed);
+}
 
 Tick
 defaultHorizon(const SysConfig &cfg)
@@ -32,7 +73,8 @@ defaultHorizon(const SysConfig &cfg)
 
 RunResult
 runOnce(const SysConfig &cfg, const std::string &workload,
-        AttackKind attack, TrackerKind tracker, Tick horizon)
+        AttackKind attack, TrackerKind tracker, Tick horizon,
+        Engine engine)
 {
     SysConfig runCfg = cfg;
     if (horizon == 0)
@@ -57,7 +99,10 @@ runOnce(const SysConfig &cfg, const std::string &workload,
     }
 
     System sys(runCfg, tracker, std::move(gens), attackerCore);
-    sys.run(horizon);
+    if (resolve(engine) == Engine::Tick)
+        sys.runReference(horizon);
+    else
+        sys.run(horizon);
 
     RunResult result;
     std::vector<double> benign;
@@ -84,27 +129,40 @@ runOnce(const SysConfig &cfg, const std::string &workload,
 double
 normalizedPerf(const SysConfig &cfg, const std::string &workload,
                AttackKind attack, TrackerKind tracker, Baseline baseline,
-               Tick horizon)
+               Tick horizon, Engine engine)
 {
     if (horizon == 0)
         horizon = defaultHorizon(cfg);
+    engine = resolve(engine);
     const AttackKind baseAttack =
         baseline == Baseline::SameAttack ? attack : AttackKind::None;
-    const std::string key = fingerprint(cfg, workload, baseAttack, horizon);
-    auto it = baselineCache.find(key);
-    if (it == baselineCache.end()) {
-        const RunResult base = runOnce(cfg, workload, baseAttack,
-                                       TrackerKind::None, horizon);
-        it = baselineCache.emplace(key, base.benignIpcMean).first;
+    const std::string key =
+        fingerprint(cfg, workload, baseAttack, horizon, engine);
+
+    std::shared_ptr<BaselineEntry> entry;
+    {
+        std::lock_guard<std::mutex> lock(gBaselineMutex);
+        auto &slot = gBaselineCache[key];
+        if (!slot)
+            slot = std::make_shared<BaselineEntry>();
+        entry = slot;
     }
-    const RunResult run = runOnce(cfg, workload, attack, tracker, horizon);
-    return it->second > 0.0 ? run.benignIpcMean / it->second : 0.0;
+    std::call_once(entry->once, [&] {
+        entry->value = runOnce(cfg, workload, baseAttack,
+                               TrackerKind::None, horizon, engine)
+                           .benignIpcMean;
+    });
+
+    const RunResult run =
+        runOnce(cfg, workload, attack, tracker, horizon, engine);
+    return entry->value > 0.0 ? run.benignIpcMean / entry->value : 0.0;
 }
 
 void
 clearBaselineCache()
 {
-    baselineCache.clear();
+    std::lock_guard<std::mutex> lock(gBaselineMutex);
+    gBaselineCache.clear();
 }
 
 } // namespace dapper

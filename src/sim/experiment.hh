@@ -39,12 +39,36 @@ struct RunResult
 Tick defaultHorizon(const SysConfig &cfg);
 
 /**
+ * Which time-advance engine System uses. Event (the default) jumps to
+ * the next component watermark; Tick is the per-cycle reference loop.
+ * Both produce bit-identical stats (tests/scheduler_equivalence_test.cc).
+ */
+enum class Engine
+{
+    Default, ///< Use the process-wide default (see setDefaultEngine).
+    Event,
+    Tick,
+};
+
+/**
+ * Set the process-wide default engine (Event or Tick). Call before
+ * spawning worker threads; reads are lock-free.
+ */
+void setDefaultEngine(Engine engine);
+Engine defaultEngine();
+
+/**
  * Run one configuration. With attack == None all cores run the benign
  * workload (homogeneous); otherwise cores 0..n-2 are benign and the last
  * core runs the attack stream.
+ *
+ * Thread-safe: each call builds its own System, and all randomness is
+ * seeded from cfg.seed, so results are independent of the calling
+ * thread and of run ordering.
  */
 RunResult runOnce(const SysConfig &cfg, const std::string &workload,
-                  AttackKind attack, TrackerKind tracker, Tick horizon = 0);
+                  AttackKind attack, TrackerKind tracker, Tick horizon = 0,
+                  Engine engine = Engine::Default);
 
 /**
  * Which insecure baseline a normalized result divides by.
@@ -65,14 +89,20 @@ enum class Baseline
 /**
  * Normalized performance of the benign cores versus the chosen insecure
  * baseline. Baselines are memoized per (workload, attack, config
- * fingerprint) within the process.
+ * fingerprint, engine) within the process; the memo is thread-safe and
+ * each baseline is simulated exactly once even under concurrent callers
+ * (ParallelRunner sweeps).
  */
 double normalizedPerf(const SysConfig &cfg, const std::string &workload,
                       AttackKind attack, TrackerKind tracker,
                       Baseline baseline = Baseline::NoAttack,
-                      Tick horizon = 0);
+                      Tick horizon = 0, Engine engine = Engine::Default);
 
-/** Clear the baseline memo (tests that vary configs heavily). */
+/**
+ * Clear the baseline memo (tests that vary configs heavily). Safe to
+ * call concurrently with normalizedPerf; in-flight baseline runs keep
+ * their entry alive and complete normally.
+ */
 void clearBaselineCache();
 
 } // namespace dapper

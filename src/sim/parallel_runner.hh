@@ -1,0 +1,127 @@
+/**
+ * @file
+ * Multi-threaded experiment sweep runner.
+ *
+ * The DAPPER figure/table benches evaluate dozens of independent
+ * (workload x attack x tracker x nRH) configurations; each simulation is
+ * single-threaded, so the sweep fans out across a std::thread pool.
+ *
+ * Determinism rules:
+ *  - results are returned indexed by job, never by completion order;
+ *  - jobs must derive all randomness from their own SysConfig::seed
+ *    (runOnce does), so values are independent of thread count and
+ *    scheduling;
+ *  - shared process state touched by jobs must be thread-safe (the
+ *    baseline memo in experiment.cc is; see normalizedPerf).
+ */
+
+#ifndef DAPPER_SIM_PARALLEL_RUNNER_HH
+#define DAPPER_SIM_PARALLEL_RUNNER_HH
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace dapper {
+
+class ParallelRunner
+{
+  public:
+    /** @param threads worker count; <= 0 selects defaultThreads(). */
+    explicit ParallelRunner(int threads = 0)
+        : threads_(threads > 0 ? threads : defaultThreads())
+    {
+    }
+
+    /** DAPPER_JOBS env override, else hardware concurrency, else 1. */
+    static int
+    defaultThreads()
+    {
+        if (const char *env = std::getenv("DAPPER_JOBS")) {
+            const int n = std::atoi(env);
+            if (n > 0)
+                return n;
+        }
+        const unsigned hw = std::thread::hardware_concurrency();
+        return hw > 0 ? static_cast<int>(hw) : 1;
+    }
+
+    int threads() const { return threads_; }
+
+    /**
+     * Evaluate fn(i) for every i in [0, n) across the pool and return
+     * the results in index order. Work is handed out through a shared
+     * atomic cursor, so long and short jobs interleave without
+     * balancing hints. The first exception thrown by a job is rethrown
+     * here after all workers have stopped.
+     */
+    template <typename Fn>
+    auto
+    map(std::size_t n, Fn fn) -> std::vector<decltype(fn(std::size_t{0}))>
+    {
+        using Result = decltype(fn(std::size_t{0}));
+        // vector<bool> packs elements, so concurrent per-index writes
+        // would race on shared words; return int/char instead.
+        static_assert(!std::is_same_v<Result, bool>,
+                      "map() cannot return bool (vector<bool> is not "
+                      "thread-safe for per-index writes)");
+        std::vector<Result> results(n);
+        if (n == 0)
+            return results;
+
+        const int workers = static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(threads_), n));
+        if (workers <= 1) {
+            for (std::size_t i = 0; i < n; ++i)
+                results[i] = fn(i);
+            return results;
+        }
+
+        std::atomic<std::size_t> cursor{0};
+        std::atomic<bool> stop{false};
+        std::mutex errorMutex;
+        std::exception_ptr firstError;
+        auto worker = [&]() {
+            for (;;) {
+                if (stop.load(std::memory_order_relaxed))
+                    return;
+                const std::size_t i =
+                    cursor.fetch_add(1, std::memory_order_relaxed);
+                if (i >= n)
+                    return;
+                try {
+                    results[i] = fn(i);
+                } catch (...) {
+                    // Abort the whole map promptly: finishing the rest
+                    // of the grid just delays the rethrow below.
+                    stop.store(true, std::memory_order_relaxed);
+                    std::lock_guard<std::mutex> lock(errorMutex);
+                    if (!firstError)
+                        firstError = std::current_exception();
+                    return;
+                }
+            }
+        };
+
+        std::vector<std::thread> pool;
+        pool.reserve(static_cast<std::size_t>(workers));
+        for (int w = 0; w < workers; ++w)
+            pool.emplace_back(worker);
+        for (auto &thread : pool)
+            thread.join();
+        if (firstError)
+            std::rethrow_exception(firstError);
+        return results;
+    }
+
+  private:
+    int threads_;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_SIM_PARALLEL_RUNNER_HH

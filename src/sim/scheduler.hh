@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Event-driven simulation scheduler primitives.
+ *
+ * The system no longer busy-loops over every core cycle. Instead each
+ * component exposes a *next-event watermark* — the earliest tick at which
+ * calling its tick(now) can change observable state:
+ *
+ *  - Core::nextEventAt(): now+1 while the core is making progress,
+ *    otherwise the earliest scheduled LLC-hit completion (or kTickMax
+ *    when only an external event can unblock it);
+ *  - MemController::nextWorkAt(): the controller's existing watermark
+ *    (bank-ready times, in-flight completions, refresh deadlines);
+ *  - the System's periodic-tracker and tREFW-window deadlines.
+ *
+ * System::run advances now_ to the minimum of these watermarks, calling
+ * tick(now) only on components that are due. tick(now) is gap-tolerant
+ * for every component: skipped ticks are exactly the ticks on which the
+ * per-tick reference loop would have made no observable state change, so
+ * event-driven and tick-by-tick execution produce bit-identical stats
+ * (tests/scheduler_equivalence_test.cc enforces this).
+ *
+ * Blocked cores cannot poll for structural resources (LLC MSHRs, the
+ * controller read queue) without defeating the scheme, so the components
+ * that free those resources publish a WakeHub broadcast instead; the
+ * System drains it once per event and lowers every core's watermark.
+ */
+
+#ifndef DAPPER_SIM_SCHEDULER_HH
+#define DAPPER_SIM_SCHEDULER_HH
+
+#include "src/common/types.hh"
+
+namespace dapper {
+
+/**
+ * Broadcast wake channel for events that may unblock *any* core: an LLC
+ * MSHR freeing (Llc::memDone) or the controller read queue leaving the
+ * full state. Producers request a wake; the System drains the request
+ * once per simulated event and forwards it to the cores whose last tick
+ * stalled on such a structural resource (Core::wakeIfResourceStalled) —
+ * cores stalled on their own reorder window can only be unblocked by
+ * their own completions and are left asleep.
+ *
+ * Spurious wakes are safe (a woken core with nothing to do performs no
+ * observable state change); missed wakes are not, so producers must be
+ * conservative.
+ */
+class WakeHub
+{
+  public:
+    /** Ask for every core to be woken no later than @p at. */
+    void
+    requestWakeAll(Tick at)
+    {
+        if (at < wakeAt_)
+            wakeAt_ = at;
+    }
+
+    /** Drain the pending request; returns kTickMax when none. */
+    Tick
+    take()
+    {
+        const Tick at = wakeAt_;
+        wakeAt_ = kTickMax;
+        return at;
+    }
+
+  private:
+    Tick wakeAt_ = kTickMax;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_SIM_SCHEDULER_HH

@@ -27,6 +27,9 @@ System::System(const SysConfig &cfg, TrackerKind kind,
     }
 
     llc_ = std::make_unique<Llc>(cfg_, mapper_, mcPtrs);
+    llc_->setWakeHub(&wakeHub_);
+    for (auto &mc : controllers_)
+        mc->setWakeHub(&wakeHub_);
     if (reservesLlc(kind))
         llc_->reserveWays(cfg_.llcWays / 2);
 
@@ -44,6 +47,10 @@ System::System(const SysConfig &cfg, TrackerKind kind,
                                                 &mapper_, cfg_.coreMshrs));
     }
 
+    for (auto &core : cores_)
+        coreRaw_.push_back(core.get());
+    mcRaw_ = mcPtrs;
+
     nextWindowAt_ = cfg_.tREFW();
     periodicStep_ = std::max<Tick>(1, cfg_.tREFI() / 4);
     nextPeriodicAt_ = periodicStep_;
@@ -58,33 +65,89 @@ System::applySystemMitigations(const MitigationVec &actions, Tick now)
 }
 
 void
-System::run(Tick horizon)
+System::serviceDeadlines(Tick t)
 {
     Tracker *tracker = tracker_.get();
+    if (t >= nextPeriodicAt_) {
+        nextPeriodicAt_ += periodicStep_;
+        if (tracker != nullptr) {
+            scratch_.clear();
+            tracker->onPeriodic(t, scratch_);
+            applySystemMitigations(scratch_, t);
+        }
+    }
+    if (t >= nextWindowAt_) {
+        nextWindowAt_ += cfg_.tREFW();
+        groundTruth_->onWindowBoundary();
+        if (tracker != nullptr) {
+            scratch_.clear();
+            tracker->onRefreshWindow(t, scratch_);
+            applySystemMitigations(scratch_, t);
+        }
+    }
+}
+
+void
+System::run(Tick horizon)
+{
+    // Event scheduling: controllers may memoize their issue-path scans
+    // behind the stateGen_/watermark contract (see controller.hh); the
+    // reference loop keeps the pre-refactor per-visit schedule.
+    for (MemController *mc : mcRaw_)
+        mc->setEventScheduling(true);
+
+    while (now_ < horizon) {
+        const Tick t = now_;
+        // Same intra-tick order as the reference loop: cores, then
+        // controllers, then the periodic / window deadlines — but only
+        // components whose watermark is due get called. Watermark
+        // minima are folded into the same pass.
+        for (Core *core : coreRaw_)
+            if (core->nextEventAt() <= t)
+                core->tick(t);
+        for (MemController *mc : mcRaw_)
+            if (mc->nextWorkAt() <= t)
+                mc->tick(t);
+        if (t >= nextPeriodicAt_ || t >= nextWindowAt_)
+            serviceDeadlines(t);
+
+        // Controller watermarks are read only after every controller
+        // (and the deadlines) ran: a later channel's completion can
+        // enqueue an LLC writeback into an earlier one, re-arming it at
+        // t, and mitigations can do the same.
+        Tick mcMin = kTickMax;
+        for (MemController *mc : mcRaw_)
+            mcMin = std::min(mcMin, mc->nextWorkAt());
+
+        // Structural-resource broadcasts (MSHR / read-queue space freed
+        // during the controller ticks above) wake the cores that stalled
+        // on such a resource; other stalled cores cannot use it.
+        const Tick broadcast = wakeHub_.take();
+        if (broadcast != kTickMax)
+            for (Core *core : coreRaw_)
+                core->wakeIfResourceStalled(broadcast);
+
+        // Core watermarks may have dropped during the controller phase
+        // (memDone, fill waiters, broadcasts), so fold them in last.
+        Tick next = std::min(mcMin, std::min(nextPeriodicAt_, nextWindowAt_));
+        for (Core *core : coreRaw_)
+            next = std::min(next, core->nextEventAt());
+        now_ = std::max(t + 1, std::min(next, horizon));
+    }
+}
+
+void
+System::runReference(Tick horizon)
+{
+    for (MemController *mc : mcRaw_)
+        mc->setEventScheduling(false);
     while (now_ < horizon) {
         const Tick t = now_;
         for (auto &core : cores_)
             core->tick(t);
         for (auto &mc : controllers_)
             mc->tick(t);
-
-        if (t >= nextPeriodicAt_) {
-            nextPeriodicAt_ += periodicStep_;
-            if (tracker != nullptr) {
-                scratch_.clear();
-                tracker->onPeriodic(t, scratch_);
-                applySystemMitigations(scratch_, t);
-            }
-        }
-        if (t >= nextWindowAt_) {
-            nextWindowAt_ += cfg_.tREFW();
-            groundTruth_->onWindowBoundary();
-            if (tracker != nullptr) {
-                scratch_.clear();
-                tracker->onRefreshWindow(t, scratch_);
-                applySystemMitigations(scratch_, t);
-            }
-        }
+        serviceDeadlines(t);
         ++now_;
     }
 }

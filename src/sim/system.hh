@@ -20,6 +20,7 @@
 #include "src/rh/factory.hh"
 #include "src/rh/ground_truth.hh"
 #include "src/rh/tracker.hh"
+#include "src/sim/scheduler.hh"
 #include "src/workload/trace_gen.hh"
 
 namespace dapper {
@@ -36,8 +37,20 @@ class System
            std::vector<std::unique_ptr<TraceGen>> gens,
            int attackerCore = -1);
 
-    /** Advance the whole system to @p horizon ticks. */
+    /**
+     * Advance the whole system to @p horizon ticks with the event-driven
+     * scheduler: time jumps to the minimum of the component next-event
+     * watermarks (see src/sim/scheduler.hh) instead of visiting every
+     * tick. Produces bit-identical stats to runReference().
+     */
     void run(Tick horizon);
+
+    /**
+     * Reference tick-by-tick advance (the pre-scheduler loop): every
+     * component is ticked on every core cycle. Kept as the equivalence
+     * oracle for the event-driven engine; much slower.
+     */
+    void runReference(Tick horizon);
 
     double
     ipc(int core) const
@@ -62,6 +75,9 @@ class System
 
   private:
     void applySystemMitigations(const MitigationVec &actions, Tick now);
+    /** Periodic tracker hook + tREFW window boundary, shared by both
+     *  engines; fires when due at @p t. */
+    void serviceDeadlines(Tick t);
 
     SysConfig cfg_;
     AddressMapper mapper_;
@@ -72,11 +88,15 @@ class System
     std::unique_ptr<Llc> llc_;
     std::vector<std::unique_ptr<TraceGen>> gens_;
     std::vector<std::unique_ptr<Core>> cores_;
+    /// Raw views of cores_/controllers_ for the hot event loop.
+    std::vector<Core *> coreRaw_;
+    std::vector<MemController *> mcRaw_;
     Tick now_ = 0;
     Tick nextWindowAt_;
     Tick nextPeriodicAt_;
     Tick periodicStep_;
     MitigationVec scratch_;
+    WakeHub wakeHub_;
 };
 
 } // namespace dapper

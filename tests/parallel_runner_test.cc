@@ -1,0 +1,106 @@
+/**
+ * @file
+ * ParallelRunner and concurrent-experiment tests: deterministic result
+ * ordering, exception propagation, and thread safety of the baseline
+ * memo in experiment.cc (each baseline simulated exactly once, results
+ * independent of thread count).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+
+#include "src/sim/experiment.hh"
+#include "src/sim/parallel_runner.hh"
+
+namespace dapper {
+namespace {
+
+TEST(ParallelRunner, ResultsComeBackInIndexOrder)
+{
+    ParallelRunner runner(4);
+    const auto out = runner.map(100, [](std::size_t i) {
+        return static_cast<int>(i) * 3;
+    });
+    ASSERT_EQ(out.size(), 100u);
+    for (std::size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], static_cast<int>(i) * 3);
+}
+
+TEST(ParallelRunner, EmptyAndSingleElementWork)
+{
+    ParallelRunner runner(4);
+    EXPECT_TRUE(runner.map(0, [](std::size_t) { return 1; }).empty());
+    const auto one = runner.map(1, [](std::size_t i) { return i + 7; });
+    ASSERT_EQ(one.size(), 1u);
+    EXPECT_EQ(one[0], 7u);
+}
+
+TEST(ParallelRunner, EveryIndexRunsExactlyOnce)
+{
+    ParallelRunner runner(8);
+    std::vector<std::atomic<int>> hits(64);
+    runner.map(64, [&](std::size_t i) {
+        hits[i].fetch_add(1);
+        return 0;
+    });
+    for (const auto &h : hits)
+        EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelRunner, FirstExceptionPropagates)
+{
+    ParallelRunner runner(4);
+    EXPECT_THROW(runner.map(16,
+                            [](std::size_t i) {
+                                if (i == 5)
+                                    throw std::runtime_error("boom");
+                                return i;
+                            }),
+                 std::runtime_error);
+}
+
+TEST(ParallelRunner, ThreadCountSelection)
+{
+    EXPECT_GE(ParallelRunner::defaultThreads(), 1);
+    EXPECT_EQ(ParallelRunner(3).threads(), 3);
+}
+
+/**
+ * Concurrent normalizedPerf calls sharing one baseline must agree with
+ * the serial result exactly: the memo computes each baseline once and
+ * every simulation draws only on its own config's seed.
+ */
+TEST(ParallelExperiments, ConcurrentNormalizedPerfMatchesSerial)
+{
+    SysConfig cfg;
+    cfg.nRH = 500;
+    cfg.timeScale = 32.0;
+    const Tick horizon = 150000;
+    const TrackerKind kinds[] = {TrackerKind::Hydra, TrackerKind::DapperH,
+                                 TrackerKind::DapperS,
+                                 TrackerKind::Graphene};
+
+    clearBaselineCache();
+    std::vector<double> serial;
+    for (TrackerKind kind : kinds)
+        serial.push_back(normalizedPerf(cfg, "429.mcf", AttackKind::None,
+                                        kind, Baseline::NoAttack,
+                                        horizon));
+
+    clearBaselineCache();
+    ParallelRunner runner(4);
+    const auto parallel = runner.map(std::size(kinds), [&](std::size_t i) {
+        return normalizedPerf(cfg, "429.mcf", AttackKind::None, kinds[i],
+                              Baseline::NoAttack, horizon);
+    });
+
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(parallel[i], serial[i]) << "tracker " << i;
+    clearBaselineCache();
+}
+
+} // namespace
+} // namespace dapper

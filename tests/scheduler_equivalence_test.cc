@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Event-driven scheduler equivalence: System::run (next-event time
+ * advance) must produce bit-identical RunResult stats to the
+ * tick-by-tick reference loop (System::runReference) on the same seed.
+ * This is the contract that lets every experiment and test run on the
+ * fast engine — any divergence here is a scheduler bug, not noise.
+ *
+ * Coverage: trackers with counter traffic (Hydra), LLC way reservation
+ * (START), mitigation bursts (DAPPER-H), plus the unprotected system,
+ * against no attack, a streaming attack, and a refresh-exploiting
+ * attack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "src/sim/experiment.hh"
+
+namespace dapper {
+namespace {
+
+SysConfig
+smallCfg()
+{
+    SysConfig cfg;
+    cfg.nRH = 500;
+    cfg.timeScale = 32.0;
+    return cfg;
+}
+
+void
+expectIdentical(const RunResult &event, const RunResult &tick)
+{
+    ASSERT_EQ(event.coreIpc.size(), tick.coreIpc.size());
+    for (std::size_t i = 0; i < event.coreIpc.size(); ++i)
+        EXPECT_EQ(event.coreIpc[i], tick.coreIpc[i]) << "core " << i;
+    EXPECT_EQ(event.benignIpcMean, tick.benignIpcMean);
+    EXPECT_EQ(event.mitigations, tick.mitigations);
+    EXPECT_EQ(event.bulkResets, tick.bulkResets);
+    EXPECT_EQ(event.counterTraffic, tick.counterTraffic);
+    EXPECT_EQ(event.activations, tick.activations);
+    EXPECT_EQ(event.maxDamage, tick.maxDamage);
+    EXPECT_EQ(event.rhViolations, tick.rhViolations);
+    EXPECT_EQ(event.energyNj, tick.energyNj);
+}
+
+class SchedulerEquivalence
+    : public ::testing::TestWithParam<std::pair<TrackerKind, AttackKind>>
+{
+};
+
+TEST_P(SchedulerEquivalence, EventMatchesTickExactly)
+{
+    const auto [tracker, attack] = GetParam();
+    const SysConfig cfg = smallCfg();
+    const Tick horizon = 300000;
+
+    const RunResult event = runOnce(cfg, "429.mcf", attack, tracker,
+                                    horizon, Engine::Event);
+    const RunResult tick = runOnce(cfg, "429.mcf", attack, tracker,
+                                   horizon, Engine::Tick);
+    expectIdentical(event, tick);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TrackersAndAttacks, SchedulerEquivalence,
+    ::testing::Values(
+        std::make_pair(TrackerKind::None, AttackKind::None),
+        std::make_pair(TrackerKind::None, AttackKind::RefreshAttack),
+        std::make_pair(TrackerKind::Hydra, AttackKind::None),
+        std::make_pair(TrackerKind::Hydra, AttackKind::HydraRcc),
+        std::make_pair(TrackerKind::Start, AttackKind::Streaming),
+        std::make_pair(TrackerKind::Start, AttackKind::StartStream),
+        std::make_pair(TrackerKind::DapperH, AttackKind::Streaming),
+        std::make_pair(TrackerKind::DapperH, AttackKind::RefreshAttack),
+        // Paths that stress the issue memo / wake plumbing hardest:
+        // activation throttling, probabilistic mitigation bursts, PRAC
+        // ABO channel stalls, and bulk structure resets.
+        std::make_pair(TrackerKind::BlockHammer, AttackKind::None),
+        std::make_pair(TrackerKind::Para, AttackKind::RefreshAttack),
+        std::make_pair(TrackerKind::Prac, AttackKind::RefreshAttack),
+        std::make_pair(TrackerKind::Abacus, AttackKind::AbacusSpill)));
+
+/** A compute-bound workload exercises the always-busy core fast path. */
+TEST(SchedulerEquivalenceComputeBound, EventMatchesTickExactly)
+{
+    const SysConfig cfg = smallCfg();
+    const RunResult event = runOnce(cfg, "456.hmmer", AttackKind::None,
+                                    TrackerKind::DapperS, 200000,
+                                    Engine::Event);
+    const RunResult tick = runOnce(cfg, "456.hmmer", AttackKind::None,
+                                   TrackerKind::DapperS, 200000,
+                                   Engine::Tick);
+    expectIdentical(event, tick);
+}
+
+/** Ultra-low threshold: dense throttling / mitigation blocking. */
+TEST(SchedulerEquivalenceLowThreshold, EventMatchesTickExactly)
+{
+    SysConfig cfg = smallCfg();
+    cfg.nRH = 125;
+    const RunResult event = runOnce(cfg, "429.mcf", AttackKind::None,
+                                    TrackerKind::BlockHammer, 250000,
+                                    Engine::Event);
+    const RunResult tick = runOnce(cfg, "429.mcf", AttackKind::None,
+                                   TrackerKind::BlockHammer, 250000,
+                                   Engine::Tick);
+    expectIdentical(event, tick);
+}
+
+/** Longer horizon crossing a tREFW window boundary with mitigations. */
+TEST(SchedulerEquivalenceWindow, EventMatchesTickAcrossWindows)
+{
+    SysConfig cfg = smallCfg();
+    const Tick horizon = cfg.tREFW() + cfg.tREFW() / 4;
+    const RunResult event = runOnce(cfg, "510.parest",
+                                    AttackKind::RefreshAttack,
+                                    TrackerKind::Comet, horizon,
+                                    Engine::Event);
+    const RunResult tick = runOnce(cfg, "510.parest",
+                                   AttackKind::RefreshAttack,
+                                   TrackerKind::Comet, horizon,
+                                   Engine::Tick);
+    expectIdentical(event, tick);
+}
+
+} // namespace
+} // namespace dapper
