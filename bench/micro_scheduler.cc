@@ -5,7 +5,10 @@
  * targets — BlockHammer false-positive throttling at ultra-low N_RH
  * (Fig. 14's headline case) and CoMeT / ABACUS bulk structure resets,
  * where banks spend long stretches blocked and the per-tick reference
- * loop burns its budget on dead cycles.
+ * loop burns its budget on dead cycles — plus saturated Perf-Attack
+ * cells (Hydra / START under their tailored attacks), where most ticks
+ * are active and the issue-scan cost of the per-bank FR-FCFS queue
+ * index dominates instead.
  *
  * Run with --engine event and --engine tick and compare wall-clock; the
  * printed stats are engine-invariant (bit-identical scheduler contract),
@@ -43,6 +46,12 @@ main(int argc, char **argv)
         {"comet-rat-125", TrackerKind::Comet, AttackKind::CometRat, 125},
         {"comet-rat-500", TrackerKind::Comet, AttackKind::CometRat, 500},
         {"abacus-spill-500", TrackerKind::Abacus, AttackKind::AbacusSpill,
+         500},
+        // Saturated Perf-Attack cells: the memory system stays busy, so
+        // engine wins must come from cheap issue decisions, not skipped
+        // dead time.
+        {"hydra-rcc-500", TrackerKind::Hydra, AttackKind::HydraRcc, 500},
+        {"start-stream-500", TrackerKind::Start, AttackKind::StartStream,
          500},
     };
     const std::string workload = "429.mcf";

@@ -5,7 +5,8 @@
 #   BENCH_scheduler.json  event-driven vs tick-by-tick engine speedup
 #                         on scheduler-sensitive benches
 #
-# Usage: bench/run_all.sh [build-dir]
+# Usage: bench/run_all.sh [--full] [build-dir]
+#   --full           run the complete 57-workload population (nightly CI)
 #   BENCH_ARGS       args for the timing pass  (default: --windows 1 --scale 64)
 #   SCHED_ARGS       args for the engine comparison (default: --windows 1)
 #   OUT_DIR          where the JSON files land (default: repo root)
@@ -13,10 +14,17 @@
 set -euo pipefail
 
 REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
-BUILD_DIR="${1:-$REPO_ROOT/build}"
-OUT_DIR="${OUT_DIR:-$REPO_ROOT}"
 BENCH_ARGS="${BENCH_ARGS:---windows 1 --scale 64}"
 SCHED_ARGS="${SCHED_ARGS:---windows 1}"
+BUILD_DIR=""
+for arg in "$@"; do
+    case "$arg" in
+        --full) BENCH_ARGS="$BENCH_ARGS --full" ;;
+        *) BUILD_DIR="$arg" ;;
+    esac
+done
+BUILD_DIR="${BUILD_DIR:-$REPO_ROOT/build}"
+OUT_DIR="${OUT_DIR:-$REPO_ROOT}"
 
 if [ ! -d "$BUILD_DIR" ]; then
     echo "build dir $BUILD_DIR not found; run: cmake -B build -S . && cmake --build build -j" >&2
@@ -37,7 +45,7 @@ SIM_BENCHES="fig01_motivation fig03_perf_attacks fig04_nrh_sensitivity \
 fig05_llc_sensitivity fig09_dapper_s_agnostic fig10_dapper_h_agnostic \
 fig11_dapper_h_benign fig12_nrh_sweep fig13_blast_radius fig14_blockhammer \
 fig15_probabilistic_benign fig16_probabilistic_attack fig17_prac \
-ablation_dapper_h tab04_energy micro_scheduler"
+ablation_dapper_h tab04_energy micro_scheduler micro_controller"
 ANALYTIC_BENCHES="tab02_mapping_capture tab03_storage"
 
 # ---------------------------------------------------------------------
@@ -90,13 +98,13 @@ SCHED_JSON="$OUT_DIR/BENCH_scheduler.json"
 } > "$SCHED_JSON"
 
 first=1
-for bench in micro_scheduler fig14_blockhammer fig03_perf_attacks; do
+for bench in micro_scheduler micro_controller fig14_blockhammer fig03_perf_attacks; do
     bin="$BUILD_DIR/$bench"
     [ -x "$bin" ] || { echo "skipping $bench (not built)" >&2; continue; }
     case "$bench" in
-        # micro_scheduler is quick: run its full default horizon so
-        # process startup does not dilute the engine comparison.
-        micro_scheduler) args="" ;;
+        # The micro benches are quick: run their full default horizons
+        # so process startup does not dilute the engine comparison.
+        micro_scheduler|micro_controller) args="" ;;
         *) args="$SCHED_ARGS" ;;
     esac
     echo "engine comparison: $bench $args" >&2

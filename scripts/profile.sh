@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# gprof helper: build a bench with -pg -O2 in a dedicated build dir and
+# print the top of the flat profile, so perf PRs start from data.
+#
+# Usage: scripts/profile.sh <bench> [bench-args...]
+#   e.g. scripts/profile.sh micro_scheduler --windows 1 --engine event
+#
+#   PROF_BUILD_DIR   profiling build dir (default: <repo>/build-prof)
+#   PROF_TOP         flat-profile lines to print (default: 20)
+#
+# Notes: the container has no perf(1); gprof samples the main thread,
+# so pass --jobs 1 to benches that sweep through ParallelRunner.
+
+set -euo pipefail
+
+if [ $# -lt 1 ]; then
+    echo "usage: $0 <bench> [bench-args...]" >&2
+    exit 2
+fi
+
+BENCH="$1"
+shift
+
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+BUILD_DIR="${PROF_BUILD_DIR:-$REPO_ROOT/build-prof}"
+TOP="${PROF_TOP:-20}"
+
+cmake -B "$BUILD_DIR" -S "$REPO_ROOT" \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+      -DCMAKE_CXX_FLAGS="-pg -O2" > /dev/null
+cmake --build "$BUILD_DIR" --target "$BENCH" -j"$(nproc)" > /dev/null
+
+RUN_DIR="$(mktemp -d)"
+trap 'rm -rf "$RUN_DIR"' EXIT
+echo "running $BENCH $* (profiled)..." >&2
+(cd "$RUN_DIR" && "$BUILD_DIR/$BENCH" "$@" > /dev/null)
+
+# Flat profile header (5 lines) + top functions.
+gprof -b "$BUILD_DIR/$BENCH" "$RUN_DIR/gmon.out" |
+    head -n "$((TOP + 5))"

@@ -5,6 +5,168 @@
 
 namespace dapper {
 
+Tick
+LatencyReservoir::percentile(double p) const
+{
+    if (samples.empty())
+        return 0;
+    std::vector<Tick> sorted(samples);
+    std::size_t idx = static_cast<std::size_t>(
+        p * static_cast<double>(sorted.size()));
+    if (idx >= sorted.size())
+        idx = sorted.size() - 1;
+    std::nth_element(sorted.begin(),
+                     sorted.begin() + static_cast<std::ptrdiff_t>(idx),
+                     sorted.end());
+    return sorted[idx];
+}
+
+// ---------------------------------------------------------------------
+// BankQueueIndex: intrusive per-bank FIFO lists + scan memo.
+// ---------------------------------------------------------------------
+
+std::int32_t
+MemController::BankQueueIndex::alloc(std::int64_t seq, std::int32_t row)
+{
+    std::int32_t n;
+    if (freeHead_ != kNone) {
+        n = freeHead_;
+        freeHead_ = pool_[static_cast<std::size_t>(n)].next;
+    } else {
+        n = static_cast<std::int32_t>(pool_.size());
+        pool_.emplace_back();
+    }
+    pool_[static_cast<std::size_t>(n)] = Node{seq, row, kNone};
+    return n;
+}
+
+void
+MemController::BankQueueIndex::pushBack(int b, std::int64_t seq,
+                                        std::int32_t row)
+{
+    PerBank &pb = banks_[static_cast<std::size_t>(b)];
+    const std::int32_t n = alloc(seq, row);
+    if (pb.tail == kNone) {
+        pb.head = pb.tail = n;
+        activate(b);
+    } else {
+        pool_[static_cast<std::size_t>(pb.tail)].next = n;
+        pb.tail = n;
+    }
+    ++pb.count;
+    // A tail append cannot displace an already-known first hit / first
+    // miss; it only bounds a completeness claim that covered the tail.
+    if (pb.scanValid && (pb.hitNode == kNone || pb.missNode == kNone))
+        pb.scanWindowSeq = std::min(pb.scanWindowSeq, seq - 1);
+}
+
+void
+MemController::BankQueueIndex::pushFront(int b, std::int64_t seq,
+                                         std::int32_t row)
+{
+    PerBank &pb = banks_[static_cast<std::size_t>(b)];
+    const std::int32_t n = alloc(seq, row);
+    pool_[static_cast<std::size_t>(n)].next = pb.head;
+    pb.head = n;
+    if (pb.tail == kNone) {
+        pb.tail = n;
+        activate(b);
+    }
+    ++pb.count;
+    pb.scanValid = false;
+}
+
+void
+MemController::BankQueueIndex::remove(int b, std::int32_t n,
+                                      std::int32_t prev)
+{
+    PerBank &pb = banks_[static_cast<std::size_t>(b)];
+    Node &nd = pool_[static_cast<std::size_t>(n)];
+    if (prev == kNone) {
+        assert(pb.head == n);
+        pb.head = nd.next;
+    } else {
+        assert(pool_[static_cast<std::size_t>(prev)].next == n);
+        pool_[static_cast<std::size_t>(prev)].next = nd.next;
+    }
+    if (pb.tail == n)
+        pb.tail = prev;
+    --pb.count;
+    pb.scanValid = false;
+    release(n);
+    if (pb.count == 0)
+        deactivate(b);
+}
+
+void
+MemController::BankQueueIndex::removeBySeq(int b, std::int64_t seq)
+{
+    const PerBank &pb = banks_[static_cast<std::size_t>(b)];
+    std::int32_t prev = kNone;
+    std::int32_t n = pb.head;
+    while (n != kNone && pool_[static_cast<std::size_t>(n)].seq != seq) {
+        prev = n;
+        n = pool_[static_cast<std::size_t>(n)].next;
+    }
+    assert(n != kNone && "removeBySeq: seq not in bank list");
+    remove(b, n, prev);
+}
+
+void
+MemController::BankQueueIndex::ensureScan(int b, std::int32_t openRow,
+                                          std::int64_t windowSeq)
+{
+    PerBank &pb = banks_[static_cast<std::size_t>(b)];
+    // The memo's firsts are minima over seq-ordered prefixes, so they
+    // stay correct when the window shrinks; only growth past the
+    // examined horizon (or a row / list change) forces a rescan.
+    if (pb.scanValid && pb.scanRow == openRow &&
+        windowSeq <= pb.scanWindowSeq)
+        return;
+
+    pb.scanValid = true;
+    pb.scanRow = openRow;
+    pb.hitSeq = pb.missSeq = kSeqMax;
+    pb.hitNode = pb.hitPrev = kNone;
+    pb.missNode = pb.missPrev = kNone;
+
+    std::int32_t prev = kNone;
+    std::int32_t n = pb.head;
+    while (n != kNone) {
+        const Node &nd = pool_[static_cast<std::size_t>(n)];
+        if (nd.seq > windowSeq)
+            break; // Beyond the scan window: cannot compete.
+        if (nd.row == openRow) {
+            if (pb.hitNode == kNone) {
+                pb.hitSeq = nd.seq;
+                pb.hitNode = n;
+                pb.hitPrev = prev;
+            }
+        } else if (pb.missNode == kNone) {
+            pb.missSeq = nd.seq;
+            pb.missNode = n;
+            pb.missPrev = prev;
+        }
+        if (pb.hitNode != kNone && pb.missNode != kNone)
+            break; // Both firsts found: complete for every window.
+        prev = n;
+        n = nd.next;
+    }
+    const bool complete =
+        n == kNone || (pb.hitNode != kNone && pb.missNode != kNone);
+    // A partial scan stopped at the first node beyond the window; every
+    // node before it was examined, so the memo stays complete for any
+    // window threshold below that node — not merely the current one.
+    // (Without this, the sliding window would invalidate every
+    // partially-scanned bank on each issue.)
+    pb.scanWindowSeq =
+        complete ? kSeqMax : pool_[static_cast<std::size_t>(n)].seq - 1;
+}
+
+// ---------------------------------------------------------------------
+// MemController.
+// ---------------------------------------------------------------------
+
 MemController::MemController(const SysConfig &cfg, int channel,
                              Tracker *tracker, GroundTruth *groundTruth,
                              EnergyModel *energy)
@@ -24,21 +186,35 @@ MemController::MemController(const SysConfig &cfg, int channel,
       tRFC_(cfg.tRFC()),
       tREFI_(cfg.tREFI()),
       tBL_(cfg.tBL()),
-      tFAW_(cfg.tFAW())
+      tFAW_(cfg.tFAW()),
+      banksPerRank_(cfg.banksPerRank())
 {
-    banks_.resize(static_cast<std::size_t>(cfg.ranksPerChannel) *
-                  cfg.banksPerRank());
+    const int numBanks = cfg.ranksPerChannel * banksPerRank_;
+    banks_.resize(static_cast<std::size_t>(numBanks));
     ranks_.resize(static_cast<std::size_t>(cfg.ranksPerChannel));
     // Stagger the first refresh across ranks.
     for (int r = 0; r < cfg.ranksPerChannel; ++r)
         ranks_[static_cast<std::size_t>(r)].nextRefreshAt =
             tREFI_ + static_cast<Tick>(r) * (tREFI_ / 2 + 1);
+    refreshMin_ = kTickMax;
+    for (const RankState &rk : ranks_)
+        refreshMin_ = std::min(refreshMin_, rk.nextRefreshAt);
+
+    readQ_.idx.init(numBanks);
+    writeQ_.idx.init(numBanks);
+    counterQ_.idx.init(numBanks);
+    hitStartRaw_.assign(static_cast<std::size_t>(numBanks), 0);
+    missStartRaw_.assign(static_cast<std::size_t>(numBanks), 0);
+    bankTimingStamp_.assign(static_cast<std::size_t>(numBanks),
+                            ~std::uint64_t(0));
+    bankGen_.assign(static_cast<std::size_t>(numBanks), 0);
+    rankGen_.assign(static_cast<std::size_t>(cfg.ranksPerChannel), 0);
 }
 
 MemController::BankState &
 MemController::bank(int rankId, int bankId)
 {
-    return banks_[static_cast<std::size_t>(rankId) * cfg_.banksPerRank() +
+    return banks_[static_cast<std::size_t>(rankId) * banksPerRank_ +
                   bankId];
 }
 
@@ -52,27 +228,30 @@ bool
 MemController::enqueue(const Request &req, Tick now)
 {
     assert(req.dram.channel == channel_);
-    Request queued = req;
-    queued.enqueuedAt = now;
-
+    QueueState *qs;
     switch (req.type) {
       case ReqType::Read:
-        if (readQ_.size() >= kReadQCap)
+        if (readQ_.q.size() >= kReadQCap)
             return false;
-        readQ_.push_back(queued);
+        qs = &readQ_;
         break;
       case ReqType::Write:
-        if (writeQ_.size() >= kWriteQCap)
+        if (writeQ_.q.size() >= kWriteQCap)
             return false;
-        writeQ_.push_back(queued);
+        qs = &writeQ_;
         break;
-      case ReqType::CounterRead:
-      case ReqType::CounterWrite:
-        if (counterQ_.size() >= kCounterQCap)
+      default:
+        if (counterQ_.q.size() >= kCounterQCap)
             return false;
-        counterQ_.push_back(queued);
+        qs = &counterQ_;
         break;
     }
+    Request queued = req;
+    queued.enqueuedAt = now;
+    queued.seq = qs->nextBackSeq++;
+    qs->q.push_back(queued);
+    qs->idx.pushBack(globalBank(queued), queued.seq, queued.dram.row);
+
     // A new request does not invalidate the issue memo (bank/bus state is
     // untouched); fold its own earliest start into the memoized horizon.
     if (eventScheduling_ && scanGen_ == stateGen_) {
@@ -87,28 +266,48 @@ MemController::enqueue(const Request &req, Tick now)
 void
 MemController::serviceCompletions(Tick now)
 {
-    while (!inflight_.empty() && inflight_.top().doneAt <= now) {
-        const InFlight top = inflight_.top();
-        inflight_.pop();
-        if (top.req.type == ReqType::Read) {
-            stats_.readLatencySum += top.doneAt - top.req.enqueuedAt;
+    if (inflight_.empty() || inflight_.top().doneAt > now)
+        return;
+    // Batch: pop every due completion in one pass, then dispatch the
+    // sink callbacks. Sinks only enqueue follow-on requests (LLC
+    // writebacks) — they never push inflight entries — so the batched
+    // order matches a one-at-a-time drain exactly.
+    auto finish = [this, now](const InFlight &fin) {
+        if (fin.req.type == ReqType::Read) {
+            const std::uint64_t lat =
+                static_cast<std::uint64_t>(fin.doneAt -
+                                           fin.req.enqueuedAt);
+            assert(stats_.readLatencySum <= ~std::uint64_t(0) - lat &&
+                   "readLatencySum overflow");
+            stats_.readLatencySum += lat;
             ++stats_.readLatencyCount;
+            stats_.readLatency.add(lat);
         }
-        if (top.req.sink != nullptr)
-            top.req.sink->memDone(top.req, now);
+        if (fin.req.sink != nullptr)
+            fin.req.sink->memDone(fin.req, now);
+    };
+
+    drainScratch_.clear();
+    while (!inflight_.empty() && inflight_.top().doneAt <= now) {
+        drainScratch_.push_back(inflight_.top());
+        inflight_.pop();
     }
+    for (const InFlight &fin : drainScratch_)
+        finish(fin);
 }
 
 void
 MemController::serviceRefresh(Tick now)
 {
+    if (now < refreshMin_)
+        return;
     for (int r = 0; r < cfg_.ranksPerChannel; ++r) {
         RankState &rk = rank(r);
         if (now < rk.nextRefreshAt)
             continue;
         // Issue REF: block every bank in the rank for tRFC and close rows.
         const Tick start = std::max(now, rk.blockedUntil);
-        for (int b = 0; b < cfg_.banksPerRank(); ++b) {
+        for (int b = 0; b < banksPerRank_; ++b) {
             BankState &bk = bank(r, b);
             bk.blockedUntil = std::max(bk.blockedUntil, start + tRFC_);
             bk.openRow = -1;
@@ -116,6 +315,7 @@ MemController::serviceRefresh(Tick now)
         }
         rk.nextRefreshAt += tREFI_;
         ++stateGen_; // Rows closed, banks blocked.
+        ++rankGen_[static_cast<std::size_t>(r)];
         ++stats_.refreshes;
         if (energy_ != nullptr)
             energy_->addRef();
@@ -123,6 +323,9 @@ MemController::serviceRefresh(Tick now)
             groundTruth_->onAutoRefresh(channel_, r);
         wake(rk.nextRefreshAt);
     }
+    refreshMin_ = kTickMax;
+    for (const RankState &rk : ranks_)
+        refreshMin_ = std::min(refreshMin_, rk.nextRefreshAt);
 }
 
 void
@@ -133,6 +336,7 @@ MemController::blockBank(int rankId, int bankId, Tick from, Tick duration)
     bk.blockedUntil = start + duration;
     bk.openRow = -1;
     bk.actReady = std::max(bk.actReady, bk.blockedUntil);
+    ++bankGen_[static_cast<std::size_t>(rankId) * banksPerRank_ + bankId];
     stats_.busyBlockedTicks += duration;
 }
 
@@ -180,7 +384,7 @@ MemController::applyMitigation(const Mitigation &m, Tick now)
       case Mitigation::Kind::AboRfm: {
         // PRAC Alert Back-Off: all banks in the channel stall.
         for (int r = 0; r < cfg_.ranksPerChannel; ++r)
-            for (int b = 0; b < cfg_.banksPerRank(); ++b)
+            for (int b = 0; b < banksPerRank_; ++b)
                 blockBank(r, b, now, cfg_.rfmSbTicks() * 2);
         ++stats_.rfmCommands;
         if (groundTruth_ != nullptr)
@@ -194,7 +398,8 @@ MemController::applyMitigation(const Mitigation &m, Tick now)
         RankState &rk = rank(m.rank);
         const Tick start = std::max(now, rk.blockedUntil);
         rk.blockedUntil = start + cfg_.bulkRefreshRank();
-        for (int b = 0; b < cfg_.banksPerRank(); ++b)
+        ++rankGen_[static_cast<std::size_t>(m.rank)];
+        for (int b = 0; b < banksPerRank_; ++b)
             blockBank(m.rank, b, now, rk.blockedUntil - now);
         ++stats_.bulkResets;
         if (groundTruth_ != nullptr)
@@ -206,10 +411,12 @@ MemController::applyMitigation(const Mitigation &m, Tick now)
       case Mitigation::Kind::BulkChannel: {
         const Tick start = std::max(now, channelBlockedUntil_);
         channelBlockedUntil_ = start + cfg_.bulkRefreshChannel();
+        ++chanGen_;
         for (int r = 0; r < cfg_.ranksPerChannel; ++r) {
             rank(r).blockedUntil =
                 std::max(rank(r).blockedUntil, channelBlockedUntil_);
-            for (int b = 0; b < cfg_.banksPerRank(); ++b)
+            ++rankGen_[static_cast<std::size_t>(r)];
+            for (int b = 0; b < banksPerRank_; ++b)
                 blockBank(r, b, now, channelBlockedUntil_ - now);
         }
         ++stats_.bulkResets;
@@ -238,11 +445,54 @@ MemController::applyMitigation(const Mitigation &m, Tick now)
     wake(now);
 }
 
+void
+MemController::ensureTiming(int b)
+{
+    const std::size_t bi = static_cast<std::size_t>(b);
+    const std::size_t ri =
+        static_cast<std::size_t>(b) / static_cast<std::size_t>(banksPerRank_);
+    const std::uint64_t stamp = chanGen_ + rankGen_[ri] + bankGen_[bi];
+    if (bankTimingStamp_[bi] == stamp)
+        return;
+    bankTimingStamp_[bi] = stamp;
+
+    const BankState &bk = banks_[bi];
+    const RankState &rk = ranks_[ri];
+    Tick base = std::max(channelBlockedUntil_, rk.blockedUntil);
+    base = std::max(base, bk.blockedUntil);
+
+    hitStartRaw_[bi] = std::max(base, bk.colReady);
+
+    // Need (PRE +) ACT: respect tRC/tRP via actReady, tRAS/tWR via
+    // preReady + tRP when a row is open, and rank-level pacing.
+    Tick actAt = std::max(base, bk.actReady);
+    if (bk.openRow >= 0)
+        actAt = std::max(actAt, bk.preReady + tRP_);
+    const int bankGroup = (b % banksPerRank_) / cfg_.banksPerGroup;
+    const Tick rrd = (rk.lastActBankGroup == bankGroup) ? tRRDL_ : tRRDS_;
+    if (rk.lastActAt > 0)
+        actAt = std::max(actAt, rk.lastActAt + rrd);
+    if (rk.faw[rk.fawIdx] > 0)
+        actAt = std::max(actAt, rk.faw[rk.fawIdx] + tFAW_);
+    missStartRaw_[bi] = actAt;
+}
+
 Tick
-MemController::earliestStart(const Request &req, Tick now) const
+MemController::earliestStart(const Request &req, Tick now)
+{
+    const int b = globalBank(req);
+    ensureTiming(b);
+    const bool rowHit =
+        banks_[static_cast<std::size_t>(b)].openRow == req.dram.row;
+    return std::max(now, rowHit ? hitStartRaw_[static_cast<std::size_t>(b)]
+                                : missStartRaw_[static_cast<std::size_t>(b)]);
+}
+
+Tick
+MemController::referenceEarliestStart(const Request &req, Tick now) const
 {
     const auto &bk = banks_[static_cast<std::size_t>(req.dram.rank) *
-                                cfg_.banksPerRank() + req.dram.bank];
+                                banksPerRank_ + req.dram.bank];
     const auto &rk = ranks_[static_cast<std::size_t>(req.dram.rank)];
 
     Tick start = std::max(now, channelBlockedUntil_);
@@ -253,8 +503,6 @@ MemController::earliestStart(const Request &req, Tick now) const
     if (rowHit) {
         start = std::max(start, bk.colReady);
     } else {
-        // Need (PRE +) ACT: respect tRC/tRP via actReady, tRAS/tWR via
-        // preReady + tRP when a row is open, and rank-level pacing.
         Tick actAt = std::max(start, bk.actReady);
         if (bk.openRow >= 0)
             actAt = std::max(actAt, bk.preReady + tRP_);
@@ -275,10 +523,18 @@ MemController::issue(Request req, Tick now)
 {
     ++stateGen_; // Bank / rank / data-bus timing advances (or a throttle
                  // re-queue mutates actReady and the queue order).
+    // Every path below mutates this bank's timing (column, throttle
+    // actReady, or ACT); only the ACT path touches rank pacing state —
+    // its generation is bumped where that happens.
+    ++bankGen_[static_cast<std::size_t>(globalBank(req))];
     BankState &bk = bank(req.dram.rank, req.dram.bank);
     RankState &rk = rank(req.dram.rank);
     const bool rowHit = bk.openRow == req.dram.row;
-    Tick start = earliestStart(req, now);
+    // Pure recomputation, NOT the cache-backed earliestStart: the
+    // generation already moved and this function mutates timing state
+    // below, so stamping the per-bank cache here would leave it stale
+    // under the current generation.
+    const Tick start = referenceEarliestStart(req, now);
 
     const bool isCounterOp = req.type == ReqType::CounterRead ||
                              req.type == ReqType::CounterWrite;
@@ -296,13 +552,16 @@ MemController::issue(Request req, Tick now)
                 bk.actReady = std::max(bk.actReady, allowedAt);
                 ++stats_.throttledActs;
                 wake(allowedAt);
-                // Put the request back at the front of its queue.
-                if (req.type == ReqType::Write)
-                    writeQ_.push_front(req);
-                else if (req.type == ReqType::Read)
-                    readQ_.push_front(req);
-                else
-                    counterQ_.push_front(req);
+                // Put the request back at the front of its queue with a
+                // fresh front-of-queue order key (it may have been
+                // picked from the middle of the window).
+                QueueState &qs = (req.type == ReqType::Write) ? writeQ_
+                                 : (req.type == ReqType::Read)
+                                     ? readQ_
+                                     : counterQ_;
+                req.seq = qs.nextFrontSeq--;
+                qs.q.push_front(req);
+                qs.idx.pushFront(globalBank(req), req.seq, req.dram.row);
                 return;
             }
         }
@@ -318,6 +577,7 @@ MemController::issue(Request req, Tick now)
         rk.lastActBankGroup = req.dram.bank / cfg_.banksPerGroup;
         rk.faw[rk.fawIdx] = start;
         rk.fawIdx = (rk.fawIdx + 1) % 4;
+        ++rankGen_[static_cast<std::size_t>(req.dram.rank)];
 
         ++stats_.activations;
         ++stats_.rowMisses;
@@ -383,52 +643,147 @@ MemController::issue(Request req, Tick now)
     wake(now + 1);
 }
 
-bool
-MemController::tryIssueFrom(std::deque<Request> &queue, Tick now,
-                            bool isWrite, Tick &issueWake)
+MemController::ScanPick
+MemController::scanPick(QueueState &qs, Tick now)
 {
-    (void)isWrite;
-    if (queue.empty())
-        return false;
+    // Strategy dispatch on pure simulation state (queue depth and bank
+    // spread), never on cache or visit history — both picks return the
+    // same result, so this only chooses the cheaper way to compute it.
+    const std::size_t windowEntries = std::min(qs.q.size(), kScanWindow);
+    if (qs.idx.activeBanks().size() >= windowEntries)
+        return linearPick(qs, now);
+    return indexPick(qs, now);
+}
 
-    // FR-FCFS: first ready row hit, else oldest ready request. The scan
-    // window bounds scheduler work per cycle (hardware schedulers window
-    // similarly).
-    std::size_t pick = queue.size();
-    std::size_t oldestReady = queue.size();
-    Tick bestWake = kTickMax;
-    const std::size_t scanLimit = std::min<std::size_t>(queue.size(), 48);
-
+MemController::ScanPick
+MemController::linearPick(QueueState &qs, Tick now)
+{
+    // The historical windowed deque walk, with earliestStart served
+    // from the per-bank timing cache instead of recomputed per entry.
+    const std::size_t scanLimit = std::min(qs.q.size(), kScanWindow);
+    ScanPick pick;
+    std::size_t oldestReady = scanLimit;
+    Tick wakeMin = kTickMax;
     for (std::size_t i = 0; i < scanLimit; ++i) {
-        const Request &req = queue[i];
-        const auto &bk = banks_[static_cast<std::size_t>(req.dram.rank) *
-                                    cfg_.banksPerRank() + req.dram.bank];
-        const Tick start = earliestStart(req, now);
-        if (start <= now) {
-            if (bk.openRow == req.dram.row) {
-                pick = i;
-                break;
+        const Request &req = qs.q[i];
+        const int b = globalBank(req);
+        const std::size_t bi = static_cast<std::size_t>(b);
+        ensureTiming(b);
+        const bool rowHit = banks_[bi].openRow == req.dram.row;
+        const Tick raw = rowHit ? hitStartRaw_[bi] : missStartRaw_[bi];
+        if (raw <= now) {
+            if (rowHit) {
+                pick.seq = req.seq;
+                pick.bank = b;
+                pick.pos = i;
+                return pick;
             }
-            if (oldestReady == queue.size())
+            if (oldestReady == scanLimit)
                 oldestReady = i;
         } else {
-            bestWake = std::min(bestWake, start);
+            wakeMin = std::min(wakeMin, raw);
         }
     }
-    if (pick == queue.size())
-        pick = oldestReady;
-    if (pick == queue.size()) {
-        if (bestWake != kTickMax)
-            wake(bestWake);
-        if (bestWake < issueWake)
-            issueWake = bestWake;
+    if (oldestReady != scanLimit) {
+        pick.seq = qs.q[oldestReady].seq;
+        pick.bank = globalBank(qs.q[oldestReady]);
+        pick.pos = oldestReady;
+        return pick;
+    }
+    pick.wakeAt = wakeMin;
+    return pick;
+}
+
+MemController::ScanPick
+MemController::indexPick(QueueState &qs, Tick now)
+{
+    // FR-FCFS over banks: each bank contributes at most two candidates
+    // — its first row hit and its first row miss inside the scan
+    // window — with one start time each, so the pick (first ready row
+    // hit by queue order, else oldest ready request) and the earliest
+    // future start reduce to minima over the active banks.
+    const std::int64_t windowSeq = qs.q.size() > kScanWindow
+                                       ? qs.q[kScanWindow - 1].seq
+                                       : kSeqMax;
+    ScanPick hit, miss;
+    Tick wakeMin = kTickMax;
+    for (std::int32_t b : qs.idx.activeBanks()) {
+        const std::size_t bi = static_cast<std::size_t>(b);
+        qs.idx.ensureScan(b, banks_[bi].openRow, windowSeq);
+        const BankQueueIndex::PerBank &pb = qs.idx.bankList(b);
+        const bool hasHit = pb.hitNode != BankQueueIndex::kNone &&
+                            pb.hitSeq <= windowSeq;
+        const bool hasMiss = pb.missNode != BankQueueIndex::kNone &&
+                             pb.missSeq <= windowSeq;
+        if (!hasHit && !hasMiss)
+            continue; // No in-window candidate: timing is irrelevant.
+        ensureTiming(b);
+        if (hasHit) {
+            if (hitStartRaw_[bi] <= now) {
+                if (pb.hitSeq < hit.seq) {
+                    hit.seq = pb.hitSeq;
+                    hit.bank = b;
+                    hit.node = pb.hitNode;
+                    hit.prev = pb.hitPrev;
+                }
+            } else {
+                wakeMin = std::min(wakeMin, hitStartRaw_[bi]);
+            }
+        }
+        if (hasMiss) {
+            if (missStartRaw_[bi] <= now) {
+                if (pb.missSeq < miss.seq) {
+                    miss.seq = pb.missSeq;
+                    miss.bank = b;
+                    miss.node = pb.missNode;
+                    miss.prev = pb.missPrev;
+                }
+            } else {
+                wakeMin = std::min(wakeMin, missStartRaw_[bi]);
+            }
+        }
+    }
+    if (hit.found())
+        return hit;
+    if (miss.found())
+        return miss;
+    ScanPick none;
+    none.wakeAt = wakeMin;
+    return none;
+}
+
+bool
+MemController::tryIssueFrom(QueueState &qs, Tick now, Tick &issueWake)
+{
+    if (qs.q.empty())
+        return false;
+
+    const ScanPick pick = scanPick(qs, now);
+    if (!pick.found()) {
+        if (pick.wakeAt != kTickMax)
+            wake(pick.wakeAt);
+        if (pick.wakeAt < issueWake)
+            issueWake = pick.wakeAt;
         return false;
     }
 
-    Request req = queue[pick];
-    const bool readWasFull =
-        &queue == &readQ_ && queue.size() >= kReadQCap;
-    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pick));
+    // The linear path hands back the deque position; the index path
+    // finds it by binary search (the deque is sorted by seq). The erase
+    // still memmoves, but only on actual issue.
+    const auto it =
+        pick.pos != ScanPick::kNoPos
+            ? qs.q.begin() + static_cast<std::ptrdiff_t>(pick.pos)
+            : std::lower_bound(
+                  qs.q.begin(), qs.q.end(), pick.seq,
+                  [](const Request &r, std::int64_t s) { return r.seq < s; });
+    assert(it != qs.q.end() && it->seq == pick.seq);
+    Request req = *it;
+    const bool readWasFull = &qs == &readQ_ && qs.q.size() >= kReadQCap;
+    qs.q.erase(it);
+    if (pick.node != BankQueueIndex::kNone)
+        qs.idx.remove(pick.bank, pick.node, pick.prev);
+    else
+        qs.idx.removeBySeq(pick.bank, pick.seq);
     // Cores poll readQueueFull() before enqueueing bypass reads; tell
     // them when space appears. (issue() may immediately push the request
     // back on a throttle, making this wake spurious — that is safe.)
@@ -442,13 +797,13 @@ void
 MemController::recomputeWake(Tick now)
 {
     // Merge the wake watermarks accumulated during this tick (enqueue,
-    // issue completion times, per-request earliest-start estimates) with
-    // the structural ones (completions, refresh deadlines).
+    // issue completion times, per-bank earliest-start estimates) with
+    // the structural ones (completions, refresh deadlines). Both are
+    // O(1): the refresh minimum is maintained incrementally.
     Tick next = nextWorkAt_;
     if (!inflight_.empty())
         next = std::min(next, inflight_.top().doneAt);
-    for (const auto &rk : ranks_)
-        next = std::min(next, rk.nextRefreshAt);
+    next = std::min(next, refreshMin_);
     nextWorkAt_ = std::max(next, now + 1);
 }
 
@@ -473,10 +828,10 @@ MemController::tick(Tick now)
     // reference engine updates it at every active tick, and queue sizes
     // only change on visits both engines share, so keeping it ahead of
     // the fast path keeps the latch state engine-invariant.
-    if (!writeMode_ && (writeQ_.size() >= kWriteQCap * 3 / 4 ||
-                        (readQ_.empty() && writeQ_.size() >= 64)))
+    if (!writeMode_ && (writeQ_.q.size() >= kWriteQCap * 3 / 4 ||
+                        (readQ_.q.empty() && writeQ_.q.size() >= 64)))
         writeMode_ = true;
-    if (writeMode_ && writeQ_.size() <= kWriteQCap / 8)
+    if (writeMode_ && writeQ_.q.size() <= kWriteQCap / 8)
         writeMode_ = false;
 
     // Issue memo fast path: a previous scan concluded that nothing can
@@ -492,15 +847,15 @@ MemController::tick(Tick now)
 
     // Priority: injected counter traffic, then demand.
     Tick issueWake = kTickMax;
-    bool issued = tryIssueFrom(counterQ_, now, false, issueWake);
+    bool issued = tryIssueFrom(counterQ_, now, issueWake);
     if (!issued) {
         if (writeMode_)
-            issued = tryIssueFrom(writeQ_, now, true, issueWake);
+            issued = tryIssueFrom(writeQ_, now, issueWake);
         else
-            issued = tryIssueFrom(readQ_, now, false, issueWake);
+            issued = tryIssueFrom(readQ_, now, issueWake);
         // Opportunistic writes when the read path has nothing ready.
-        if (!issued && !writeMode_ && !writeQ_.empty())
-            issued = tryIssueFrom(writeQ_, now, true, issueWake);
+        if (!issued && !writeMode_ && !writeQ_.q.empty())
+            issued = tryIssueFrom(writeQ_, now, issueWake);
     }
     if (issued) {
         wake(now + 1);
@@ -511,6 +866,92 @@ MemController::tick(Tick now)
     }
 
     recomputeWake(now);
+}
+
+// ---------------------------------------------------------------------
+// Test/debug audit: index vs brute-force reference.
+// ---------------------------------------------------------------------
+
+bool
+MemController::auditQueue(QueueState &qs, Tick now)
+{
+    // 1. Deque sorted by seq, and the per-bank lists partition it in
+    //    deque order.
+    const int numBanks = cfg_.ranksPerChannel * banksPerRank_;
+    std::vector<std::vector<std::pair<std::int64_t, std::int32_t>>>
+        expect(static_cast<std::size_t>(numBanks));
+    std::int64_t prevSeq = std::numeric_limits<std::int64_t>::min();
+    for (const Request &r : qs.q) {
+        if (r.seq <= prevSeq)
+            return false;
+        prevSeq = r.seq;
+        expect[static_cast<std::size_t>(globalBank(r))].emplace_back(
+            r.seq, r.dram.row);
+    }
+    std::size_t activeCount = 0;
+    for (int b = 0; b < numBanks; ++b) {
+        const auto &pb = qs.idx.bankList(b);
+        const auto &want = expect[static_cast<std::size_t>(b)];
+        if (static_cast<std::size_t>(pb.count) != want.size())
+            return false;
+        if (!want.empty())
+            ++activeCount;
+        std::size_t i = 0;
+        for (std::int32_t n = pb.head; n != BankQueueIndex::kNone;
+             n = qs.idx.node(n).next, ++i) {
+            if (i >= want.size() ||
+                qs.idx.node(n).seq != want[i].first ||
+                qs.idx.node(n).row != want[i].second)
+                return false;
+        }
+        if (i != want.size())
+            return false;
+    }
+    if (activeCount != qs.idx.activeBanks().size())
+        return false;
+
+    // 2. Reference windowed linear scan (the pre-index algorithm, on
+    //    raw state) must agree with the index-based pick.
+    const std::size_t npos = qs.q.size();
+    std::size_t pick = npos;
+    std::size_t oldestReady = npos;
+    Tick bestWake = kTickMax;
+    const std::size_t scanLimit = std::min(qs.q.size(), kScanWindow);
+    for (std::size_t i = 0; i < scanLimit; ++i) {
+        const Request &req = qs.q[i];
+        const auto &bk =
+            banks_[static_cast<std::size_t>(globalBank(req))];
+        const Tick start = referenceEarliestStart(req, now);
+        if (start <= now) {
+            if (bk.openRow == req.dram.row) {
+                pick = i;
+                break;
+            }
+            if (oldestReady == npos)
+                oldestReady = i;
+        } else {
+            bestWake = std::min(bestWake, start);
+        }
+    }
+    if (pick == npos)
+        pick = oldestReady;
+
+    // Both strategies must agree with the reference (the dispatcher
+    // may choose either, so each needs independent coverage).
+    const ScanPick ip = indexPick(qs, now);
+    const ScanPick lp = linearPick(qs, now);
+    if (pick == npos)
+        return !ip.found() && !lp.found() && ip.wakeAt == bestWake &&
+               lp.wakeAt == bestWake;
+    return ip.found() && lp.found() && qs.q[pick].seq == ip.seq &&
+           lp.seq == ip.seq;
+}
+
+bool
+MemController::auditQueues(Tick now)
+{
+    return auditQueue(counterQ_, now) && auditQueue(readQ_, now) &&
+           auditQueue(writeQ_, now);
 }
 
 } // namespace dapper

@@ -16,13 +16,24 @@
  *
  * The controller is tick()-driven on the core clock but keeps a
  * next-work watermark so idle or blocked phases cost almost nothing.
+ *
+ * FR-FCFS candidate selection iterates *banks*, not queued requests: a
+ * per-bank intrusive FIFO index (BankQueueIndex) tracks each bank's
+ * first row-hit / first row-miss request, and a per-bank earliest-start
+ * cache (invalidated by stateGen_) memoizes the two timing values a
+ * bank can contribute at a fixed tick. The pick is bit-identical to the
+ * historical windowed linear scan over the deque — see mem/README.md
+ * for the argument and the invalidation contract, and auditQueues() for
+ * the runtime cross-check the tests exercise.
  */
 
 #ifndef DAPPER_MEM_CONTROLLER_HH
 #define DAPPER_MEM_CONTROLLER_HH
 
+#include <cassert>
 #include <cstdint>
 #include <deque>
+#include <limits>
 #include <queue>
 #include <vector>
 
@@ -35,6 +46,38 @@
 #include "src/sim/scheduler.hh"
 
 namespace dapper {
+
+/**
+ * Deterministic reservoir sampler (algorithm R with a fixed-seed LCG)
+ * over read latencies, so benches can report tail latency (p99), not
+ * just the mean. Engine-invariant: samples are fed in completion order,
+ * which the scheduler-equivalence contract pins across engines.
+ */
+struct LatencyReservoir
+{
+    static constexpr std::size_t kCap = 1024;
+
+    std::vector<Tick> samples;
+    std::uint64_t seen = 0;
+    std::uint64_t lcg = 0x2545F4914F6CDD1Dull;
+
+    void
+    add(Tick v)
+    {
+        ++seen;
+        if (samples.size() < kCap) {
+            samples.push_back(v);
+            return;
+        }
+        lcg = lcg * 6364136223846793005ull + 1442695040888963407ull;
+        const std::uint64_t slot = (lcg >> 33) % seen;
+        if (slot < kCap)
+            samples[slot] = v;
+    }
+
+    /** Percentile over the sampled population (p in [0, 1]). */
+    Tick percentile(double p) const;
+};
 
 /** Aggregate controller statistics. */
 struct MemControllerStats
@@ -54,8 +97,12 @@ struct MemControllerStats
     /// Sum of bank-blocking durations imposed by refresh/mitigations
     /// (bank-ticks; one tick of 8 blocked banks counts 8).
     Tick busyBlockedTicks = 0;
+    /// 64-bit read-latency accumulation; at one read per ~10 ticks a
+    /// 32-bit sum would wrap within a scaled tREFW, so the drain path
+    /// asserts headroom before adding (debug builds).
     std::uint64_t readLatencySum = 0;
     std::uint64_t readLatencyCount = 0;
+    LatencyReservoir readLatency;
 
     double
     avgReadLatency() const
@@ -64,6 +111,8 @@ struct MemControllerStats
                    ? static_cast<double>(readLatencySum) / readLatencyCount
                    : 0.0;
     }
+
+    Tick p99ReadLatency() const { return readLatency.percentile(0.99); }
 };
 
 class MemController
@@ -107,9 +156,9 @@ class MemController
 
     void tick(Tick now);
 
-    bool readQueueFull() const { return readQ_.size() >= kReadQCap; }
-    bool writeQueueFull() const { return writeQ_.size() >= kWriteQCap; }
-    std::size_t readQueueDepth() const { return readQ_.size(); }
+    bool readQueueFull() const { return readQ_.q.size() >= kReadQCap; }
+    bool writeQueueFull() const { return writeQ_.q.size() >= kWriteQCap; }
+    std::size_t readQueueDepth() const { return readQ_.q.size(); }
 
     const MemControllerStats &stats() const { return stats_; }
     int channel() const { return channel_; }
@@ -123,10 +172,23 @@ class MemController
      */
     void applyMitigation(const Mitigation &m, Tick now);
 
+    /**
+     * Test/debug hook: verifies that every per-bank index exactly
+     * mirrors its deque and that the index-based pick (scanPick) equals
+     * a brute-force windowed linear reference scan recomputed from raw
+     * bank state. O(queue depth); returns false on any divergence.
+     */
+    bool auditQueues(Tick now);
+
   private:
     static constexpr std::size_t kReadQCap = 512;
     static constexpr std::size_t kWriteQCap = 512;
     static constexpr std::size_t kCounterQCap = 4096;
+    /// FR-FCFS scan window: only the oldest 48 requests of a queue
+    /// compete for issue (hardware schedulers window similarly).
+    static constexpr std::size_t kScanWindow = 48;
+    static constexpr std::int64_t kSeqMax =
+        std::numeric_limits<std::int64_t>::max();
 
     struct BankState
     {
@@ -158,15 +220,187 @@ class MemController
         }
     };
 
+    /**
+     * Intrusive per-bank FIFO lists layered over one request deque, plus
+     * a per-bank scan memo naming the bank's first row-hit and first
+     * row-miss request (the only two candidates a bank can contribute to
+     * an FR-FCFS pick). Nodes live in a pooled free list; lists and the
+     * deque stay ordered by Request::seq. The memo's validity rule is
+     * purely state-based (list content, open row, window threshold), so
+     * both engines reach identical conclusions regardless of how often
+     * they visit — see mem/README.md.
+     */
+    class BankQueueIndex
+    {
+      public:
+        static constexpr std::int32_t kNone = -1;
+
+        struct Node
+        {
+            std::int64_t seq;
+            std::int32_t row;
+            std::int32_t next;
+        };
+
+        struct PerBank
+        {
+            std::int32_t head = kNone;
+            std::int32_t tail = kNone;
+            std::int32_t count = 0;
+            std::int32_t activePos = -1;
+
+            // Scan memo: first row-hit / first row-miss node assuming
+            // open row scanRow, complete for any window threshold
+            // K <= scanWindowSeq. Invalidated by any mutation of this
+            // bank's list; revalidated lazily by ensureScan().
+            bool scanValid = false;
+            std::int32_t scanRow = -1;
+            std::int64_t scanWindowSeq = 0;
+            std::int64_t hitSeq = 0;
+            std::int64_t missSeq = 0;
+            std::int32_t hitNode = kNone;
+            std::int32_t hitPrev = kNone;
+            std::int32_t missNode = kNone;
+            std::int32_t missPrev = kNone;
+        };
+
+        void
+        init(int numBanks)
+        {
+            banks_.assign(static_cast<std::size_t>(numBanks), PerBank{});
+            active_.clear();
+            pool_.clear();
+            freeHead_ = kNone;
+        }
+
+        const std::vector<std::int32_t> &activeBanks() const
+        {
+            return active_;
+        }
+
+        PerBank &bankList(int b)
+        {
+            return banks_[static_cast<std::size_t>(b)];
+        }
+
+        const Node &node(std::int32_t n) const
+        {
+            return pool_[static_cast<std::size_t>(n)];
+        }
+
+        void pushBack(int b, std::int64_t seq, std::int32_t row);
+        void pushFront(int b, std::int64_t seq, std::int32_t row);
+        /** Remove @p n (whose predecessor is @p prev) from bank @p b. */
+        void remove(int b, std::int32_t n, std::int32_t prev);
+        /** Remove the node carrying @p seq (linear-pick path). */
+        void removeBySeq(int b, std::int64_t seq);
+
+        /**
+         * Make the scan memo of bank @p b valid for open row @p openRow
+         * and window threshold @p windowSeq. Walks the bank list from
+         * the head, but never past the window, so the total work across
+         * all banks of a queue is bounded by the window size.
+         */
+        void ensureScan(int b, std::int32_t openRow,
+                        std::int64_t windowSeq);
+
+      private:
+        std::int32_t alloc(std::int64_t seq, std::int32_t row);
+
+        void
+        release(std::int32_t n)
+        {
+            pool_[static_cast<std::size_t>(n)].next = freeHead_;
+            freeHead_ = n;
+        }
+
+        void
+        activate(int b)
+        {
+            PerBank &pb = banks_[static_cast<std::size_t>(b)];
+            pb.activePos = static_cast<std::int32_t>(active_.size());
+            active_.push_back(static_cast<std::int32_t>(b));
+        }
+
+        void
+        deactivate(int b)
+        {
+            PerBank &pb = banks_[static_cast<std::size_t>(b)];
+            const std::int32_t pos = pb.activePos;
+            const std::int32_t last = active_.back();
+            active_[static_cast<std::size_t>(pos)] = last;
+            banks_[static_cast<std::size_t>(last)].activePos = pos;
+            active_.pop_back();
+            pb.activePos = -1;
+        }
+
+        std::vector<Node> pool_;
+        std::int32_t freeHead_ = kNone;
+        std::vector<PerBank> banks_;
+        std::vector<std::int32_t> active_;
+    };
+
+    /** One request queue: seq-sorted deque plus its per-bank index. */
+    struct QueueState
+    {
+        std::deque<Request> q;
+        BankQueueIndex idx;
+        std::int64_t nextBackSeq = 0;
+        std::int64_t nextFrontSeq = -1;
+    };
+
+    /** Outcome of an FR-FCFS scan over one queue. */
+    struct ScanPick
+    {
+        static constexpr std::size_t kNoPos = ~std::size_t(0);
+
+        std::int64_t seq = kSeqMax;
+        std::int32_t bank = -1; ///< Global bank id; -1: nothing ready.
+        std::int32_t node = BankQueueIndex::kNone;
+        std::int32_t prev = BankQueueIndex::kNone;
+        std::size_t pos = kNoPos; ///< Deque index (linear path only).
+        Tick wakeAt = kTickMax; ///< Earliest future start (no-pick case).
+
+        bool found() const { return bank >= 0; }
+    };
+
     BankState &bank(int rank, int bank);
     RankState &rank(int rank);
 
+    int
+    globalBank(const Request &req) const
+    {
+        return req.dram.rank * banksPerRank_ + req.dram.bank;
+    }
+
     void serviceCompletions(Tick now);
     void serviceRefresh(Tick now);
-    bool tryIssueFrom(std::deque<Request> &queue, Tick now, bool isWrite,
-                      Tick &issueWake);
-    /** Earliest tick request could begin; kTickMax if bank blocked. */
-    Tick earliestStart(const Request &req, Tick now) const;
+    bool tryIssueFrom(QueueState &qs, Tick now, Tick &issueWake);
+    /**
+     * FR-FCFS selection: first ready row hit by seq, else oldest ready
+     * request by seq, over the queue's scan window. Dispatches between
+     * two provably identical strategies on a state-pure predicate (so
+     * engine equivalence is untouched): the O(active banks) index pick
+     * when traffic is concentrated, and a cache-accelerated linear
+     * window walk when requests spread across as many banks as the
+     * window holds (where per-bank iteration has no advantage and the
+     * sequential deque walk is cheaper per item).
+     */
+    ScanPick scanPick(QueueState &qs, Tick now);
+    /** O(active banks) candidate selection via the per-bank index. */
+    ScanPick indexPick(QueueState &qs, Tick now);
+    /** Windowed linear deque walk using the per-bank timing cache. */
+    ScanPick linearPick(QueueState &qs, Tick now);
+    /** Refresh hitStartRaw_/missStartRaw_ of bank @p b if stale. */
+    void ensureTiming(int b);
+    /** Earliest tick request could begin (cache-backed). */
+    Tick earliestStart(const Request &req, Tick now);
+    /**
+     * Pure recomputation of the earliest start from raw bank state —
+     * the pre-index formula, kept as the reference for auditQueues().
+     */
+    Tick referenceEarliestStart(const Request &req, Tick now) const;
+    bool auditQueue(QueueState &qs, Tick now);
     void issue(Request req, Tick now);
     void wake(Tick at)
     {
@@ -186,6 +420,7 @@ class MemController
     // Cached timing in ticks.
     const Tick tRCD_, tRP_, tCL_, tRC_, tRAS_, tRRDS_, tRRDL_, tWR_, tRFC_,
         tREFI_, tBL_, tFAW_;
+    const int banksPerRank_;
 
     std::vector<BankState> banks_;
     std::vector<RankState> ranks_;
@@ -193,16 +428,39 @@ class MemController
     Tick channelBlockedUntil_ = 0;
     bool writeMode_ = false;
 
-    std::deque<Request> readQ_;
-    std::deque<Request> writeQ_;
-    std::deque<Request> counterQ_;
+    QueueState readQ_;
+    QueueState writeQ_;
+    QueueState counterQ_;
     std::priority_queue<InFlight, std::vector<InFlight>,
                         std::greater<InFlight>>
         inflight_;
+    /// Batched completion drain: due entries are popped in one pass,
+    /// then their sink callbacks run (sinks enqueue new requests but
+    /// never touch inflight_, so the batch preserves drain order).
+    std::vector<InFlight> drainScratch_;
 
     MitigationVec scratch_;
     MemControllerStats stats_;
     Tick nextWorkAt_ = 0;
+    /// Incremental min over ranks' nextRefreshAt, so neither the
+    /// refresh service nor the wake recomputation rescans ranks on
+    /// every visit.
+    Tick refreshMin_ = kTickMax;
+
+    // Per-bank earliest-start cache: at a fixed tick a bank contributes
+    // at most two start values to FR-FCFS (row-hit via colReady, row-
+    // miss via the ACT path), both pure functions of bank/rank/channel
+    // timing state. Validity is stamped at channel / rank / bank
+    // granularity so a row-hit issue (which touches only one bank's
+    // column timing) does not invalidate the other banks: each level's
+    // generation only grows, so the sum chanGen_ + rankGen_[r] +
+    // bankGen_[b] is a collision-free stamp.
+    std::vector<Tick> hitStartRaw_;
+    std::vector<Tick> missStartRaw_;
+    std::vector<std::uint64_t> bankTimingStamp_;
+    std::vector<std::uint64_t> bankGen_;
+    std::vector<std::uint64_t> rankGen_;
+    std::uint64_t chanGen_ = 0;
 
     // Issue memo (see setEventScheduling). stateGen_ counts bank / rank /
     // bus / queue-order mutations; a recorded scan outcome is valid while

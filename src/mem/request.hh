@@ -33,6 +33,14 @@ struct Request
     Tick enqueuedAt = 0;
     MemSink *sink = nullptr; ///< Completion target (nullptr: fire & forget).
     std::uint32_t tag = 0;   ///< Opaque token returned to the sink.
+    /**
+     * Controller-internal queue-order key. Assigned on enqueue (strictly
+     * increasing) and re-assigned on a throttle re-queue (strictly
+     * decreasing from the front), so every controller queue stays sorted
+     * by seq and the per-bank index (see mem/README.md) can name, rank,
+     * and binary-search requests without positional indices.
+     */
+    std::int64_t seq = 0;
 };
 
 /** Completion callback interface. */

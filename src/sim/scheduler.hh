@@ -45,6 +45,11 @@ namespace dapper {
  * Spurious wakes are safe (a woken core with nothing to do performs no
  * observable state change); missed wakes are not, so producers must be
  * conservative.
+ *
+ * Wake requests are already coalesced by construction: the hub keeps
+ * only the minimum requested tick, so a controller draining a batch of
+ * completions (and the LLC fills those completions trigger) folds any
+ * number of producer calls into one broadcast per System event.
  */
 class WakeHub
 {

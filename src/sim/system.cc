@@ -121,17 +121,19 @@ System::run(Tick horizon)
 
         // Structural-resource broadcasts (MSHR / read-queue space freed
         // during the controller ticks above) wake the cores that stalled
-        // on such a resource; other stalled cores cannot use it.
+        // on such a resource; other stalled cores cannot use it. Core
+        // watermarks may have dropped during the controller phase
+        // (memDone, fill waiters, broadcasts), so they are folded last —
+        // in the same pass, after each core has seen the broadcast
+        // (wakes are per-core state, so wake-then-fold per core equals
+        // wake-all-then-fold-all).
         const Tick broadcast = wakeHub_.take();
-        if (broadcast != kTickMax)
-            for (Core *core : coreRaw_)
-                core->wakeIfResourceStalled(broadcast);
-
-        // Core watermarks may have dropped during the controller phase
-        // (memDone, fill waiters, broadcasts), so fold them in last.
         Tick next = std::min(mcMin, std::min(nextPeriodicAt_, nextWindowAt_));
-        for (Core *core : coreRaw_)
+        for (Core *core : coreRaw_) {
+            if (broadcast != kTickMax)
+                core->wakeIfResourceStalled(broadcast);
             next = std::min(next, core->nextEventAt());
+        }
         now_ = std::max(t + 1, std::min(next, horizon));
     }
 }
