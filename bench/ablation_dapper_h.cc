@@ -19,53 +19,59 @@ main(int argc, char **argv)
     using namespace dapper::benchutil;
 
     const Options opt = parse(argc, argv);
-    SysConfig cfg = makeConfig(opt);
-    const Tick horizon = horizonOf(cfg, opt);
-    printHeader("Ablation: DAPPER-H design ingredients", cfg);
+    printHeader("Ablation: DAPPER-H design ingredients", makeConfig(opt));
 
-    struct Variant
-    {
-        const char *label;
-        TrackerKind kind;
-    };
-    const Variant variants[] = {
-        {"DAPPER-H (full)", TrackerKind::DapperH},
-        {"  - bit-vector", TrackerKind::DapperHNoBitVector},
-        {"DAPPER-S (single hash)", TrackerKind::DapperS},
-    };
+    // The attack dimension lives on the benign/streaming/refresh axis.
+    const auto variants = filterCells(
+        opt,
+        {
+            {"DAPPER-H (full)", "dapper-h", "", {}},
+            {"  - bit-vector", "dapper-h-nobv", "", {}},
+            {"DAPPER-S (single hash)", "dapper-s", "", {}},
+        },
+        argv[0], CellFilterSpec::trackerAxisOnly());
+    const auto cases = filterCells(
+        opt,
+        {
+            {"Benign", "", "none", Baseline::NoAttack},
+            {"Streaming", "", "streaming", Baseline::SameAttack},
+            {"Refresh", "", "refresh", Baseline::SameAttack},
+        },
+        argv[0], CellFilterSpec::attackAxisOnly());
     const std::string workload = "429.mcf";
 
-    std::printf("%-26s %10s %12s %12s\n", "Variant", "Benign",
-                "Streaming", "Refresh");
-    const std::size_t nVar = std::size(variants);
-    const auto norms = sweep(opt, nVar * 3, [&](std::size_t i) {
-        const Variant &v = variants[i / 3];
-        switch (i % 3) {
-          case 0:
-            return normalizedPerf(cfg, workload, AttackKind::None,
-                                  v.kind, Baseline::NoAttack, horizon);
-          case 1:
-            return normalizedPerf(cfg, workload, AttackKind::Streaming,
-                                  v.kind, Baseline::SameAttack, horizon);
-          default:
-            return normalizedPerf(cfg, workload,
-                                  AttackKind::RefreshAttack, v.kind,
-                                  Baseline::SameAttack, horizon);
-        }
-    });
-    for (std::size_t v = 0; v < nVar; ++v)
-        std::printf("%-26s %10.4f %12.4f %12.4f\n", variants[v].label,
-                    norms[v * 3], norms[v * 3 + 1], norms[v * 3 + 2]);
+    std::printf("%-26s", "Variant");
+    for (std::size_t k = 0; k < cases.size(); ++k)
+        std::printf(k == 0 ? " %10s" : " %12s", cases[k].label.c_str());
+    std::printf("\n");
+    const std::size_t nVar = variants.size();
+    const std::size_t nCases = cases.size();
+    ScenarioGrid grid(baseScenario(opt).workload(workload));
+    grid.cells(variants).cells(cases);
+    Runner runner(opt.jobs);
+    ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
+    for (std::size_t v = 0; v < nVar; ++v) {
+        std::printf("%-26s", variants[v].label.c_str());
+        for (std::size_t k = 0; k < nCases; ++k)
+            std::printf(k == 0 ? " %10.4f" : " %12.4f",
+                        norms[v * nCases + k]);
+        std::printf("\n");
+    }
 
     // Mitigation-count view of the bit-vector's effect.
-    std::printf("\nMitigations under the streaming attack:\n");
-    const auto counts = sweep(opt, nVar, [&](std::size_t i) {
-        return runOnce(cfg, workload, AttackKind::Streaming,
-                       variants[i].kind, horizon)
-            .mitigations;
-    });
-    for (std::size_t v = 0; v < nVar; ++v)
-        std::printf("%-26s %llu\n", variants[v].label,
-                    static_cast<unsigned long long>(counts[v]));
+    if (opt.attackFilter.empty() || opt.attackFilter == "streaming") {
+        std::printf("\nMitigations under the streaming attack:\n");
+        ScenarioGrid countGrid(
+            baseScenario(opt).workload(workload).attack("streaming"));
+        countGrid.cells(variants);
+        const ResultTable counts = runner.run(countGrid);
+        for (std::size_t v = 0; v < nVar; ++v)
+            std::printf("%-26s %llu\n", variants[v].label.c_str(),
+                        static_cast<unsigned long long>(
+                            counts.at(v).run.mitigations));
+        table.merge(counts);
+    }
+    finish(opt, "ablation_dapper_h", table);
     return 0;
 }

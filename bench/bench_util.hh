@@ -2,7 +2,13 @@
  * @file
  * Shared helpers for the per-figure/table bench binaries: flag parsing
  * (--full for the complete 57-workload population, --nrh / --scale
- * overrides), suite aggregation, and table printing.
+ * overrides, registry-backed --tracker / --attack cell filters,
+ * --json / --csv structured output), Scenario construction, suite
+ * aggregation, and table printing.
+ *
+ * Benches declare a ScenarioGrid (axes + labels), execute it through a
+ * Runner, and print from the returned ResultTable; finish() emits the
+ * machine-readable rendering bench/run_all.sh collects.
  */
 
 #ifndef DAPPER_BENCH_BENCH_UTIL_HH
@@ -17,8 +23,7 @@
 #include <vector>
 
 #include "src/common/stats.hh"
-#include "src/sim/experiment.hh"
-#include "src/sim/parallel_runner.hh"
+#include "src/sim/runner.hh"
 #include "src/workload/benign.hh"
 
 namespace dapper {
@@ -35,6 +40,10 @@ struct Options
     int windows = 2;         ///< Simulated (scaled) tREFW windows.
     int jobs = 0;            ///< Sweep worker threads (0: auto).
     Engine engine = Engine::Event; ///< Simulation time-advance engine.
+    std::string trackerFilter; ///< Registry name: keep matching cells.
+    std::string attackFilter;  ///< Registry name: keep matching cells.
+    std::string jsonPath;    ///< Structured results (ResultTable JSON).
+    std::string csvPath;     ///< Structured results (ResultTable CSV).
 };
 
 [[noreturn]] inline void
@@ -55,8 +64,21 @@ usage(const char *prog, const char *error, int exitCode = 2)
                  "  --jobs N         sweep worker threads (>= 1, default: "
                  "DAPPER_JOBS or hardware)\n"
                  "  --engine E       time-advance engine: event | tick "
-                 "(default event)\n",
+                 "(default event)\n"
+                 "  --tracker NAME   restrict the tracker table cells to "
+                 "one tracker\n"
+                 "  --attack NAME    restrict the attack table cells to "
+                 "one attack\n"
+                 "  --json FILE      also write results as JSON\n"
+                 "  --csv FILE       also write results as CSV\n",
                  prog);
+    std::fprintf(stderr, "trackers:");
+    for (const auto &name : TrackerRegistry::instance().names())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\nattacks :");
+    for (const auto &name : AttackRegistry::instance().names())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\n");
     std::exit(exitCode);
 }
 
@@ -97,6 +119,20 @@ parse(int argc, char **argv)
                 opt.engine = Engine::Tick;
             else
                 usage(prog, "--engine must be 'event' or 'tick'");
+        } else if (std::strcmp(argv[i], "--tracker") == 0) {
+            opt.trackerFilter = value(i);
+            if (TrackerRegistry::instance().find(opt.trackerFilter) ==
+                nullptr)
+                usage(prog, "unknown --tracker (see list below)");
+        } else if (std::strcmp(argv[i], "--attack") == 0) {
+            opt.attackFilter = value(i);
+            if (AttackRegistry::instance().find(opt.attackFilter) ==
+                nullptr)
+                usage(prog, "unknown --attack (see list below)");
+        } else if (std::strcmp(argv[i], "--json") == 0) {
+            opt.jsonPath = value(i);
+        } else if (std::strcmp(argv[i], "--csv") == 0) {
+            opt.csvPath = value(i);
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             usage(prog, nullptr, 0);
@@ -110,27 +146,133 @@ parse(int argc, char **argv)
 inline SysConfig
 makeConfig(const Options &opt)
 {
-    // Every bench builds its config(s) through here right after parse(),
-    // so this is also where the process-wide engine choice lands.
-    setDefaultEngine(opt.engine);
     SysConfig cfg;
     cfg.nRH = opt.nRH;
     cfg.timeScale = opt.timeScale;
     return cfg;
 }
 
-/**
- * Fan fn(i), i in [0, n), across the sweep thread pool; results come
- * back in index order regardless of scheduling (see ParallelRunner).
- * Benches precompute their whole configuration grid through this and
- * then print from the result vector.
- */
-template <typename Fn>
-inline auto
-sweep(const Options &opt, std::size_t n, Fn fn)
+/** Scenario seeded with the command-line config, horizon, and engine —
+ *  the base every bench grid builds on. */
+inline Scenario
+baseScenario(const Options &opt)
 {
-    ParallelRunner runner(opt.jobs);
-    return runner.map(n, fn);
+    return Scenario()
+        .config(makeConfig(opt))
+        .windows(opt.windows)
+        .engine(opt.engine);
+}
+
+/**
+ * How filterCells should treat each --tracker / --attack dimension for
+ * one cell list. A bench whose tracker or attack is pinned in the base
+ * scenario (not varied by any cell axis) names that fixed value here:
+ * a filter naming it is a no-op, anything else is a usage error. A
+ * dimension another cell axis of the same bench varies is marked
+ * not-applied so this list doesn't reject its filter.
+ */
+struct CellFilterSpec
+{
+    bool applyTracker = true;
+    bool applyAttack = true;
+    std::string fixedTracker; ///< Base-scenario tracker, if pinned.
+    std::string fixedAttack;  ///< Base-scenario attack, if pinned.
+
+    /** The bench's tracker is pinned in the base scenario. */
+    static CellFilterSpec
+    pinTracker(std::string name)
+    {
+        CellFilterSpec spec;
+        spec.fixedTracker = std::move(name);
+        return spec;
+    }
+
+    /** The bench's attack is pinned in the base scenario. */
+    static CellFilterSpec
+    pinAttack(std::string name)
+    {
+        CellFilterSpec spec;
+        spec.fixedAttack = std::move(name);
+        return spec;
+    }
+
+    /** This list is a tracker axis; another axis varies the attack. */
+    static CellFilterSpec
+    trackerAxisOnly()
+    {
+        CellFilterSpec spec;
+        spec.applyAttack = false;
+        return spec;
+    }
+
+    /** This list is an attack axis; another axis varies the tracker. */
+    static CellFilterSpec
+    attackAxisOnly()
+    {
+        CellFilterSpec spec;
+        spec.applyTracker = false;
+        return spec;
+    }
+};
+
+/**
+ * Apply --tracker / --attack to a bench's table cells: keep only the
+ * matching cells. A filter naming a tracker/attack the bench's table
+ * cannot show is a usage error, never a silent no-op.
+ */
+inline std::vector<ScenarioCell>
+filterCells(const Options &opt, std::vector<ScenarioCell> cells,
+            const char *prog, const CellFilterSpec &spec = {})
+{
+    auto apply = [&](const std::string &filter, const char *flag,
+                     const std::string &fixed, auto field) {
+        if (filter.empty())
+            return;
+        bool carries = false;
+        for (const ScenarioCell &cell : cells)
+            carries = carries || !field(cell).empty();
+        if (!carries) {
+            // The dimension is pinned in the base scenario: only its
+            // own name passes (and changes nothing).
+            if (filter != fixed)
+                usage(prog, (std::string(flag) +
+                             " matches no table cell of this bench")
+                                .c_str());
+            return;
+        }
+        std::vector<ScenarioCell> kept;
+        for (const ScenarioCell &cell : cells)
+            if (field(cell) == filter)
+                kept.push_back(cell);
+        if (kept.empty())
+            usage(prog, (std::string(flag) +
+                         " matches no table cell of this bench")
+                            .c_str());
+        cells = std::move(kept);
+    };
+    if (spec.applyTracker)
+        apply(opt.trackerFilter, "--tracker", spec.fixedTracker,
+              [](const ScenarioCell &c) -> const std::string & {
+                  return c.tracker;
+              });
+    if (spec.applyAttack)
+        apply(opt.attackFilter, "--attack", spec.fixedAttack,
+              [](const ScenarioCell &c) -> const std::string & {
+                  return c.attack;
+              });
+    return cells;
+}
+
+/** For benches whose table is a fixed comparison (tab04's none-vs-
+ *  DAPPER-H energy ratios, micro_controller's bare controller): the
+ *  filters cannot apply, so naming one is a usage error. */
+inline void
+rejectFilters(const Options &opt, const char *prog)
+{
+    if (!opt.trackerFilter.empty() || !opt.attackFilter.empty())
+        usage(prog,
+              "this bench's table is fixed; --tracker/--attack are not "
+              "supported here");
 }
 
 inline Tick
@@ -197,6 +339,31 @@ printHeader(const std::string &title, const SysConfig &cfg)
 {
     std::printf("=== %s ===\n", title.c_str());
     std::printf("config: %s\n\n", cfg.summary().c_str());
+}
+
+/** Emit the structured renderings requested on the command line. */
+inline void
+finish(const Options &opt, const std::string &benchName,
+       const ResultTable &table)
+{
+    if (!opt.jsonPath.empty()) {
+        std::FILE *out = std::fopen(opt.jsonPath.c_str(), "w");
+        if (out == nullptr) {
+            std::perror(opt.jsonPath.c_str());
+            std::exit(1);
+        }
+        table.writeJson(out, benchName);
+        std::fclose(out);
+    }
+    if (!opt.csvPath.empty()) {
+        std::FILE *out = std::fopen(opt.csvPath.c_str(), "w");
+        if (out == nullptr) {
+            std::perror(opt.csvPath.c_str());
+            std::exit(1);
+        }
+        table.writeCsv(out);
+        std::fclose(out);
+    }
 }
 
 } // namespace benchutil

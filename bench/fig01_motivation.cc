@@ -19,34 +19,27 @@ main(int argc, char **argv)
     using namespace dapper::benchutil;
 
     const Options opt = parse(argc, argv);
-    SysConfig cfg = makeConfig(opt);
-    const Tick horizon = horizonOf(cfg, opt);
     printHeader("Figure 1: motivation — Perf-Attacks on scalable trackers",
-                cfg);
+                makeConfig(opt));
 
-    struct Column
-    {
-        const char *label;
-        TrackerKind tracker;
-        AttackKind attack;
-    };
-    const Column columns[] = {
-        {"CacheThrash", TrackerKind::None, AttackKind::CacheThrash},
-        {"Hydra", TrackerKind::Hydra, AttackKind::HydraRcc},
-        {"START", TrackerKind::Start, AttackKind::StartStream},
-        {"ABACUS", TrackerKind::Abacus, AttackKind::AbacusSpill},
-        {"CoMeT", TrackerKind::Comet, AttackKind::CometRat},
-    };
+    const auto columns = filterCells(
+        opt,
+        {
+            {"CacheThrash", "none", "cache-thrash", {}},
+            {"Hydra", "hydra", "hydra-rcc", {}},
+            {"START", "start", "start-stream", {}},
+            {"ABACUS", "abacus", "abacus-spill", {}},
+            {"CoMeT", "comet", "comet-rat", {}},
+        },
+        argv[0]);
 
     const auto workloads = population(opt);
-    const std::size_t nCols = std::size(columns);
-    const auto norms =
-        sweep(opt, workloads.size() * nCols, [&](std::size_t i) {
-            const Column &col = columns[i % nCols];
-            return normalizedPerf(cfg, workloads[i / nCols], col.attack,
-                                  col.tracker, Baseline::NoAttack,
-                                  horizon);
-        });
+    const std::size_t nCols = columns.size();
+    ScenarioGrid grid(baseScenario(opt).baseline(Baseline::NoAttack));
+    grid.workloads(workloads).cells(columns);
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
     std::map<std::string, std::map<std::string, double>> results;
     for (std::size_t c = 0; c < nCols; ++c) {
@@ -57,14 +50,14 @@ main(int argc, char **argv)
     }
 
     std::printf("%-14s", "Suite");
-    for (const Column &col : columns)
-        std::printf(" %12s", col.label);
+    for (const ScenarioCell &col : columns)
+        std::printf(" %12s", col.label.c_str());
     std::printf("\n");
     const char *suites[] = {"SPEC2K6", "SPEC2K17",   "TPC", "Hadoop",
                             "MediaBench", "YCSB", "All"};
     for (const char *suite : suites) {
         std::printf("%-14s", suite);
-        for (const Column &col : columns) {
+        for (const ScenarioCell &col : columns) {
             auto it = results[col.label].find(suite);
             std::printf(" %12.3f",
                         it != results[col.label].end() ? it->second : 0.0);
@@ -72,5 +65,6 @@ main(int argc, char **argv)
         std::printf("\n");
     }
     std::printf("\n(paper: trackers 0.1-0.4, cache thrashing ~0.6)\n");
+    finish(opt, "fig01_motivation", table);
     return 0;
 }

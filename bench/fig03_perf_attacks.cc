@@ -18,38 +18,32 @@ main(int argc, char **argv)
     using namespace dapper::benchutil;
 
     const Options opt = parse(argc, argv);
-    SysConfig cfg = makeConfig(opt);
-    const Tick horizon = horizonOf(cfg, opt);
-    printHeader("Figure 3: per-workload Perf-Attack impact", cfg);
+    printHeader("Figure 3: per-workload Perf-Attack impact",
+                makeConfig(opt));
 
-    struct Column
-    {
-        const char *label;
-        TrackerKind tracker;
-        AttackKind attack;
-    };
-    const Column columns[] = {
-        {"CacheThrash", TrackerKind::None, AttackKind::CacheThrash},
-        {"Hydra", TrackerKind::Hydra, AttackKind::HydraRcc},
-        {"START", TrackerKind::Start, AttackKind::StartStream},
-        {"ABACUS", TrackerKind::Abacus, AttackKind::AbacusSpill},
-        {"CoMeT", TrackerKind::Comet, AttackKind::CometRat},
-    };
+    const auto columns = filterCells(
+        opt,
+        {
+            {"CacheThrash", "none", "cache-thrash", {}},
+            {"Hydra", "hydra", "hydra-rcc", {}},
+            {"START", "start", "start-stream", {}},
+            {"ABACUS", "abacus", "abacus-spill", {}},
+            {"CoMeT", "comet", "comet-rat", {}},
+        },
+        argv[0]);
 
     const auto workloads = population(opt);
     std::printf("%-22s %7s", "Workload", "RBMPKI");
-    for (const Column &col : columns)
-        std::printf(" %12s", col.label);
+    for (const ScenarioCell &col : columns)
+        std::printf(" %12s", col.label.c_str());
     std::printf("\n");
 
-    const std::size_t nCols = std::size(columns);
-    const auto norms =
-        sweep(opt, workloads.size() * nCols, [&](std::size_t i) {
-            const Column &col = columns[i % nCols];
-            return normalizedPerf(cfg, workloads[i / nCols], col.attack,
-                                  col.tracker, Baseline::NoAttack,
-                                  horizon);
-        });
+    const std::size_t nCols = columns.size();
+    ScenarioGrid grid(baseScenario(opt).baseline(Baseline::NoAttack));
+    grid.workloads(workloads).cells(columns);
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
     std::map<std::string, std::vector<double>> hi;
     std::map<std::string, std::vector<double>> all;
@@ -67,11 +61,12 @@ main(int argc, char **argv)
     }
 
     std::printf("\n%-30s", "geomean (RBMPKI >= 2)");
-    for (const Column &col : columns)
+    for (const ScenarioCell &col : columns)
         std::printf(" %12.3f", geomean(hi[col.label]));
     std::printf("\n%-30s", "geomean (all)");
-    for (const Column &col : columns)
+    for (const ScenarioCell &col : columns)
         std::printf(" %12.3f", geomean(all[col.label]));
     std::printf("\n\n(paper: Perf-Attacks 60-90%% loss, thrash ~40%%)\n");
+    finish(opt, "fig03_perf_attacks", table);
     return 0;
 }

@@ -21,45 +21,36 @@ main(int argc, char **argv)
     printHeader("Figure 4: N_RH sensitivity of Perf-Attacks",
                 makeConfig(opt));
 
-    struct Column
-    {
-        const char *label;
-        TrackerKind tracker;
-        AttackKind attack;
-    };
-    const Column columns[] = {
-        {"CacheThrash", TrackerKind::None, AttackKind::CacheThrash},
-        {"Hydra", TrackerKind::Hydra, AttackKind::HydraRcc},
-        {"START", TrackerKind::Start, AttackKind::StartStream},
-        {"ABACUS", TrackerKind::Abacus, AttackKind::AbacusSpill},
-        {"CoMeT", TrackerKind::Comet, AttackKind::CometRat},
-    };
-    const int thresholds[] = {500, 1000, 2000, 4000};
+    const auto columns = filterCells(
+        opt,
+        {
+            {"CacheThrash", "none", "cache-thrash", {}},
+            {"Hydra", "hydra", "hydra-rcc", {}},
+            {"START", "start", "start-stream", {}},
+            {"ABACUS", "abacus", "abacus-spill", {}},
+            {"CoMeT", "comet", "comet-rat", {}},
+        },
+        argv[0]);
+    const std::vector<int> thresholds = {500, 1000, 2000, 4000};
 
     const auto workloads =
         opt.full ? population(opt) : std::vector<std::string>{
                                          "429.mcf", "510.parest", "ycsb-a"};
 
     std::printf("%-8s", "NRH");
-    for (const Column &col : columns)
-        std::printf(" %12s", col.label);
+    for (const ScenarioCell &col : columns)
+        std::printf(" %12s", col.label.c_str());
     std::printf("\n");
 
-    const std::size_t nCols = std::size(columns);
-    const std::size_t nThr = std::size(thresholds);
+    const std::size_t nCols = columns.size();
     const std::size_t perRow = nCols * workloads.size();
-    const auto norms = sweep(opt, nThr * perRow, [&](std::size_t i) {
-        Options local = opt;
-        local.nRH = thresholds[i / perRow];
-        const SysConfig cfg = makeConfig(local);
-        const Tick horizon = horizonOf(cfg, local);
-        const Column &col = columns[(i % perRow) / workloads.size()];
-        return normalizedPerf(cfg, workloads[i % workloads.size()],
-                              col.attack, col.tracker, Baseline::NoAttack,
-                              horizon);
-    });
+    ScenarioGrid grid(baseScenario(opt).baseline(Baseline::NoAttack));
+    grid.nRH(thresholds).cells(columns).workloads(workloads);
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
-    for (std::size_t t = 0; t < nThr; ++t) {
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
         std::printf("%-8d", thresholds[t]);
         for (std::size_t c = 0; c < nCols; ++c)
             std::printf(" %12.3f",
@@ -70,5 +61,6 @@ main(int argc, char **argv)
     }
     std::printf("\n(paper: 46-71%% loss at NRH=4K; Hydra/CoMeT worsen "
                 "with lower NRH)\n");
+    finish(opt, "fig04_nrh_sensitivity", table);
     return 0;
 }

@@ -20,19 +20,16 @@ main(int argc, char **argv)
     printHeader("Figure 5: LLC-capacity / channel-count sensitivity",
                 makeConfig(opt));
 
-    struct Column
-    {
-        const char *label;
-        TrackerKind tracker;
-        AttackKind attack;
-    };
-    const Column columns[] = {
-        {"CacheThrash", TrackerKind::None, AttackKind::CacheThrash},
-        {"Hydra", TrackerKind::Hydra, AttackKind::HydraRcc},
-        {"START", TrackerKind::Start, AttackKind::StartStream},
-        {"ABACUS", TrackerKind::Abacus, AttackKind::AbacusSpill},
-        {"CoMeT", TrackerKind::Comet, AttackKind::CometRat},
-    };
+    const auto columns = filterCells(
+        opt,
+        {
+            {"CacheThrash", "none", "cache-thrash", {}},
+            {"Hydra", "hydra", "hydra-rcc", {}},
+            {"START", "start", "start-stream", {}},
+            {"ABACUS", "abacus", "abacus-spill", {}},
+            {"CoMeT", "comet", "comet-rat", {}},
+        },
+        argv[0]);
     const int llcPerCoreMB[] = {2, 3, 4, 5};
 
     const auto workloads =
@@ -40,25 +37,33 @@ main(int argc, char **argv)
                                          "429.mcf", "510.parest", "ycsb-a"};
 
     std::printf("%-10s", "LLC/core");
-    for (const Column &col : columns)
-        std::printf(" %12s", col.label);
+    for (const ScenarioCell &col : columns)
+        std::printf(" %12s", col.label.c_str());
     std::printf("\n");
 
-    const std::size_t nCols = std::size(columns);
+    const std::size_t nCols = columns.size();
     const std::size_t nCaps = std::size(llcPerCoreMB);
     const std::size_t perRow = nCols * workloads.size();
-    const auto norms = sweep(opt, nCaps * perRow, [&](std::size_t i) {
-        SysConfig cfg = makeConfig(opt);
-        cfg.channels = 8;
-        cfg.llcBytes = static_cast<std::uint64_t>(llcPerCoreMB[i / perRow]) *
-                           cfg.numCores
-                       << 20;
-        const Tick horizon = horizonOf(cfg, opt);
-        const Column &col = columns[(i % perRow) / workloads.size()];
-        return normalizedPerf(cfg, workloads[i % workloads.size()],
-                              col.attack, col.tracker, Baseline::NoAttack,
-                              horizon);
-    });
+
+    std::vector<ScenarioGrid::AxisValue> capAxis;
+    for (const int mb : llcPerCoreMB)
+        capAxis.emplace_back(std::to_string(mb) + "MB/core",
+                             [mb](Scenario &s) {
+                                 s.tweak([mb](SysConfig &cfg) {
+                                     cfg.llcBytes =
+                                         static_cast<std::uint64_t>(mb) *
+                                             cfg.numCores
+                                         << 20;
+                                 });
+                             });
+
+    ScenarioGrid grid(baseScenario(opt)
+                          .baseline(Baseline::NoAttack)
+                          .tweak([](SysConfig &cfg) { cfg.channels = 8; }));
+    grid.axis(std::move(capAxis)).cells(columns).workloads(workloads);
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
     for (std::size_t m = 0; m < nCaps; ++m) {
         std::printf("%-9dM", llcPerCoreMB[m]);
@@ -71,5 +76,6 @@ main(int argc, char **argv)
     }
     std::printf("\n(paper: attacks 30-79%% loss, thrash ~20%%, at 8 "
                 "channels)\n");
+    finish(opt, "fig05_llc_sensitivity", table);
     return 0;
 }

@@ -18,29 +18,31 @@ main(int argc, char **argv)
     using namespace dapper::benchutil;
 
     const Options opt = parse(argc, argv);
-    SysConfig cfg = makeConfig(opt);
-    const Tick horizon = horizonOf(cfg, opt);
-    printHeader("Figure 9: mapping-agnostic attacks on DAPPER-S", cfg);
+    printHeader("Figure 9: mapping-agnostic attacks on DAPPER-S",
+                makeConfig(opt));
 
-    const AttackKind attacks[] = {AttackKind::Streaming,
-                                  AttackKind::RefreshAttack};
+    const auto attacks = filterCells(
+        opt,
+        {
+            {"Streaming ovh% (vsIdle/vsAtk)", "", "streaming", {}},
+            {"Refresh ovh% (vsIdle/vsAtk)", "", "refresh", {}},
+        },
+        argv[0], CellFilterSpec::pinTracker("dapper-s"));
 
     const auto workloads = population(opt);
-    std::printf("%-14s %22s %22s\n", "Suite",
-                "Streaming ovh% (vsIdle/vsAtk)",
-                "Refresh ovh% (vsIdle/vsAtk)");
+    std::printf("%-14s", "Suite");
+    for (const ScenarioCell &cell : attacks)
+        std::printf(" %22s", cell.label.c_str());
+    std::printf("\n");
 
     // Grid: (attack, workload) x {NoAttack, SameAttack} baselines.
-    const std::size_t nAtk = std::size(attacks);
-    const auto norms =
-        sweep(opt, nAtk * workloads.size() * 2, [&](std::size_t i) {
-            const AttackKind attack = attacks[i / (workloads.size() * 2)];
-            const std::size_t rest = i % (workloads.size() * 2);
-            const Baseline baseline =
-                rest % 2 == 0 ? Baseline::NoAttack : Baseline::SameAttack;
-            return normalizedPerf(cfg, workloads[rest / 2], attack,
-                                  TrackerKind::DapperS, baseline, horizon);
-        });
+    const std::size_t nAtk = attacks.size();
+    ScenarioGrid grid(baseScenario(opt).tracker("dapper-s"));
+    grid.cells(attacks).workloads(workloads).baselines(
+        {Baseline::NoAttack, Baseline::SameAttack});
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
     std::map<std::string, std::map<std::string, double>> idleN;
     std::map<std::string, std::map<std::string, double>> atkN;
@@ -53,16 +55,16 @@ main(int argc, char **argv)
             vsAtk[workloads[w]] =
                 norms[a * workloads.size() * 2 + w * 2 + 1];
         }
-        idleN[attackName(attacks[a])] = bySuite(vsIdle);
-        atkN[attackName(attacks[a])] = bySuite(vsAtk);
+        idleN[attacks[a].attack] = bySuite(vsIdle);
+        atkN[attacks[a].attack] = bySuite(vsAtk);
     }
 
     const char *suites[] = {"SPEC2K6", "SPEC2K17",   "TPC", "Hadoop",
                             "MediaBench", "YCSB", "All"};
     for (const char *suite : suites) {
         std::printf("%-14s", suite);
-        for (AttackKind attack : attacks) {
-            const auto &key = attackName(attack);
+        for (const ScenarioCell &cell : attacks) {
+            const auto &key = cell.attack;
             std::printf("      %6.1f / %-6.1f",
                         100.0 * (1.0 - idleN[key][suite]),
                         100.0 * (1.0 - atkN[key][suite]));
@@ -71,5 +73,6 @@ main(int argc, char **argv)
     }
     std::printf("\n(paper: streaming 13%%, refresh 20%% average "
                 "overhead)\n");
+    finish(opt, "fig09_dapper_s_agnostic", table);
     return 0;
 }

@@ -18,40 +18,50 @@ main(int argc, char **argv)
     using namespace dapper::benchutil;
 
     const Options opt = parse(argc, argv);
-    SysConfig cfg = makeConfig(opt);
-    const Tick horizon = horizonOf(cfg, opt);
-    printHeader("Figure 10: mapping-agnostic attacks on DAPPER-H", cfg);
+    printHeader("Figure 10: mapping-agnostic attacks on DAPPER-H",
+                makeConfig(opt));
+
+    const auto attacks = filterCells(opt,
+                                     {
+                                         {"Stream ovh%", "", "streaming",
+                                          {}},
+                                         {"Refresh ovh%", "", "refresh",
+                                          {}},
+                                     },
+                                     argv[0],
+                                     CellFilterSpec::pinTracker("dapper-h"));
 
     const auto workloads = population(opt);
-    std::printf("%-22s %7s %16s %16s\n", "Workload", "RBMPKI",
-                "Stream ovh%", "Refresh ovh%");
+    std::printf("%-22s %7s", "Workload", "RBMPKI");
+    for (const ScenarioCell &cell : attacks)
+        std::printf(" %16s", cell.label.c_str());
+    std::printf("\n");
 
-    const auto norms =
-        sweep(opt, workloads.size() * 2, [&](std::size_t i) {
-            const AttackKind attack = i % 2 == 0
-                                          ? AttackKind::Streaming
-                                          : AttackKind::RefreshAttack;
-            return normalizedPerf(cfg, workloads[i / 2], attack,
-                                  TrackerKind::DapperH,
-                                  Baseline::SameAttack, horizon);
-        });
+    const std::size_t nAtk = attacks.size();
+    ScenarioGrid grid(baseScenario(opt)
+                          .tracker("dapper-h")
+                          .baseline(Baseline::SameAttack));
+    grid.workloads(workloads).cells(attacks);
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
-    std::vector<double> streamAll;
-    std::vector<double> refreshAll;
+    std::vector<std::vector<double>> all(nAtk);
     for (std::size_t w = 0; w < workloads.size(); ++w) {
-        const double s = norms[w * 2];
-        const double r = norms[w * 2 + 1];
-        streamAll.push_back(s);
-        refreshAll.push_back(r);
-        std::printf("%-22s %7.2f %15.2f%% %15.2f%%\n",
-                    workloads[w].c_str(),
-                    findWorkload(workloads[w]).rbmpki(),
-                    100.0 * (1.0 - s), 100.0 * (1.0 - r));
+        std::printf("%-22s %7.2f", workloads[w].c_str(),
+                    findWorkload(workloads[w]).rbmpki());
+        for (std::size_t a = 0; a < nAtk; ++a) {
+            const double n = norms[w * nAtk + a];
+            all[a].push_back(n);
+            std::printf(" %15.2f%%", 100.0 * (1.0 - n));
+        }
+        std::printf("\n");
     }
-    std::printf("\n%-30s %15.2f%% %15.2f%%\n", "geomean overhead",
-                100.0 * (1.0 - geomean(streamAll)),
-                100.0 * (1.0 - geomean(refreshAll)));
-    std::printf("(paper: <1%% average; max 4.7%% streaming / 2.3%% "
+    std::printf("\n%-30s", "geomean overhead");
+    for (std::size_t a = 0; a < nAtk; ++a)
+        std::printf(" %15.2f%%", 100.0 * (1.0 - geomean(all[a])));
+    std::printf("\n(paper: <1%% average; max 4.7%% streaming / 2.3%% "
                 "refresh)\n");
+    finish(opt, "fig10_dapper_h_agnostic", table);
     return 0;
 }

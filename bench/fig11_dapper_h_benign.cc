@@ -15,19 +15,19 @@ main(int argc, char **argv)
     using namespace dapper::benchutil;
 
     const Options opt = parse(argc, argv);
-    SysConfig cfg = makeConfig(opt);
-    const Tick horizon = horizonOf(cfg, opt);
-    printHeader("Figure 11: DAPPER-H benign overhead", cfg);
+    printHeader("Figure 11: DAPPER-H benign overhead", makeConfig(opt));
 
     const auto workloads = population(opt);
     std::printf("%-22s %7s %12s %12s\n", "Workload", "RBMPKI", "Norm",
                 "Overhead%");
 
-    const auto norms = sweep(opt, workloads.size(), [&](std::size_t i) {
-        return normalizedPerf(cfg, workloads[i], AttackKind::None,
-                              TrackerKind::DapperH, Baseline::NoAttack,
-                              horizon);
-    });
+    ScenarioGrid grid(baseScenario(opt).baseline(Baseline::NoAttack));
+    grid.workloads(workloads).cells(filterCells(
+        opt, {{"", "dapper-h", "", {}}}, argv[0],
+        CellFilterSpec::pinAttack("none")));
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
     std::vector<double> all;
     double worst = 1.0;
@@ -47,5 +47,6 @@ main(int argc, char **argv)
                 100.0 * (1.0 - geomean(all)), 100.0 * (1.0 - worst),
                 worstName.c_str());
     std::printf("(paper: 0.1%% average, 4.4%% worst on 429.mcf)\n");
+    finish(opt, "fig11_dapper_h_benign", table);
     return 0;
 }

@@ -20,39 +20,31 @@ main(int argc, char **argv)
                 "refresh)",
                 makeConfig(opt));
 
-    const int thresholds[] = {125, 250, 500, 1000, 2000, 4000};
+    const std::vector<int> thresholds = {125, 250, 500, 1000, 2000, 4000};
     const auto workloads =
         opt.full ? population(opt) : std::vector<std::string>{
                                          "429.mcf", "510.parest", "ycsb-a"};
 
     std::printf("%-8s %14s %18s %18s\n", "NRH", "Benign",
                 "Streaming attack", "Refresh attack");
-    struct Cell
-    {
-        AttackKind attack;
-        Baseline baseline;
-    };
-    const Cell cells[] = {
-        {AttackKind::None, Baseline::NoAttack},
-        {AttackKind::Streaming, Baseline::SameAttack},
-        {AttackKind::RefreshAttack, Baseline::SameAttack},
-    };
-    const std::size_t nThr = std::size(thresholds);
-    const std::size_t perRow = std::size(cells) * workloads.size();
-    const auto norms = sweep(opt, nThr * perRow, [&](std::size_t i) {
-        Options local = opt;
-        local.nRH = thresholds[i / perRow];
-        const SysConfig cfg = makeConfig(local);
-        const Tick horizon = horizonOf(cfg, local);
-        const Cell &cell = cells[(i % perRow) / workloads.size()];
-        return normalizedPerf(cfg, workloads[i % workloads.size()],
-                              cell.attack, TrackerKind::DapperH,
-                              cell.baseline, horizon);
-    });
+    const auto cells = filterCells(
+        opt,
+        {
+            {"benign", "", "none", Baseline::NoAttack},
+            {"streaming", "", "streaming", Baseline::SameAttack},
+            {"refresh", "", "refresh", Baseline::SameAttack},
+        },
+        argv[0], CellFilterSpec::pinTracker("dapper-h"));
+    const std::size_t perRow = cells.size() * workloads.size();
+    ScenarioGrid grid(baseScenario(opt).tracker("dapper-h"));
+    grid.nRH(thresholds).cells(cells).workloads(workloads);
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
-    for (std::size_t t = 0; t < nThr; ++t) {
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
         std::printf("%-8d", thresholds[t]);
-        for (std::size_t c = 0; c < std::size(cells); ++c)
+        for (std::size_t c = 0; c < cells.size(); ++c)
             std::printf(" %*.4f", c == 0 ? 14 : 18,
                         geomeanSlice(norms,
                                      t * perRow + c * workloads.size(),
@@ -61,5 +53,6 @@ main(int argc, char **argv)
     }
     std::printf("\n(paper: <1%% at NRH>=500; ~6%% at NRH=125 under "
                 "refresh attack)\n");
+    finish(opt, "fig12_nrh_sweep", table);
     return 0;
 }

@@ -19,42 +19,57 @@ main(int argc, char **argv)
     const Options opt = parse(argc, argv);
     printHeader("Figure 13: blast radius and DRFMsb cost", makeConfig(opt));
 
-    const TrackerKind variants[] = {TrackerKind::DapperH,
-                                    TrackerKind::DapperHBr2,
-                                    TrackerKind::DapperHDrfmSb};
-    const int thresholds[] = {125, 250, 500, 1000, 2000, 4000};
+    // The attack dimension lives on the benign/attacked cell axis below.
+    const auto variants = filterCells(opt,
+                                      {
+                                          {"", "dapper-h", "", {}},
+                                          {"", "dapper-h-br2", "", {}},
+                                          {"", "dapper-h-drfmsb", "", {}},
+                                      },
+                                      argv[0], CellFilterSpec::trackerAxisOnly());
+    const auto halves = filterCells(
+        opt,
+        {
+            {"benign", "", "none", Baseline::NoAttack},
+            {"attacked", "", "refresh", Baseline::SameAttack},
+        },
+        argv[0], CellFilterSpec::attackAxisOnly());
+    const std::vector<int> thresholds = {125, 250, 500, 1000, 2000, 4000};
     const auto workloads =
         opt.full ? population(opt) : std::vector<std::string>{
                                          "429.mcf", "ycsb-a"};
 
     std::printf("%-8s", "NRH");
-    for (TrackerKind v : variants)
-        std::printf(" %16s %18s", trackerName(v).c_str(), "(+refresh)");
+    for (const ScenarioCell &v : variants)
+        for (std::size_t h = 0; h < halves.size(); ++h)
+            std::printf(h == 0 ? " %16s" : " %18s",
+                        h == 0 ? TrackerRegistry::instance()
+                                     .at(v.tracker)
+                                     .displayName.c_str()
+                               : "(+refresh)");
     std::printf("\n");
+    // With --attack the per-variant benign/attacked column pair
+    // collapses to one column; say which half it shows.
+    if (halves.size() == 1)
+        std::printf("(all columns: %s)\n",
+                    halves[0].label == "attacked" ? "under refresh attack"
+                                                  : "benign");
 
-    const std::size_t nThr = std::size(thresholds);
-    const std::size_t nVar = std::size(variants);
     // Index: (threshold, variant, {benign, attacked}, workload).
-    const std::size_t perVariant = 2 * workloads.size();
+    const std::size_t nVar = variants.size();
+    const std::size_t perVariant = halves.size() * workloads.size();
     const std::size_t perRow = nVar * perVariant;
-    const auto norms = sweep(opt, nThr * perRow, [&](std::size_t i) {
-        Options local = opt;
-        local.nRH = thresholds[i / perRow];
-        const SysConfig cfg = makeConfig(local);
-        const Tick horizon = horizonOf(cfg, local);
-        const TrackerKind v = variants[(i % perRow) / perVariant];
-        const bool attacked = (i % perVariant) / workloads.size() == 1;
-        return normalizedPerf(
-            cfg, workloads[i % workloads.size()],
-            attacked ? AttackKind::RefreshAttack : AttackKind::None, v,
-            attacked ? Baseline::SameAttack : Baseline::NoAttack,
-            horizon);
-    });
+    ScenarioGrid grid(baseScenario(opt));
+    grid.nRH(thresholds).cells(variants).cells(halves).workloads(
+        workloads);
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
-    for (std::size_t t = 0; t < nThr; ++t) {
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
         std::printf("%-8d", thresholds[t]);
         for (std::size_t v = 0; v < nVar; ++v)
-            for (std::size_t half = 0; half < 2; ++half)
+            for (std::size_t half = 0; half < halves.size(); ++half)
                 std::printf(half == 0 ? " %16.4f" : " %18.4f",
                             geomeanSlice(norms,
                                          t * perRow + v * perVariant +
@@ -64,5 +79,6 @@ main(int argc, char **argv)
     }
     std::printf("\n(paper at NRH=500 +refresh: BR1 ~1%%, BR2 ~2%%, "
                 "DRFMsb ~8%%)\n");
+    finish(opt, "fig13_blast_radius", table);
     return 0;
 }

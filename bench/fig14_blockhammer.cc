@@ -20,34 +20,35 @@ main(int argc, char **argv)
     printHeader("Figure 14: BlockHammer comparison (benign)",
                 makeConfig(opt));
 
-    const TrackerKind variants[] = {TrackerKind::BlockHammer,
-                                    TrackerKind::DapperH,
-                                    TrackerKind::DapperHDrfmSb};
-    const int thresholds[] = {125, 250, 500, 1000, 2000, 4000};
+    const auto variants = filterCells(opt,
+                                      {
+                                          {"", "blockhammer", "", {}},
+                                          {"", "dapper-h", "", {}},
+                                          {"", "dapper-h-drfmsb", "", {}},
+                                      },
+                                      argv[0], CellFilterSpec::pinAttack("none"));
+    const std::vector<int> thresholds = {125, 250, 500, 1000, 2000, 4000};
     const auto workloads =
         opt.full ? population(opt) : std::vector<std::string>{
                                          "429.mcf", "510.parest", "ycsb-a"};
 
     std::printf("%-8s", "NRH");
-    for (TrackerKind v : variants)
-        std::printf(" %18s", trackerName(v).c_str());
+    for (const ScenarioCell &v : variants)
+        std::printf(" %18s",
+                    TrackerRegistry::instance()
+                        .at(v.tracker)
+                        .displayName.c_str());
     std::printf("\n");
 
-    const std::size_t nThr = std::size(thresholds);
-    const std::size_t nVar = std::size(variants);
+    const std::size_t nVar = variants.size();
     const std::size_t perRow = nVar * workloads.size();
-    const auto norms = sweep(opt, nThr * perRow, [&](std::size_t i) {
-        Options local = opt;
-        local.nRH = thresholds[i / perRow];
-        const SysConfig cfg = makeConfig(local);
-        const Tick horizon = horizonOf(cfg, local);
-        return normalizedPerf(cfg, workloads[i % workloads.size()],
-                              AttackKind::None,
-                              variants[(i % perRow) / workloads.size()],
-                              Baseline::NoAttack, horizon);
-    });
+    ScenarioGrid grid(baseScenario(opt).baseline(Baseline::NoAttack));
+    grid.nRH(thresholds).cells(variants).workloads(workloads);
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
-    for (std::size_t t = 0; t < nThr; ++t) {
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
         std::printf("%-8d", thresholds[t]);
         for (std::size_t v = 0; v < nVar; ++v)
             std::printf(" %18.4f",
@@ -58,5 +59,6 @@ main(int argc, char **argv)
     }
     std::printf("\n(paper: BlockHammer 0.34 at NRH=125, 0.75 at 500; "
                 "DAPPER-H >= 0.96 everywhere)\n");
+    finish(opt, "fig14_blockhammer", table);
     return 0;
 }

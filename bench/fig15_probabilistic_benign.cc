@@ -20,36 +20,38 @@ main(int argc, char **argv)
     printHeader("Figure 15: probabilistic mitigations (benign)",
                 makeConfig(opt));
 
-    const TrackerKind variants[] = {
-        TrackerKind::Para,        TrackerKind::ParaDrfmSb,
-        TrackerKind::Pride,       TrackerKind::PrideRfmSb,
-        TrackerKind::DapperH,     TrackerKind::DapperHDrfmSb,
-    };
-    const int thresholds[] = {125, 250, 500, 1000, 2000, 4000};
+    const auto variants = filterCells(opt,
+                                      {
+                                          {"", "para", "", {}},
+                                          {"", "para-drfmsb", "", {}},
+                                          {"", "pride", "", {}},
+                                          {"", "pride-rfmsb", "", {}},
+                                          {"", "dapper-h", "", {}},
+                                          {"", "dapper-h-drfmsb", "", {}},
+                                      },
+                                      argv[0], CellFilterSpec::pinAttack("none"));
+    const std::vector<int> thresholds = {125, 250, 500, 1000, 2000, 4000};
     const auto workloads =
         opt.full ? population(opt) : std::vector<std::string>{
                                          "429.mcf", "510.parest", "ycsb-a"};
 
     std::printf("%-8s", "NRH");
-    for (TrackerKind v : variants)
-        std::printf(" %16s", trackerName(v).c_str());
+    for (const ScenarioCell &v : variants)
+        std::printf(" %16s",
+                    TrackerRegistry::instance()
+                        .at(v.tracker)
+                        .displayName.c_str());
     std::printf("\n");
 
-    const std::size_t nThr = std::size(thresholds);
-    const std::size_t nVar = std::size(variants);
+    const std::size_t nVar = variants.size();
     const std::size_t perRow = nVar * workloads.size();
-    const auto norms = sweep(opt, nThr * perRow, [&](std::size_t i) {
-        Options local = opt;
-        local.nRH = thresholds[i / perRow];
-        const SysConfig cfg = makeConfig(local);
-        const Tick horizon = horizonOf(cfg, local);
-        return normalizedPerf(cfg, workloads[i % workloads.size()],
-                              AttackKind::None,
-                              variants[(i % perRow) / workloads.size()],
-                              Baseline::NoAttack, horizon);
-    });
+    ScenarioGrid grid(baseScenario(opt).baseline(Baseline::NoAttack));
+    grid.nRH(thresholds).cells(variants).workloads(workloads);
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
-    for (std::size_t t = 0; t < nThr; ++t) {
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
         std::printf("%-8d", thresholds[t]);
         for (std::size_t v = 0; v < nVar; ++v)
             std::printf(" %16.4f",
@@ -60,5 +62,6 @@ main(int argc, char **argv)
     }
     std::printf("\n(paper at NRH=500: PARA 0.97, PrIDE 0.93, "
                 "PARA-DRFMsb 0.82, PrIDE-RFMsb 0.88, DAPPER-H ~1.0)\n");
+    finish(opt, "fig15_probabilistic_benign", table);
     return 0;
 }

@@ -21,36 +21,41 @@ main(int argc, char **argv)
     printHeader("Figure 16: probabilistic mitigations under Perf-Attack",
                 makeConfig(opt));
 
-    const TrackerKind variants[] = {
-        TrackerKind::Para,        TrackerKind::ParaDrfmSb,
-        TrackerKind::Pride,       TrackerKind::PrideRfmSb,
-        TrackerKind::DapperH,     TrackerKind::DapperHDrfmSb,
-    };
-    const int thresholds[] = {125, 250, 500, 1000, 2000, 4000};
+    const auto variants = filterCells(opt,
+                                      {
+                                          {"", "para", "", {}},
+                                          {"", "para-drfmsb", "", {}},
+                                          {"", "pride", "", {}},
+                                          {"", "pride-rfmsb", "", {}},
+                                          {"", "dapper-h", "", {}},
+                                          {"", "dapper-h-drfmsb", "", {}},
+                                      },
+                                      argv[0],
+                                      CellFilterSpec::pinAttack("refresh"));
+    const std::vector<int> thresholds = {125, 250, 500, 1000, 2000, 4000};
     const auto workloads =
         opt.full ? population(opt) : std::vector<std::string>{
                                          "429.mcf", "ycsb-a"};
 
     std::printf("%-8s", "NRH");
-    for (TrackerKind v : variants)
-        std::printf(" %16s", trackerName(v).c_str());
+    for (const ScenarioCell &v : variants)
+        std::printf(" %16s",
+                    TrackerRegistry::instance()
+                        .at(v.tracker)
+                        .displayName.c_str());
     std::printf("\n");
 
-    const std::size_t nThr = std::size(thresholds);
-    const std::size_t nVar = std::size(variants);
+    const std::size_t nVar = variants.size();
     const std::size_t perRow = nVar * workloads.size();
-    const auto norms = sweep(opt, nThr * perRow, [&](std::size_t i) {
-        Options local = opt;
-        local.nRH = thresholds[i / perRow];
-        const SysConfig cfg = makeConfig(local);
-        const Tick horizon = horizonOf(cfg, local);
-        return normalizedPerf(cfg, workloads[i % workloads.size()],
-                              AttackKind::RefreshAttack,
-                              variants[(i % perRow) / workloads.size()],
-                              Baseline::SameAttack, horizon);
-    });
+    ScenarioGrid grid(baseScenario(opt)
+                          .attack("refresh")
+                          .baseline(Baseline::SameAttack));
+    grid.nRH(thresholds).cells(variants).workloads(workloads);
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
-    for (std::size_t t = 0; t < nThr; ++t) {
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
         std::printf("%-8d", thresholds[t]);
         for (std::size_t v = 0; v < nVar; ++v)
             std::printf(" %16.4f",
@@ -61,5 +66,6 @@ main(int argc, char **argv)
     }
     std::printf("\n(paper at NRH=125: DAPPER-H 0.94, PARA 0.85, PrIDE "
                 "0.77)\n");
+    finish(opt, "fig16_probabilistic_attack", table);
     return 0;
 }

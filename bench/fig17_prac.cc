@@ -20,43 +20,33 @@ main(int argc, char **argv)
     const Options opt = parse(argc, argv);
     printHeader("Figure 17: PRAC comparison", makeConfig(opt));
 
-    const int thresholds[] = {125, 250, 500, 1000, 2000, 4000};
+    const std::vector<int> thresholds = {125, 250, 500, 1000, 2000, 4000};
     const auto workloads =
         opt.full ? population(opt) : std::vector<std::string>{
                                          "429.mcf", "ycsb-a"};
 
     std::printf("%-8s %12s %12s %14s %14s\n", "NRH", "PRAC",
                 "PRAC-Perf", "DAPPER-H", "DAPPER-H-Refr");
-    struct Cell
-    {
-        TrackerKind tracker;
-        AttackKind attack;
-        Baseline baseline;
-    };
-    const Cell cells[] = {
-        {TrackerKind::Prac, AttackKind::None, Baseline::NoAttack},
-        {TrackerKind::Prac, AttackKind::RefreshAttack,
-         Baseline::SameAttack},
-        {TrackerKind::DapperH, AttackKind::None, Baseline::NoAttack},
-        {TrackerKind::DapperH, AttackKind::RefreshAttack,
-         Baseline::SameAttack},
-    };
-    const std::size_t nThr = std::size(thresholds);
-    const std::size_t perRow = std::size(cells) * workloads.size();
-    const auto norms = sweep(opt, nThr * perRow, [&](std::size_t i) {
-        Options local = opt;
-        local.nRH = thresholds[i / perRow];
-        const SysConfig cfg = makeConfig(local);
-        const Tick horizon = horizonOf(cfg, local);
-        const Cell &cell = cells[(i % perRow) / workloads.size()];
-        return normalizedPerf(cfg, workloads[i % workloads.size()],
-                              cell.attack, cell.tracker, cell.baseline,
-                              horizon);
-    });
+    const auto cells = filterCells(
+        opt,
+        {
+            {"prac-benign", "prac", "none", Baseline::NoAttack},
+            {"prac-refresh", "prac", "refresh", Baseline::SameAttack},
+            {"dapper-h-benign", "dapper-h", "none", Baseline::NoAttack},
+            {"dapper-h-refresh", "dapper-h", "refresh",
+             Baseline::SameAttack},
+        },
+        argv[0]);
+    const std::size_t perRow = cells.size() * workloads.size();
+    ScenarioGrid grid(baseScenario(opt));
+    grid.nRH(thresholds).cells(cells).workloads(workloads);
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+    const auto norms = table.normalizedValues();
 
-    for (std::size_t t = 0; t < nThr; ++t) {
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
         std::printf("%-8d", thresholds[t]);
-        for (std::size_t c = 0; c < std::size(cells); ++c)
+        for (std::size_t c = 0; c < cells.size(); ++c)
             std::printf(" %*.4f", c < 2 ? 12 : 14,
                         geomeanSlice(norms,
                                      t * perRow + c * workloads.size(),
@@ -65,5 +55,6 @@ main(int argc, char **argv)
     }
     std::printf("\n(paper: PRAC ~0.93 benign at all NRH; DAPPER-H "
                 ">= 0.96 benign, >= 0.94 attacked)\n");
+    finish(opt, "fig17_prac", table);
     return 0;
 }

@@ -88,6 +88,8 @@ main(int argc, char **argv)
     using namespace dapper::benchutil;
 
     const Options opt = parse(argc, argv);
+    // Drives a bare MemController: no trackers or attack streams here.
+    rejectFilters(opt, argv[0]);
     const SysConfig cfg = makeConfig(opt);
     printHeader("Controller micro: queue-depth sweep (issue-scan cost)",
                 cfg);

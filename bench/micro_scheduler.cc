@@ -32,43 +32,57 @@ main(int argc, char **argv)
     struct Cell
     {
         const char *label;
-        TrackerKind tracker;
-        AttackKind attack;
+        const char *tracker;
+        const char *attack;
         int nRH;
     };
-    const Cell cells[] = {
-        {"blockhammer-125", TrackerKind::BlockHammer, AttackKind::None,
-         125},
-        {"blockhammer-250", TrackerKind::BlockHammer, AttackKind::None,
-         250},
-        {"blockhammer-500", TrackerKind::BlockHammer, AttackKind::None,
-         500},
-        {"comet-rat-125", TrackerKind::Comet, AttackKind::CometRat, 125},
-        {"comet-rat-500", TrackerKind::Comet, AttackKind::CometRat, 500},
-        {"abacus-spill-500", TrackerKind::Abacus, AttackKind::AbacusSpill,
-         500},
+    const Cell allCells[] = {
+        {"blockhammer-125", "blockhammer", "none", 125},
+        {"blockhammer-250", "blockhammer", "none", 250},
+        {"blockhammer-500", "blockhammer", "none", 500},
+        {"comet-rat-125", "comet", "comet-rat", 125},
+        {"comet-rat-500", "comet", "comet-rat", 500},
+        {"abacus-spill-500", "abacus", "abacus-spill", 500},
         // Saturated Perf-Attack cells: the memory system stays busy, so
         // engine wins must come from cheap issue decisions, not skipped
         // dead time.
-        {"hydra-rcc-500", TrackerKind::Hydra, AttackKind::HydraRcc, 500},
-        {"start-stream-500", TrackerKind::Start, AttackKind::StartStream,
-         500},
+        {"hydra-rcc-500", "hydra", "hydra-rcc", 500},
+        {"start-stream-500", "start", "start-stream", 500},
     };
     const std::string workload = "429.mcf";
 
+    // --tracker / --attack restrict the cell list directly (the cells
+    // pair trackers with their stressing attacks and thresholds).
+    std::vector<Cell> cells;
+    for (const Cell &cell : allCells)
+        if ((opt.trackerFilter.empty() ||
+             opt.trackerFilter == cell.tracker) &&
+            (opt.attackFilter.empty() || opt.attackFilter == cell.attack))
+            cells.push_back(cell);
+    if (cells.empty())
+        usage(argv[0],
+              "--tracker/--attack match no cell of this bench");
+
+    std::vector<ScenarioGrid::AxisValue> axis;
+    for (const Cell &cell : cells)
+        axis.emplace_back(cell.label, [cell](Scenario &s) {
+            s.tracker(cell.tracker).attack(cell.attack).nRH(cell.nRH);
+        });
+    ScenarioGrid grid(baseScenario(opt).workload(workload));
+    grid.axis(std::move(axis));
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
+
     std::printf("%-18s %10s %12s %12s %8s\n", "Config", "IPC",
                 "Activations", "Mitigations", "RHviol");
-    for (const Cell &cell : cells) {
-        Options local = opt;
-        local.nRH = cell.nRH;
-        const SysConfig cfg = makeConfig(local);
-        const RunResult r = runOnce(cfg, workload, cell.attack,
-                                    cell.tracker, horizonOf(cfg, local));
-        std::printf("%-18s %10.4f %12llu %12llu %8llu\n", cell.label,
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const RunResult &r = table.at(i).run;
+        std::printf("%-18s %10.4f %12llu %12llu %8llu\n", cells[i].label,
                     r.benignIpcMean,
                     static_cast<unsigned long long>(r.activations),
                     static_cast<unsigned long long>(r.mitigations),
                     static_cast<unsigned long long>(r.rhViolations));
     }
+    finish(opt, "micro_scheduler", table);
     return 0;
 }

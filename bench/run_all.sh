@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
 # Time every bench binary and emit machine-readable perf snapshots:
 #
-#   BENCH_all.json        per-binary wall-clock for one full pass
+#   BENCH_all.json        per-binary wall-clock plus the structured
+#                         results each sim bench emits itself (--json
+#                         via the Scenario/Runner ResultTable; no log
+#                         scraping), collected from bench_json/*.json
 #   BENCH_scheduler.json  event-driven vs tick-by-tick engine speedup
 #                         on scheduler-sensitive benches
 #
@@ -49,9 +52,14 @@ ablation_dapper_h tab04_energy micro_scheduler micro_controller"
 ANALYTIC_BENCHES="tab02_mapping_capture tab03_storage"
 
 # ---------------------------------------------------------------------
-# Pass 1: time every binary once.
+# Pass 1: time every binary once. Sim benches also emit their own
+# structured results (--json -> ResultTable JSON) into bench_json/,
+# which BENCH_all.json embeds verbatim — the benches are the source of
+# the machine-readable numbers, the shell only adds wall-clock.
 # ---------------------------------------------------------------------
 ALL_JSON="$OUT_DIR/BENCH_all.json"
+JSON_DIR="$OUT_DIR/bench_json"
+mkdir -p "$JSON_DIR"
 {
     echo '{'
     echo '  "generated_by": "bench/run_all.sh",'
@@ -63,9 +71,15 @@ first=1
 for bench in $SIM_BENCHES $ANALYTIC_BENCHES; do
     bin="$BUILD_DIR/$bench"
     [ -x "$bin" ] || { echo "skipping $bench (not built)" >&2; continue; }
+    bench_json=""
     case " $ANALYTIC_BENCHES " in
         *" $bench "*) args="" ;;
-        *) args="$BENCH_ARGS" ;;
+        *) bench_json="$JSON_DIR/$bench.json"
+           args="$BENCH_ARGS --json $bench_json" ;;
+    esac
+    # micro_controller drives a bare MemController (no scenarios).
+    case "$bench" in
+        micro_controller) bench_json=""; args="$BENCH_ARGS" ;;
     esac
     echo "timing $bench $args" >&2
     t0=$(now_s)
@@ -75,7 +89,15 @@ for bench in $SIM_BENCHES $ANALYTIC_BENCHES; do
     secs=$(elapsed "$t0" "$t1")
     [ $first -eq 1 ] || echo ',' >> "$ALL_JSON"
     first=0
-    printf '    {"name": "%s", "seconds": %s}' "$bench" "$secs" >> "$ALL_JSON"
+    if [ -n "$bench_json" ] && [ -s "$bench_json" ]; then
+        printf '    {"name": "%s", "seconds": %s, "results":\n' \
+            "$bench" "$secs" >> "$ALL_JSON"
+        sed 's/^/    /' "$bench_json" >> "$ALL_JSON"
+        printf '    }' >> "$ALL_JSON"
+    else
+        printf '    {"name": "%s", "seconds": %s, "results": null}' \
+            "$bench" "$secs" >> "$ALL_JSON"
+    fi
 done
 {
     echo ''
@@ -83,6 +105,15 @@ done
     echo '}'
 } >> "$ALL_JSON"
 echo "wrote $ALL_JSON" >&2
+
+# Validate the bench-emitted JSON against the schema when python3 is
+# around (CI always validates; local runs skip silently without it).
+if command -v python3 > /dev/null 2>&1; then
+    for bench_json in "$JSON_DIR"/*.json; do
+        [ -e "$bench_json" ] || continue
+        python3 "$REPO_ROOT/scripts/check_bench_json.py" "$bench_json" >&2
+    done
+fi
 
 # ---------------------------------------------------------------------
 # Pass 2: event-driven vs tick-by-tick engine on scheduler-sensitive

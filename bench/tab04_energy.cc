@@ -9,19 +9,6 @@
 
 #include "bench/bench_util.hh"
 
-namespace {
-
-double
-energyOf(const dapper::SysConfig &cfg, const std::string &workload,
-         dapper::AttackKind attack, dapper::TrackerKind tracker,
-         dapper::Tick horizon)
-{
-    return dapper::runOnce(cfg, workload, attack, tracker, horizon)
-        .energyNj;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
@@ -29,40 +16,38 @@ main(int argc, char **argv)
     using namespace dapper::benchutil;
 
     const Options opt = parse(argc, argv);
+    // The table is a fixed none-vs-DAPPER-H energy ratio per attack;
+    // filtering either dimension would break the ratios.
+    rejectFilters(opt, argv[0]);
     printHeader("Table IV: energy overhead of DAPPER-H", makeConfig(opt));
 
-    const int thresholds[] = {125, 250, 500, 1000, 2000, 4000};
+    const std::vector<int> thresholds = {125, 250, 500, 1000, 2000, 4000};
     const std::string workload = "429.mcf";
 
     std::printf("%-8s %10s %14s %14s\n", "NRH", "Benign", "Streaming",
                 "Refresh");
-    const AttackKind attacks[] = {AttackKind::None, AttackKind::Streaming,
-                                  AttackKind::RefreshAttack};
-    const TrackerKind trackers[] = {TrackerKind::None,
-                                    TrackerKind::DapperH};
-    // Grid: (threshold, tracker, attack).
-    const std::size_t nThr = std::size(thresholds);
-    const std::size_t perRow = std::size(trackers) * std::size(attacks);
-    const auto energies = sweep(opt, nThr * perRow, [&](std::size_t i) {
-        Options local = opt;
-        local.nRH = thresholds[i / perRow];
-        const SysConfig cfg = makeConfig(local);
-        const Tick horizon = horizonOf(cfg, local);
-        const TrackerKind tracker =
-            trackers[(i % perRow) / std::size(attacks)];
-        return energyOf(cfg, workload, attacks[i % std::size(attacks)],
-                        tracker, horizon);
-    });
+    // Grid: (threshold, tracker, attack); raw runs, energy ratios below.
+    ScenarioGrid grid(baseScenario(opt).workload(workload));
+    grid.nRH(thresholds)
+        .trackers({"none", "dapper-h"})
+        .attacks({"none", "streaming", "refresh"});
+    const std::size_t perRow = 2 * 3;
+    Runner runner(opt.jobs);
+    const ResultTable table = runner.run(grid);
 
-    for (std::size_t t = 0; t < nThr; ++t) {
-        const double *base = &energies[t * perRow];
-        const double *dap = base + std::size(attacks);
+    for (std::size_t t = 0; t < thresholds.size(); ++t) {
+        const std::size_t base = t * perRow;
+        const std::size_t dap = base + 3;
+        auto ratio = [&](std::size_t off) {
+            return 100.0 * (table.at(dap + off).run.energyNj /
+                                table.at(base + off).run.energyNj -
+                            1.0);
+        };
         std::printf("%-8d %9.2f%% %13.2f%% %13.2f%%\n", thresholds[t],
-                    100.0 * (dap[0] / base[0] - 1.0),
-                    100.0 * (dap[1] / base[1] - 1.0),
-                    100.0 * (dap[2] / base[2] - 1.0));
+                    ratio(0), ratio(1), ratio(2));
     }
     std::printf("\n(paper: 4.5/7.0/7.5%% at 125; 0.1/0.2/1.1%% at 500; "
                 "~0 at 4000)\n");
+    finish(opt, "tab04_energy", table);
     return 0;
 }

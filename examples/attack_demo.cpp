@@ -5,63 +5,81 @@
  * mapping-agnostic attacks against DAPPER-S and DAPPER-H, printing the
  * benign cores' normalized performance, the tracker's mitigation
  * activity, and the ground-truth RowHammer verdict.
+ *
+ * Trackers and attacks are named by their registry strings; the
+ * tailored pairings come straight from each tracker's counterAttack
+ * metadata (TrackerRegistry), so a newly registered tracker shows up
+ * here by declaring its counter-attack.
+ *
+ * Optional flags for fast smoke runs: [--scale S] [--windows N].
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
-#include "src/sim/experiment.hh"
+#include "src/sim/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dapper;
 
     SysConfig cfg;
     cfg.nRH = 500;
-    const Tick horizon = defaultHorizon(cfg);
+    int windows = 2;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+            cfg.timeScale = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--windows") == 0 && i + 1 < argc)
+            windows = std::atoi(argv[++i]);
+        else {
+            std::fprintf(stderr, "usage: %s [--scale S] [--windows N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
     const std::string workload = "429.mcf";
 
     std::printf("Perf-Attack demo on %s (3 benign copies of %s + 1 "
                 "attacker core)\n\n",
                 cfg.summary().c_str(), workload.c_str());
 
-    const RunResult base =
-        runOnce(cfg, workload, AttackKind::None, TrackerKind::None,
-                horizon);
     std::printf("%-14s %-16s %8s %10s %8s %12s %6s\n", "Tracker",
                 "Attack", "NormPerf", "Mitig", "Bulk", "CtrTraffic",
                 "Safe");
 
-    struct Case
-    {
-        TrackerKind tracker;
-        AttackKind attack;
-    };
-    const Case cases[] = {
-        {TrackerKind::Hydra, AttackKind::HydraRcc},
-        {TrackerKind::Start, AttackKind::StartStream},
-        {TrackerKind::Comet, AttackKind::CometRat},
-        {TrackerKind::Abacus, AttackKind::AbacusSpill},
-        {TrackerKind::None, AttackKind::CacheThrash},
-        {TrackerKind::DapperS, AttackKind::Streaming},
-        {TrackerKind::DapperS, AttackKind::RefreshAttack},
-        {TrackerKind::DapperH, AttackKind::Streaming},
-        {TrackerKind::DapperH, AttackKind::RefreshAttack},
-    };
+    // The tailored pairings from registry metadata, then the
+    // cache-thrash reference and the mapping-agnostic attacks.
+    std::vector<std::pair<std::string, std::string>> cases;
+    for (const char *tracker : {"hydra", "start", "comet", "abacus"})
+        cases.emplace_back(
+            tracker,
+            TrackerRegistry::instance().at(tracker).counterAttack);
+    cases.emplace_back("none", "cache-thrash");
+    cases.emplace_back("dapper-s", "streaming");
+    cases.emplace_back("dapper-s", "refresh");
+    cases.emplace_back("dapper-h", "streaming");
+    cases.emplace_back("dapper-h", "refresh");
 
-    for (const Case &c : cases) {
-        const RunResult r = runOnce(cfg, workload, c.attack, c.tracker,
-                                    horizon);
+    const Scenario base = Scenario()
+                              .config(cfg)
+                              .windows(windows)
+                              .workload(workload)
+                              .baseline(Baseline::NoAttack);
+    Runner runner;
+    for (const auto &[tracker, attack] : cases) {
+        const ScenarioResult r = runner.run(
+            Scenario(base).tracker(tracker).attack(attack));
         std::printf("%-14s %-16s %8.3f %10llu %8llu %12llu %6s\n",
-                    trackerName(c.tracker).c_str(),
-                    attackName(c.attack).c_str(),
-                    r.benignIpcMean / base.benignIpcMean,
-                    static_cast<unsigned long long>(r.mitigations),
-                    static_cast<unsigned long long>(r.bulkResets),
-                    static_cast<unsigned long long>(r.counterTraffic),
-                    c.tracker == TrackerKind::None
+                    r.scenario.trackerInfo().displayName.c_str(),
+                    r.scenario.attackInfo().name.c_str(), r.normalized,
+                    static_cast<unsigned long long>(r.run.mitigations),
+                    static_cast<unsigned long long>(r.run.bulkResets),
+                    static_cast<unsigned long long>(r.run.counterTraffic),
+                    r.scenario.trackerInfo().isNone()
                         ? "n/a"
-                        : (r.rhViolations == 0 ? "yes" : "NO"));
+                        : (r.run.rhViolations == 0 ? "yes" : "NO"));
     }
 
     std::printf("\nReading the table: the tailored attacks leave "

@@ -3,6 +3,11 @@
  * dapper_sim: command-line simulation runner — the Swiss-army knife for
  * exploring the design space without writing code.
  *
+ * Trackers and attacks are resolved by their registry names, so
+ * --tracker/--attack accept exactly the strings TrackerRegistry /
+ * AttackRegistry export (shown on any parse error) — including trackers
+ * registered outside the core tree.
+ *
  * Usage:
  *   dapper_sim [--workload NAME] [--tracker NAME] [--attack NAME]
  *              [--nrh N] [--scale S] [--windows W] [--seed S] [--list]
@@ -18,66 +23,35 @@
 #include <cstring>
 #include <string>
 
-#include "src/sim/experiment.hh"
+#include "src/sim/runner.hh"
 
 namespace {
 
 using namespace dapper;
 
-TrackerKind
+const TrackerInfo &
 parseTracker(const std::string &name)
 {
-    const struct
-    {
-        const char *name;
-        TrackerKind kind;
-    } table[] = {
-        {"none", TrackerKind::None},
-        {"para", TrackerKind::Para},
-        {"para-drfmsb", TrackerKind::ParaDrfmSb},
-        {"pride", TrackerKind::Pride},
-        {"pride-rfmsb", TrackerKind::PrideRfmSb},
-        {"prac", TrackerKind::Prac},
-        {"blockhammer", TrackerKind::BlockHammer},
-        {"hydra", TrackerKind::Hydra},
-        {"start", TrackerKind::Start},
-        {"comet", TrackerKind::Comet},
-        {"abacus", TrackerKind::Abacus},
-        {"graphene", TrackerKind::Graphene},
-        {"dapper-s", TrackerKind::DapperS},
-        {"dapper-h", TrackerKind::DapperH},
-        {"dapper-h-br2", TrackerKind::DapperHBr2},
-        {"dapper-h-drfmsb", TrackerKind::DapperHDrfmSb},
-    };
-    for (const auto &entry : table)
-        if (name == entry.name)
-            return entry.kind;
+    if (const TrackerInfo *info = TrackerRegistry::instance().find(name))
+        return *info;
     std::fprintf(stderr, "unknown tracker '%s'\n", name.c_str());
+    std::fprintf(stderr, "available:");
+    for (const auto &n : TrackerRegistry::instance().names())
+        std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, "\n");
     std::exit(1);
 }
 
-AttackKind
+const AttackInfo &
 parseAttack(const std::string &name)
 {
-    const struct
-    {
-        const char *name;
-        AttackKind kind;
-    } table[] = {
-        {"none", AttackKind::None},
-        {"cache-thrash", AttackKind::CacheThrash},
-        {"hydra-rcc", AttackKind::HydraRcc},
-        {"start-stream", AttackKind::StartStream},
-        {"comet-rat", AttackKind::CometRat},
-        {"abacus-spill", AttackKind::AbacusSpill},
-        {"streaming", AttackKind::Streaming},
-        {"refresh", AttackKind::RefreshAttack},
-        {"mapping-probe", AttackKind::MappingProbe},
-    };
-    for (const auto &entry : table)
-        if (name == entry.name)
-            return entry.kind;
+    if (const AttackInfo *info = AttackRegistry::instance().find(name))
+        return *info;
     std::fprintf(stderr, "unknown attack '%s'\n", name.c_str());
+    std::fprintf(stderr, "available:");
+    for (const auto &n : AttackRegistry::instance().names())
+        std::fprintf(stderr, " %s", n.c_str());
+    std::fprintf(stderr, "\n");
     std::exit(1);
 }
 
@@ -88,9 +62,9 @@ main(int argc, char **argv)
 {
     using namespace dapper;
 
-    std::string workload = "429.mcf";
-    TrackerKind tracker = TrackerKind::DapperH;
-    AttackKind attack = AttackKind::None;
+    // dapper_sim defaults to the paper's headline configuration;
+    // --tracker none selects the unprotected system explicitly.
+    Scenario scenario = Scenario().tracker("dapper-h");
     SysConfig cfg;
     int windows = 2;
 
@@ -104,11 +78,11 @@ main(int argc, char **argv)
             return argv[++i];
         };
         if (arg == "--workload")
-            workload = value();
+            scenario.workload(value());
         else if (arg == "--tracker")
-            tracker = parseTracker(value());
+            scenario.tracker(parseTracker(value()));
         else if (arg == "--attack")
-            attack = parseAttack(value());
+            scenario.attack(parseAttack(value()));
         else if (arg == "--nrh")
             cfg.nRH = std::atoi(value().c_str());
         else if (arg == "--scale")
@@ -133,24 +107,26 @@ main(int argc, char **argv)
         }
     }
 
-    const Tick horizon = static_cast<Tick>(windows) * cfg.tREFW();
+    scenario.config(cfg).windows(windows);
+
     std::printf("system   : %s\n", cfg.summary().c_str());
     std::printf("workload : %s, tracker %s, attack %s, %d window(s)\n",
-                workload.c_str(), trackerName(tracker).c_str(),
-                attackName(attack).c_str(), windows);
+                scenario.workloadName().c_str(),
+                scenario.trackerInfo().displayName.c_str(),
+                scenario.attackInfo().name.c_str(), windows);
 
-    const RunResult base =
-        runOnce(cfg, workload, AttackKind::None, TrackerKind::None,
-                horizon);
-    const RunResult r = runOnce(cfg, workload, attack, tracker, horizon);
+    Runner runner;
+    const RunResult base = runner.runRaw(
+        Scenario(scenario).tracker("none").attack("none"));
+    const RunResult r = runner.runRaw(scenario);
 
     std::printf("\nbenign IPC (geomean)  : %.4f (baseline %.4f)\n",
                 r.benignIpcMean, base.benignIpcMean);
     std::printf("normalized (vs idle)  : %.4f\n",
                 r.benignIpcMean / base.benignIpcMean);
-    if (attack != AttackKind::None) {
+    if (!scenario.attackInfo().isNone()) {
         const RunResult atk =
-            runOnce(cfg, workload, attack, TrackerKind::None, horizon);
+            runner.runRaw(Scenario(scenario).tracker("none"));
         std::printf("normalized (vs attack): %.4f\n",
                     atk.benignIpcMean > 0
                         ? r.benignIpcMean / atk.benignIpcMean

@@ -1,61 +1,87 @@
 /**
  * @file
- * Quickstart: build the paper's baseline system, protect it with
- * DAPPER-H, run one memory-intensive workload, and print the key
- * numbers: IPC, slowdown vs. unprotected, mitigations, and the
+ * Quickstart for the declarative experiment API: describe runs as
+ * Scenario values (workload + tracker + attack resolved by registry
+ * name), execute them through a Runner, and read the structured
+ * RunResult — IPC, slowdown vs. unprotected, mitigations, and the
  * ground-truth RowHammer safety verdict.
+ *
+ * Optional flags for fast smoke runs: [--scale S] [--windows N]
+ * (defaults: the paper's scale 16, 2 windows).
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
-#include "src/sim/experiment.hh"
+#include "src/sim/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dapper;
 
     SysConfig cfg;
     cfg.nRH = 500;
+    int windows = 2;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+            cfg.timeScale = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--windows") == 0 && i + 1 < argc)
+            windows = std::atoi(argv[++i]);
+        else {
+            std::fprintf(stderr, "usage: %s [--scale S] [--windows N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
     std::printf("System: %s\n", cfg.summary().c_str());
 
     const std::string workload = "429.mcf";
-    const Tick horizon = defaultHorizon(cfg);
+    // A Scenario is a value: configure once, derive variants by copy.
+    // tracker()/attack() take stable registry names — see
+    // TrackerRegistry::instance().names() or `dapper_sim --help`.
+    const Scenario base =
+        Scenario().config(cfg).windows(windows).workload(workload);
+    Runner runner;
 
     std::printf("\nRunning %s on 4 cores, unprotected...\n",
                 workload.c_str());
-    const RunResult base =
-        runOnce(cfg, workload, AttackKind::None, TrackerKind::None,
-                horizon);
-    std::printf("  benign IPC (geomean) : %.3f\n", base.benignIpcMean);
+    const RunResult unprotected = runner.runRaw(base);
+    std::printf("  benign IPC (geomean) : %.3f\n",
+                unprotected.benignIpcMean);
     std::printf("  max RH damage        : %u (NRH = %d) -> %s\n",
-                base.maxDamage, cfg.nRH,
-                base.rhViolations == 0 ? "no bit flips, but unprotected"
-                                       : "VULNERABLE");
+                unprotected.maxDamage, cfg.nRH,
+                unprotected.rhViolations == 0
+                    ? "no bit flips, but unprotected"
+                    : "VULNERABLE");
 
     std::printf("\nSame system protected by DAPPER-H...\n");
-    const RunResult prot =
-        runOnce(cfg, workload, AttackKind::None, TrackerKind::DapperH,
-                horizon);
-    std::printf("  benign IPC (geomean) : %.3f\n", prot.benignIpcMean);
+    // The Runner owns the baseline cache: asking for a NoAttack
+    // normalization reuses one memoized unprotected run per config.
+    const ScenarioResult prot = runner.run(
+        Scenario(base).tracker("dapper-h").baseline(Baseline::NoAttack));
+    std::printf("  benign IPC (geomean) : %.3f\n",
+                prot.run.benignIpcMean);
     std::printf("  slowdown             : %.2f%%\n",
-                100.0 * (1.0 - prot.benignIpcMean / base.benignIpcMean));
+                100.0 * (1.0 - prot.normalized));
     std::printf("  mitigations issued   : %llu\n",
-                static_cast<unsigned long long>(prot.mitigations));
+                static_cast<unsigned long long>(prot.run.mitigations));
     std::printf("  max RH damage        : %u (< NRH = %d) -> %s\n",
-                prot.maxDamage, cfg.nRH,
-                prot.rhViolations == 0 ? "SAFE" : "VIOLATION");
+                prot.run.maxDamage, cfg.nRH,
+                prot.run.rhViolations == 0 ? "SAFE" : "VIOLATION");
 
     std::printf("\nNow under an active refresh Perf-Attack...\n");
-    const RunResult attacked = runOnce(
-        cfg, workload, AttackKind::RefreshAttack, TrackerKind::DapperH,
-        horizon);
+    const ScenarioResult attacked =
+        runner.run(Scenario(base)
+                       .tracker("dapper-h")
+                       .attack("refresh")
+                       .baseline(Baseline::NoAttack));
     std::printf("  benign IPC (geomean) : %.3f\n",
-                attacked.benignIpcMean);
+                attacked.run.benignIpcMean);
     std::printf("  slowdown vs baseline : %.2f%%\n",
-                100.0 *
-                    (1.0 - attacked.benignIpcMean / base.benignIpcMean));
+                100.0 * (1.0 - attacked.normalized));
     std::printf("  RowHammer safe       : %s\n",
-                attacked.rhViolations == 0 ? "yes" : "NO");
+                attacked.run.rhViolations == 0 ? "yes" : "NO");
     return 0;
 }

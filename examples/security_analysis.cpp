@@ -5,6 +5,10 @@
  * thresholds, and row-group sizes, reproducing Table II and the
  * "99.99% prevention within tREFW" claim, and showing how the knobs
  * move the attack cost.
+ *
+ * Purely analytic — no simulation, so unlike the other examples there
+ * is no Scenario/Runner here; see quickstart.cpp for the simulation
+ * API.
  */
 
 #include <cstdio>

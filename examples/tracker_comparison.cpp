@@ -4,50 +4,66 @@
  * implemented defense (benign, no attacker) and print normalized
  * performance, storage cost, and mitigation activity side by side —
  * the "which tracker should I use at my threshold" view.
+ *
+ * The tracker list and every factory come from TrackerRegistry; a
+ * tracker registered in its own file appears here automatically.
+ *
+ * Optional flags for fast smoke runs: [--scale S] [--windows N].
  */
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
-#include "src/sim/experiment.hh"
+#include "src/sim/runner.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace dapper;
 
     SysConfig cfg;
     cfg.nRH = 500;
-    const Tick horizon = defaultHorizon(cfg);
+    int windows = 2;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc)
+            cfg.timeScale = std::atof(argv[++i]);
+        else if (std::strcmp(argv[i], "--windows") == 0 && i + 1 < argc)
+            windows = std::atoi(argv[++i]);
+        else {
+            std::fprintf(stderr, "usage: %s [--scale S] [--windows N]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
     const std::string workload = "429.mcf";
 
-    const RunResult base =
-        runOnce(cfg, workload, AttackKind::None, TrackerKind::None,
-                horizon);
+    const Scenario base =
+        Scenario().config(cfg).windows(windows).workload(workload);
+    Runner runner;
+    const RunResult unprotected = runner.runRaw(base);
     std::printf("Benign comparison on %s, NRH=%d (baseline IPC %.3f)\n\n",
-                workload.c_str(), cfg.nRH, base.benignIpcMean);
+                workload.c_str(), cfg.nRH, unprotected.benignIpcMean);
     std::printf("%-16s %10s %12s %12s %12s\n", "Tracker", "NormPerf",
                 "Mitigations", "SRAM(KB)", "CAM(KB)");
 
-    const TrackerKind kinds[] = {
-        TrackerKind::Para,     TrackerKind::Pride,
-        TrackerKind::Prac,     TrackerKind::BlockHammer,
-        TrackerKind::Hydra,    TrackerKind::Start,
-        TrackerKind::Comet,    TrackerKind::Abacus,
-        TrackerKind::Graphene, TrackerKind::DapperS,
-        TrackerKind::DapperH,
+    const char *kinds[] = {
+        "para",     "pride", "prac",    "blockhammer", "hydra",
+        "start",    "comet", "abacus",  "graphene",    "dapper-s",
+        "dapper-h",
     };
 
-    for (TrackerKind kind : kinds) {
-        const RunResult r =
-            runOnce(cfg, workload, AttackKind::None, kind, horizon);
+    for (const char *name : kinds) {
+        const TrackerInfo &info = TrackerRegistry::instance().at(name);
+        const ScenarioResult r = runner.run(
+            Scenario(base).tracker(info).baseline(Baseline::NoAttack));
         SysConfig storageCfg = cfg;
         storageCfg.timeScale = 1.0; // Storage quoted per physical window.
-        const auto tracker = makeTracker(kind, storageCfg, nullptr);
+        const auto tracker = info.make(storageCfg, nullptr);
         const StorageEstimate est = tracker->storage();
         std::printf("%-16s %10.4f %12llu %12.1f %12.1f\n",
-                    trackerName(kind).c_str(),
-                    r.benignIpcMean / base.benignIpcMean,
-                    static_cast<unsigned long long>(r.mitigations),
+                    info.displayName.c_str(), r.normalized,
+                    static_cast<unsigned long long>(r.run.mitigations),
                     est.sramKB, est.camKB);
     }
 

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validate a bench --json output (ResultTable rendering) against the
+expected schema.
+
+The benches emit their structured results themselves (bench_util
+--json); bench/run_all.sh embeds the files into BENCH_all.json and CI
+validates one against this checker. Stdlib-only on purpose: no
+jsonschema dependency.
+
+Usage: check_bench_json.py FILE [FILE...]
+Exits non-zero with a message naming the first offending field.
+"""
+
+import json
+import sys
+
+BASELINES = {"raw", "no-attack", "same-attack"}
+ENGINES = {"event", "tick"}
+
+# field -> (type check, description)
+SCENARIO_FIELDS = {
+    "workload": (lambda v: isinstance(v, str) and v, "non-empty string"),
+    "tracker": (lambda v: isinstance(v, str) and v, "non-empty string"),
+    "attack": (lambda v: isinstance(v, str) and v, "non-empty string"),
+    "baseline": (lambda v: v in BASELINES, f"one of {sorted(BASELINES)}"),
+    "label": (lambda v: isinstance(v, str), "string"),
+    "nrh": (lambda v: isinstance(v, int) and v >= 1, "int >= 1"),
+    "time_scale": (
+        lambda v: isinstance(v, (int, float)) and v > 0,
+        "number > 0",
+    ),
+    "llc_bytes": (lambda v: isinstance(v, int) and v > 0, "int > 0"),
+    "channels": (lambda v: isinstance(v, int) and v >= 1, "int >= 1"),
+    "seed": (lambda v: isinstance(v, int) and v >= 0, "int >= 0"),
+    "horizon": (lambda v: isinstance(v, int) and v > 0, "int > 0"),
+    "engine": (lambda v: v in ENGINES, f"one of {sorted(ENGINES)}"),
+    "benign_ipc": (
+        lambda v: isinstance(v, (int, float)) and v >= 0,
+        "number >= 0",
+    ),
+    "normalized": (
+        lambda v: isinstance(v, (int, float)) and v >= 0,
+        "number >= 0",
+    ),
+    "baseline_ipc": (
+        lambda v: isinstance(v, (int, float)) and v >= 0,
+        "number >= 0",
+    ),
+    "mitigations": (lambda v: isinstance(v, int) and v >= 0, "int >= 0"),
+    "bulk_resets": (lambda v: isinstance(v, int) and v >= 0, "int >= 0"),
+    "counter_traffic": (
+        lambda v: isinstance(v, int) and v >= 0,
+        "int >= 0",
+    ),
+    "activations": (lambda v: isinstance(v, int) and v >= 0, "int >= 0"),
+    "max_damage": (lambda v: isinstance(v, int) and v >= 0, "int >= 0"),
+    "rh_violations": (
+        lambda v: isinstance(v, int) and v >= 0,
+        "int >= 0",
+    ),
+    "energy_nj": (
+        lambda v: isinstance(v, (int, float)) and v >= 0,
+        "number >= 0",
+    ),
+}
+
+
+def fail(path, message):
+    print(f"{path}: SCHEMA ERROR: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check_file(path):
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(path, f"not readable JSON: {err}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level must be an object")
+    if not isinstance(doc.get("bench"), str) or not doc["bench"]:
+        fail(path, "'bench' must be a non-empty string")
+    if doc.get("schema_version") != 1:
+        fail(path, f"'schema_version' must be 1, got {doc.get('schema_version')!r}")
+    scenarios = doc.get("scenarios")
+    if not isinstance(scenarios, list) or not scenarios:
+        fail(path, "'scenarios' must be a non-empty array")
+
+    for index, row in enumerate(scenarios):
+        if not isinstance(row, dict):
+            fail(path, f"scenarios[{index}] must be an object")
+        for field, (check, expected) in SCENARIO_FIELDS.items():
+            if field not in row:
+                fail(path, f"scenarios[{index}] missing '{field}'")
+            if not check(row[field]):
+                fail(
+                    path,
+                    f"scenarios[{index}].{field} = {row[field]!r}, "
+                    f"expected {expected}",
+                )
+        # A normalized value requires the baseline run it divides by.
+        if row["baseline"] != "raw" and row["baseline_ipc"] <= 0:
+            fail(
+                path,
+                f"scenarios[{index}]: baseline '{row['baseline']}' "
+                "with baseline_ipc <= 0",
+            )
+
+    print(f"{path}: OK ({doc['bench']}, {len(scenarios)} scenarios)")
+
+
+def main():
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        sys.exit(2)
+    for path in sys.argv[1:]:
+        check_file(path)
+
+
+if __name__ == "__main__":
+    main()

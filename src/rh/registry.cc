@@ -1,0 +1,74 @@
+#include "src/rh/registry.hh"
+
+#include <stdexcept>
+
+namespace dapper {
+
+namespace {
+
+/** Built-in entry: name + metadata, factory delegated to the enum
+ *  factory in factory.cc (which stays the single construction path for
+ *  the in-tree trackers). */
+TrackerInfo
+builtin(const char *name, TrackerKind kind, const char *counterAttack)
+{
+    TrackerInfo info;
+    info.name = name;
+    info.displayName = trackerName(kind);
+    info.kind = kind;
+    info.reservesLlc = reservesLlc(kind);
+    info.counterAttack = counterAttack;
+    info.adjustConfig = [kind](SysConfig &cfg) {
+        adjustConfigFor(kind, cfg);
+    };
+    info.make = [kind](SysConfig &cfg, Llc *llc) {
+        return makeTracker(kind, cfg, llc);
+    };
+    return info;
+}
+
+} // namespace
+
+TrackerRegistry::TrackerRegistry() : NamedRegistry("tracker")
+{
+    add(builtin("none", TrackerKind::None, "none"));
+    add(builtin("para", TrackerKind::Para, "none"));
+    add(builtin("para-drfmsb", TrackerKind::ParaDrfmSb, "none"));
+    add(builtin("pride", TrackerKind::Pride, "none"));
+    add(builtin("pride-rfmsb", TrackerKind::PrideRfmSb, "none"));
+    add(builtin("prac", TrackerKind::Prac, "none"));
+    add(builtin("blockhammer", TrackerKind::BlockHammer, "none"));
+    add(builtin("hydra", TrackerKind::Hydra, "hydra-rcc"));
+    add(builtin("start", TrackerKind::Start, "start-stream"));
+    add(builtin("comet", TrackerKind::Comet, "comet-rat"));
+    add(builtin("abacus", TrackerKind::Abacus, "abacus-spill"));
+    add(builtin("graphene", TrackerKind::Graphene, "none"));
+    add(builtin("dapper-s", TrackerKind::DapperS, "streaming"));
+    add(builtin("dapper-h", TrackerKind::DapperH, "streaming"));
+    add(builtin("dapper-h-br2", TrackerKind::DapperHBr2, "streaming"));
+    add(builtin("dapper-h-drfmsb", TrackerKind::DapperHDrfmSb,
+                "streaming"));
+    add(builtin("dapper-h-nobv", TrackerKind::DapperHNoBitVector,
+                "streaming"));
+}
+
+TrackerRegistry &
+TrackerRegistry::instance()
+{
+    static TrackerRegistry registry;
+    return registry;
+}
+
+void
+TrackerRegistry::normalize(TrackerInfo &info)
+{
+    if (!info.make)
+        throw std::invalid_argument("tracker '" + info.name +
+                                    "' has no factory");
+    if (info.displayName.empty())
+        info.displayName = info.name;
+    if (!info.adjustConfig)
+        info.adjustConfig = [](SysConfig &) {};
+}
+
+} // namespace dapper

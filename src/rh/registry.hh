@@ -1,0 +1,110 @@
+/**
+ * @file
+ * TrackerRegistry: the public, string-keyed surface for naming RowHammer
+ * defenses. Every tracker is registered under a stable CLI name (e.g.
+ * "dapper-h", "hydra") together with its capability metadata — whether
+ * it reserves LLC ways, how it adjusts the config (mitigation command
+ * flavour, blast radius), and which tailored Perf-Attack targets it —
+ * and a factory closure. Experiments (Scenario, dapper_sim, bench_util)
+ * resolve trackers exclusively through this registry; the TrackerKind
+ * enum stays an internal detail of the built-in factory.
+ *
+ * Adding a tracker does not require touching any enum switch: register
+ * an entry from the tracker's own translation unit with
+ * DAPPER_REGISTER_TRACKER (see src/sim/README.md, "Adding a new tracker
+ * in one file").
+ */
+
+#ifndef DAPPER_RH_REGISTRY_HH
+#define DAPPER_RH_REGISTRY_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/common/config.hh"
+#include "src/common/registry.hh"
+#include "src/rh/factory.hh"
+
+namespace dapper {
+
+class Llc;
+
+/** One registered defense: stable name, metadata, and factories. */
+struct TrackerInfo
+{
+    /// Stable lowercase CLI / JSON name ("dapper-h", "pride-rfmsb").
+    std::string name;
+    /// Display name used in printed tables ("DAPPER-H", "PrIDE-RFMsb").
+    std::string displayName;
+    /// Internal enum for built-in trackers; nullopt for registry-only
+    /// extensions.
+    std::optional<TrackerKind> kind;
+    /// Whether the tracker reserves half the LLC ways (START).
+    bool reservesLlc = false;
+    /// Stable name of the tailored Perf-Attack targeting this tracker
+    /// ("hydra-rcc" for "hydra"), or "none".
+    std::string counterAttack = "none";
+    /// Command-flavour / blast-radius adjustments; run before any
+    /// component copies the config.
+    std::function<void(SysConfig &)> adjustConfig;
+    /// Build the tracker against an already-adjusted config. May return
+    /// nullptr (the "none" entry: unprotected system).
+    std::function<std::unique_ptr<Tracker>(SysConfig &, Llc *)> make;
+
+    bool isNone() const { return kind == TrackerKind::None; }
+};
+
+/**
+ * Name -> TrackerInfo registry (mechanics in
+ * src/common/registry.hh). Entries live forever and never move, so
+ * `const TrackerInfo *` handles stay valid for the process lifetime.
+ *
+ * Registration (add / DAPPER_REGISTER_TRACKER) must complete before the
+ * registry is read concurrently; in practice all registration happens
+ * during static initialization, and sweep worker threads only read.
+ */
+class TrackerRegistry : public NamedRegistry<TrackerInfo, TrackerKind>
+{
+  public:
+    static TrackerRegistry &instance();
+
+  private:
+    TrackerRegistry(); ///< Registers the built-in trackers.
+
+    void normalize(TrackerInfo &info) override;
+};
+
+namespace detail {
+struct TrackerRegistrar
+{
+    explicit TrackerRegistrar(TrackerInfo info)
+    {
+        TrackerRegistry::instance().add(std::move(info));
+    }
+};
+} // namespace detail
+
+/**
+ * Register a tracker from its own translation unit:
+ *
+ *   DAPPER_REGISTER_TRACKER(myTracker, {
+ *       .name = "my-tracker",
+ *       .displayName = "MyTracker",
+ *       .make = [](SysConfig &cfg, Llc *) {
+ *           return std::make_unique<MyTracker>(cfg);
+ *       },
+ *   });
+ *
+ * dapper_core is an OBJECT library, so every translation unit (and its
+ * registrars) is linked into each binary even if nothing else
+ * references it.
+ */
+#define DAPPER_REGISTER_TRACKER(token, ...)                                \
+    static const ::dapper::detail::TrackerRegistrar                        \
+        dapperTrackerRegistrar_##token(::dapper::TrackerInfo __VA_ARGS__)
+
+} // namespace dapper
+
+#endif // DAPPER_RH_REGISTRY_HH

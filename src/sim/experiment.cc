@@ -1,69 +1,10 @@
 #include "src/sim/experiment.hh"
 
-#include <atomic>
-#include <map>
 #include <memory>
-#include <mutex>
-#include <sstream>
 
 #include "src/common/stats.hh"
 
 namespace dapper {
-
-namespace {
-
-std::atomic<Engine> gDefaultEngine{Engine::Event};
-
-/**
- * One memoized baseline. The once-flag serializes the (expensive)
- * baseline simulation so concurrent sweep workers asking for the same
- * key run it exactly once; shared_ptr ownership keeps the entry alive
- * across a concurrent clearBaselineCache().
- */
-struct BaselineEntry
-{
-    std::once_flag once;
-    double value = 0.0;
-};
-
-std::mutex gBaselineMutex;
-std::map<std::string, std::shared_ptr<BaselineEntry>> gBaselineCache;
-
-std::string
-fingerprint(const SysConfig &cfg, const std::string &workload,
-            AttackKind attack, Tick horizon, Engine engine)
-{
-    std::ostringstream os;
-    os << workload << '|' << static_cast<int>(attack) << '|'
-       << cfg.numCores << '|' << cfg.channels << '|'
-       << cfg.ranksPerChannel << '|' << cfg.llcBytes << '|' << cfg.llcWays
-       << '|' << cfg.timeScale << '|' << cfg.seed << '|' << horizon << '|'
-       << static_cast<int>(engine);
-    return os.str();
-}
-
-Engine
-resolve(Engine engine)
-{
-    return engine == Engine::Default
-               ? gDefaultEngine.load(std::memory_order_relaxed)
-               : engine;
-}
-
-} // namespace
-
-void
-setDefaultEngine(Engine engine)
-{
-    if (engine != Engine::Default)
-        gDefaultEngine.store(engine, std::memory_order_relaxed);
-}
-
-Engine
-defaultEngine()
-{
-    return gDefaultEngine.load(std::memory_order_relaxed);
-}
 
 Tick
 defaultHorizon(const SysConfig &cfg)
@@ -73,8 +14,8 @@ defaultHorizon(const SysConfig &cfg)
 
 RunResult
 runOnce(const SysConfig &cfg, const std::string &workload,
-        AttackKind attack, TrackerKind tracker, Tick horizon,
-        Engine engine)
+        const AttackInfo &attack, const TrackerInfo &tracker,
+        Tick horizon, Engine engine)
 {
     SysConfig runCfg = cfg;
     if (horizon == 0)
@@ -87,11 +28,11 @@ runOnce(const SysConfig &cfg, const std::string &workload,
     int attackerCore = -1;
     for (int i = 0; i < runCfg.numCores; ++i) {
         const bool isAttacker =
-            attack != AttackKind::None && i == runCfg.numCores - 1;
+            !attack.isNone() && i == runCfg.numCores - 1;
         if (isAttacker) {
             attackerCore = i;
-            gens.push_back(makeAttackGen(attack, runCfg, mapper,
-                                         runCfg.seed + 777));
+            gens.push_back(attack.make(runCfg, mapper,
+                                       runCfg.seed + 777));
         } else {
             gens.push_back(std::make_unique<BenignGen>(
                 params, runCfg, i, runCfg.seed + 13));
@@ -99,7 +40,7 @@ runOnce(const SysConfig &cfg, const std::string &workload,
     }
 
     System sys(runCfg, tracker, std::move(gens), attackerCore);
-    if (resolve(engine) == Engine::Tick)
+    if (engine == Engine::Tick)
         sys.runReference(horizon);
     else
         sys.run(horizon);
@@ -126,43 +67,14 @@ runOnce(const SysConfig &cfg, const std::string &workload,
     return result;
 }
 
-double
-normalizedPerf(const SysConfig &cfg, const std::string &workload,
-               AttackKind attack, TrackerKind tracker, Baseline baseline,
-               Tick horizon, Engine engine)
+RunResult
+runOnce(const SysConfig &cfg, const std::string &workload,
+        AttackKind attack, TrackerKind tracker, Tick horizon,
+        Engine engine)
 {
-    if (horizon == 0)
-        horizon = defaultHorizon(cfg);
-    engine = resolve(engine);
-    const AttackKind baseAttack =
-        baseline == Baseline::SameAttack ? attack : AttackKind::None;
-    const std::string key =
-        fingerprint(cfg, workload, baseAttack, horizon, engine);
-
-    std::shared_ptr<BaselineEntry> entry;
-    {
-        std::lock_guard<std::mutex> lock(gBaselineMutex);
-        auto &slot = gBaselineCache[key];
-        if (!slot)
-            slot = std::make_shared<BaselineEntry>();
-        entry = slot;
-    }
-    std::call_once(entry->once, [&] {
-        entry->value = runOnce(cfg, workload, baseAttack,
-                               TrackerKind::None, horizon, engine)
-                           .benignIpcMean;
-    });
-
-    const RunResult run =
-        runOnce(cfg, workload, attack, tracker, horizon, engine);
-    return entry->value > 0.0 ? run.benignIpcMean / entry->value : 0.0;
-}
-
-void
-clearBaselineCache()
-{
-    std::lock_guard<std::mutex> lock(gBaselineMutex);
-    gBaselineCache.clear();
+    return runOnce(cfg, workload, AttackRegistry::instance().at(attack),
+                   TrackerRegistry::instance().at(tracker), horizon,
+                   engine);
 }
 
 } // namespace dapper

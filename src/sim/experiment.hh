@@ -1,22 +1,28 @@
 /**
  * @file
- * Experiment harness shared by the benches: builds a system (3 benign
- * copies + optional attacker, or 4 homogeneous benign copies), runs it,
- * and reports normalized performance against the unprotected no-attack
- * baseline — the paper's measurement protocol (DESIGN.md §3).
+ * Low-level experiment primitive shared by Runner and the tests: build
+ * a system (3 benign copies + optional attacker, or 4 homogeneous
+ * benign copies), run it, and report the raw stats — the paper's
+ * measurement protocol (DESIGN.md §3).
+ *
+ * Experiments should normally go through the declarative layer
+ * (Scenario / ScenarioGrid / Runner in src/sim/scenario.hh and
+ * src/sim/runner.hh), which resolves trackers and attacks by registry
+ * name and owns baseline caching. runOnce stays public as the
+ * stateless, seed-pure primitive the Runner and the equivalence tests
+ * build on.
  */
 
 #ifndef DAPPER_SIM_EXPERIMENT_HH
 #define DAPPER_SIM_EXPERIMENT_HH
 
-#include <map>
 #include <string>
 #include <vector>
 
 #include "src/common/config.hh"
-#include "src/rh/factory.hh"
+#include "src/rh/registry.hh"
 #include "src/sim/system.hh"
-#include "src/workload/attacks.hh"
+#include "src/workload/attack_registry.hh"
 #include "src/workload/benign.hh"
 
 namespace dapper {
@@ -45,34 +51,14 @@ Tick defaultHorizon(const SysConfig &cfg);
  */
 enum class Engine
 {
-    Default, ///< Use the process-wide default (see setDefaultEngine).
     Event,
     Tick,
 };
 
 /**
- * Set the process-wide default engine (Event or Tick). Call before
- * spawning worker threads; reads are lock-free.
- */
-void setDefaultEngine(Engine engine);
-Engine defaultEngine();
-
-/**
- * Run one configuration. With attack == None all cores run the benign
- * workload (homogeneous); otherwise cores 0..n-2 are benign and the last
- * core runs the attack stream.
- *
- * Thread-safe: each call builds its own System, and all randomness is
- * seeded from cfg.seed, so results are independent of the calling
- * thread and of run ordering.
- */
-RunResult runOnce(const SysConfig &cfg, const std::string &workload,
-                  AttackKind attack, TrackerKind tracker, Tick horizon = 0,
-                  Engine engine = Engine::Default);
-
-/**
  * Which insecure baseline a normalized result divides by.
  *
+ * - Raw: no normalization (Runner reports the plain RunResult).
  * - NoAttack: unprotected system, no attacker (Figs. 1/3/4/5: the bars
  *   include the attack's own bandwidth cost, which is why cache
  *   thrashing shows ~0.6 there).
@@ -82,28 +68,29 @@ RunResult runOnce(const SysConfig &cfg, const std::string &workload,
  */
 enum class Baseline
 {
+    Raw,
     NoAttack,
     SameAttack,
 };
 
 /**
- * Normalized performance of the benign cores versus the chosen insecure
- * baseline. Baselines are memoized per (workload, attack, config
- * fingerprint, engine) within the process; the memo is thread-safe and
- * each baseline is simulated exactly once even under concurrent callers
- * (ParallelRunner sweeps).
+ * Run one configuration. With the "none" attack all cores run the
+ * benign workload (homogeneous); otherwise cores 0..n-2 are benign and
+ * the last core runs the attack stream.
+ *
+ * Thread-safe and seed-pure: each call builds its own System, and all
+ * randomness is seeded from cfg.seed, so results are independent of the
+ * calling thread and of run ordering. There is no process-global state
+ * anywhere in this layer — baseline caching lives in Runner instances.
  */
-double normalizedPerf(const SysConfig &cfg, const std::string &workload,
-                      AttackKind attack, TrackerKind tracker,
-                      Baseline baseline = Baseline::NoAttack,
-                      Tick horizon = 0, Engine engine = Engine::Default);
+RunResult runOnce(const SysConfig &cfg, const std::string &workload,
+                  const AttackInfo &attack, const TrackerInfo &tracker,
+                  Tick horizon = 0, Engine engine = Engine::Event);
 
-/**
- * Clear the baseline memo (tests that vary configs heavily). Safe to
- * call concurrently with normalizedPerf; in-flight baseline runs keep
- * their entry alive and complete normally.
- */
-void clearBaselineCache();
+/** Convenience overload for the built-in enum values (tests). */
+RunResult runOnce(const SysConfig &cfg, const std::string &workload,
+                  AttackKind attack, TrackerKind tracker, Tick horizon = 0,
+                  Engine engine = Engine::Event);
 
 } // namespace dapper
 

@@ -11,8 +11,8 @@
  *  - jobs must derive all randomness from their own SysConfig::seed
  *    (runOnce does), so values are independent of thread count and
  *    scheduling;
- *  - shared process state touched by jobs must be thread-safe (the
- *    baseline memo in experiment.cc is; see normalizedPerf).
+ *  - shared state touched by jobs must be thread-safe (the per-Runner
+ *    baseline cache in src/sim/runner.cc is).
  */
 
 #ifndef DAPPER_SIM_PARALLEL_RUNNER_HH

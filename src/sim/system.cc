@@ -7,6 +7,14 @@ namespace dapper {
 System::System(const SysConfig &cfg, TrackerKind kind,
                std::vector<std::unique_ptr<TraceGen>> gens,
                int attackerCore)
+    : System(cfg, TrackerRegistry::instance().at(kind), std::move(gens),
+             attackerCore)
+{
+}
+
+System::System(const SysConfig &cfg, const TrackerInfo &tracker,
+               std::vector<std::unique_ptr<TraceGen>> gens,
+               int attackerCore)
     : cfg_(cfg), mapper_(cfg_), gens_(std::move(gens))
 {
     cfg_.validate();
@@ -14,7 +22,7 @@ System::System(const SysConfig &cfg, TrackerKind kind,
 
     // Variant trackers adjust command flavour / blast radius; this must
     // happen before any component copies the config.
-    adjustConfigFor(kind, cfg_);
+    tracker.adjustConfig(cfg_);
 
     groundTruth_ = std::make_unique<GroundTruth>(cfg_);
 
@@ -30,10 +38,10 @@ System::System(const SysConfig &cfg, TrackerKind kind,
     llc_->setWakeHub(&wakeHub_);
     for (auto &mc : controllers_)
         mc->setWakeHub(&wakeHub_);
-    if (reservesLlc(kind))
+    if (tracker.reservesLlc)
         llc_->reserveWays(cfg_.llcWays / 2);
 
-    tracker_ = makeTracker(kind, cfg_, llc_.get());
+    tracker_ = tracker.make(cfg_, llc_.get());
     for (auto &mc : controllers_)
         mc->setTracker(tracker_.get());
 

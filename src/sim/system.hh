@@ -19,6 +19,7 @@
 #include "src/mem/controller.hh"
 #include "src/rh/factory.hh"
 #include "src/rh/ground_truth.hh"
+#include "src/rh/registry.hh"
 #include "src/rh/tracker.hh"
 #include "src/sim/scheduler.hh"
 #include "src/workload/trace_gen.hh"
@@ -29,10 +30,19 @@ class System
 {
   public:
     /**
+     * @param tracker registry entry describing the defense (capability
+     *        metadata + factory); TrackerRegistry::at("none") for an
+     *        unprotected system.
      * @param gens one trace generator per core (ownership transferred).
      * @param attackerCore index of the attacker core (gets a deeper
      *        outstanding-request budget), or -1 for none.
      */
+    System(const SysConfig &cfg, const TrackerInfo &tracker,
+           std::vector<std::unique_ptr<TraceGen>> gens,
+           int attackerCore = -1);
+
+    /** Convenience for the built-in trackers: resolves @p kind through
+     *  the registry. */
     System(const SysConfig &cfg, TrackerKind kind,
            std::vector<std::unique_ptr<TraceGen>> gens,
            int attackerCore = -1);

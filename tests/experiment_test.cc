@@ -1,0 +1,241 @@
+/**
+ * @file
+ * Scenario / ScenarioGrid / Runner tests: deterministic grid expansion
+ * order, index-ordered thread-count-invariant results, per-Runner
+ * baseline ownership (no sharing between Runners), and the baseline
+ * cache keying on the *effective* horizon — the regression where two
+ * callers with different explicit horizons collided on one memo entry.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/sim/runner.hh"
+
+namespace dapper {
+namespace {
+
+SysConfig
+fastCfg()
+{
+    SysConfig cfg;
+    cfg.nRH = 500;
+    cfg.timeScale = 32.0;
+    return cfg;
+}
+
+TEST(Scenario, BuilderComposesAndDefaultsAreSane)
+{
+    const Scenario s = Scenario()
+                           .workload("ycsb-a")
+                           .tracker("dapper-h")
+                           .attack("refresh")
+                           .baseline(Baseline::SameAttack)
+                           .nRH(125)
+                           .timeScale(32.0)
+                           .seed(7)
+                           .windows(3);
+    EXPECT_EQ(s.workloadName(), "ycsb-a");
+    EXPECT_EQ(s.trackerInfo().name, "dapper-h");
+    EXPECT_EQ(s.attackInfo().name, "refresh");
+    EXPECT_EQ(s.baselineKind(), Baseline::SameAttack);
+    EXPECT_EQ(s.configRef().nRH, 125);
+    EXPECT_EQ(s.configRef().seed, 7u);
+    EXPECT_EQ(s.effectiveHorizon(), 3 * s.configRef().tREFW());
+
+    const Scenario def;
+    EXPECT_TRUE(def.trackerInfo().isNone());
+    EXPECT_TRUE(def.attackInfo().isNone());
+    EXPECT_EQ(def.baselineKind(), Baseline::Raw);
+    EXPECT_EQ(def.effectiveHorizon(), 2 * def.configRef().tREFW());
+
+    EXPECT_THROW(Scenario().tracker("bogus"), std::invalid_argument);
+    EXPECT_THROW(Scenario().attack("bogus"), std::invalid_argument);
+}
+
+TEST(ScenarioGridTest, ExpansionOrderIsDeterministicFirstAxisOutermost)
+{
+    ScenarioGrid grid(Scenario().config(fastCfg()));
+    grid.nRH({125, 500}).workloads({"429.mcf", "ycsb-a", "456.hmmer"});
+    ASSERT_EQ(grid.size(), 6u);
+    ASSERT_EQ(grid.axes(), 2u);
+    EXPECT_EQ(grid.axisSize(0), 2u);
+    EXPECT_EQ(grid.axisSize(1), 3u);
+
+    const auto scenarios = grid.expand();
+    ASSERT_EQ(scenarios.size(), 6u);
+    const int wantNrh[] = {125, 125, 125, 500, 500, 500};
+    const char *wantWl[] = {"429.mcf", "ycsb-a", "456.hmmer",
+                            "429.mcf", "ycsb-a", "456.hmmer"};
+    for (std::size_t i = 0; i < 6; ++i) {
+        EXPECT_EQ(scenarios[i].configRef().nRH, wantNrh[i]) << i;
+        EXPECT_EQ(scenarios[i].workloadName(), wantWl[i]) << i;
+    }
+    EXPECT_EQ(grid.indexOf({1, 2}), 5u);
+    EXPECT_EQ(grid.indexOf({0, 1}), 1u);
+    EXPECT_EQ(scenarios[5].labelText(), "nrh=500/456.hmmer");
+
+    // Expansion is a pure function of the grid.
+    const auto again = grid.expand();
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(again[i].labelText(), scenarios[i].labelText());
+}
+
+TEST(ScenarioGridTest, CellsTouchOnlyTheirOwnFields)
+{
+    ScenarioGrid grid(Scenario()
+                          .config(fastCfg())
+                          .tracker("dapper-h")
+                          .attack("refresh")
+                          .baseline(Baseline::SameAttack));
+    grid.cells({
+        {"benign", "", "none", Baseline::NoAttack},
+        {"attacked", "", "", {}}, // Everything inherited from base.
+    });
+    const auto scenarios = grid.expand();
+    ASSERT_EQ(scenarios.size(), 2u);
+    EXPECT_EQ(scenarios[0].trackerInfo().name, "dapper-h");
+    EXPECT_TRUE(scenarios[0].attackInfo().isNone());
+    EXPECT_EQ(scenarios[0].baselineKind(), Baseline::NoAttack);
+    EXPECT_EQ(scenarios[1].trackerInfo().name, "dapper-h");
+    EXPECT_EQ(scenarios[1].attackInfo().name, "refresh");
+    EXPECT_EQ(scenarios[1].baselineKind(), Baseline::SameAttack);
+}
+
+TEST(RunnerTest, GridResultsAreIndexOrderedAndThreadCountInvariant)
+{
+    ScenarioGrid grid(Scenario()
+                          .config(fastCfg())
+                          .workload("429.mcf")
+                          .horizon(150000)
+                          .baseline(Baseline::NoAttack));
+    grid.trackers({"none", "dapper-h", "hydra"}).nRH({250, 500});
+
+    Runner one(1);
+    Runner many(3);
+    const ResultTable a = one.run(grid);
+    const ResultTable b = many.run(grid);
+    ASSERT_EQ(a.size(), grid.size());
+    ASSERT_EQ(b.size(), grid.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.at(i).run.benignIpcMean, b.at(i).run.benignIpcMean)
+            << i;
+        EXPECT_EQ(a.at(i).normalized, b.at(i).normalized) << i;
+        EXPECT_EQ(a.at(i).run.activations, b.at(i).run.activations) << i;
+        // Row metadata mirrors the expanded scenario at that index.
+        EXPECT_EQ(a.at(i).scenario.labelText(),
+                  b.at(i).scenario.labelText());
+    }
+}
+
+TEST(RunnerTest, RunnersOwnTheirBaselineCaches)
+{
+    const Scenario s = Scenario()
+                           .config(fastCfg())
+                           .workload("429.mcf")
+                           .tracker("dapper-h")
+                           .horizon(150000)
+                           .baseline(Baseline::NoAttack);
+    Runner a;
+    const double na = a.normalized(s);
+    EXPECT_EQ(a.baselineCacheSize(), 1u);
+
+    // A second Runner starts cold — nothing leaked through globals —
+    // and reproduces the same value from its own simulations.
+    Runner b;
+    EXPECT_EQ(b.baselineCacheSize(), 0u);
+    const double nb = b.normalized(s);
+    EXPECT_EQ(b.baselineCacheSize(), 1u);
+    EXPECT_EQ(na, nb);
+}
+
+/**
+ * Regression: the baseline key must include the *effective* horizon.
+ * With the unprotected tracker and a SameAttack baseline, the
+ * normalized value is exactly 1.0 by construction — unless the second
+ * horizon collides with the first one's cached baseline.
+ */
+TEST(RunnerTest, BaselineKeyIncludesEffectiveHorizon)
+{
+    const Scenario base = Scenario()
+                              .config(fastCfg())
+                              .workload("429.mcf")
+                              .attack("refresh")
+                              .baseline(Baseline::SameAttack);
+    Runner runner;
+    const double atH1 =
+        runner.normalized(Scenario(base).horizon(150000));
+    const double atH2 =
+        runner.normalized(Scenario(base).horizon(300000));
+    EXPECT_NEAR(atH1, 1.0, 1e-12);
+    EXPECT_NEAR(atH2, 1.0, 1e-12);
+    // Two distinct horizons -> two distinct baseline entries.
+    EXPECT_EQ(runner.baselineCacheSize(), 2u);
+}
+
+/** An explicit horizon equal to the windows-derived one is the same
+ *  baseline — the key holds the effective horizon, not the raw field. */
+TEST(RunnerTest, EquivalentHorizonSpellingsShareOneBaseline)
+{
+    const SysConfig cfg = fastCfg();
+    const Scenario viaWindows = Scenario()
+                                    .config(cfg)
+                                    .workload("456.hmmer")
+                                    .tracker("dapper-h")
+                                    .windows(1)
+                                    .baseline(Baseline::NoAttack);
+    const Scenario viaTicks = Scenario(viaWindows).horizon(cfg.tREFW());
+    ASSERT_EQ(viaWindows.effectiveHorizon(), viaTicks.effectiveHorizon());
+
+    Runner runner;
+    const double a = runner.normalized(viaWindows);
+    const double b = runner.normalized(viaTicks);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(runner.baselineCacheSize(), 1u);
+}
+
+TEST(ResultTableTest, JsonAndCsvRenderingsContainTheRows)
+{
+    ScenarioGrid grid(Scenario()
+                          .config(fastCfg())
+                          .workload("456.hmmer")
+                          .horizon(100000)
+                          .baseline(Baseline::NoAttack));
+    grid.trackers({"none", "dapper-h"});
+    Runner runner;
+    const ResultTable table = runner.run(grid);
+
+    auto render = [&](bool json) {
+        std::FILE *tmp = std::tmpfile();
+        if (json)
+            table.writeJson(tmp, "experiment_test");
+        else
+            table.writeCsv(tmp);
+        std::fseek(tmp, 0, SEEK_END);
+        const long size = std::ftell(tmp);
+        std::rewind(tmp);
+        std::string text(static_cast<std::size_t>(size), '\0');
+        const std::size_t got =
+            std::fread(text.data(), 1, text.size(), tmp);
+        std::fclose(tmp);
+        text.resize(got);
+        return text;
+    };
+
+    const std::string json = render(true);
+    EXPECT_NE(json.find("\"bench\": \"experiment_test\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"schema_version\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"tracker\": \"dapper-h\""), std::string::npos);
+    EXPECT_NE(json.find("\"baseline\": \"no-attack\""),
+              std::string::npos);
+
+    const std::string csv = render(false);
+    EXPECT_NE(csv.find("workload,tracker,attack"), std::string::npos);
+    EXPECT_NE(csv.find("456.hmmer,dapper-h"), std::string::npos);
+}
+
+} // namespace
+} // namespace dapper

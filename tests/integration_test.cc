@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "src/sim/experiment.hh"
+#include "src/sim/runner.hh"
 
 namespace dapper {
 namespace {
@@ -128,17 +128,19 @@ TEST(Integration, EnergyAccumulatesAndMitigationCostsShow)
     EXPECT_GT(attacked.mitigations, 0u);
 }
 
-TEST(Integration, NormalizedPerfBaselineConventions)
+TEST(Integration, RunnerBaselineConventions)
 {
-    SysConfig cfg = fastCfg();
-    clearBaselineCache();
+    Runner runner;
+    const Scenario base = Scenario()
+                              .config(fastCfg())
+                              .workload("429.mcf")
+                              .attack("refresh")
+                              .horizon(400000);
     const double vsIdle =
-        normalizedPerf(cfg, "429.mcf", AttackKind::RefreshAttack,
-                       TrackerKind::None, Baseline::NoAttack, 400000);
+        runner.normalized(Scenario(base).baseline(Baseline::NoAttack));
     EXPECT_LT(vsIdle, 1.0); // The attack itself costs bandwidth.
     const double vsAttack =
-        normalizedPerf(cfg, "429.mcf", AttackKind::RefreshAttack,
-                       TrackerKind::None, Baseline::SameAttack, 400000);
+        runner.normalized(Scenario(base).baseline(Baseline::SameAttack));
     EXPECT_NEAR(vsAttack, 1.0, 1e-9); // Identical run by construction.
 }
 

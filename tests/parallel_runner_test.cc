@@ -1,8 +1,8 @@
 /**
  * @file
  * ParallelRunner and concurrent-experiment tests: deterministic result
- * ordering, exception propagation, and thread safety of the baseline
- * memo in experiment.cc (each baseline simulated exactly once, results
+ * ordering, exception propagation, and thread safety of the per-Runner
+ * baseline cache (each baseline simulated exactly once, results
  * independent of thread count).
  */
 
@@ -11,8 +11,8 @@
 #include <atomic>
 #include <stdexcept>
 
-#include "src/sim/experiment.hh"
 #include "src/sim/parallel_runner.hh"
+#include "src/sim/runner.hh"
 
 namespace dapper {
 namespace {
@@ -68,38 +68,36 @@ TEST(ParallelRunner, ThreadCountSelection)
 }
 
 /**
- * Concurrent normalizedPerf calls sharing one baseline must agree with
- * the serial result exactly: the memo computes each baseline once and
+ * Concurrent normalized runs sharing one baseline must agree with the
+ * serial result exactly: each Runner computes every baseline once and
  * every simulation draws only on its own config's seed.
  */
-TEST(ParallelExperiments, ConcurrentNormalizedPerfMatchesSerial)
+TEST(ParallelExperiments, ConcurrentNormalizedMatchesSerial)
 {
     SysConfig cfg;
     cfg.nRH = 500;
     cfg.timeScale = 32.0;
-    const Tick horizon = 150000;
-    const TrackerKind kinds[] = {TrackerKind::Hydra, TrackerKind::DapperH,
-                                 TrackerKind::DapperS,
-                                 TrackerKind::Graphene};
+    const std::vector<std::string> trackers = {"hydra", "dapper-h",
+                                               "dapper-s", "graphene"};
+    ScenarioGrid grid(Scenario()
+                          .config(cfg)
+                          .workload("429.mcf")
+                          .horizon(150000)
+                          .baseline(Baseline::NoAttack));
+    grid.trackers(trackers);
 
-    clearBaselineCache();
-    std::vector<double> serial;
-    for (TrackerKind kind : kinds)
-        serial.push_back(normalizedPerf(cfg, "429.mcf", AttackKind::None,
-                                        kind, Baseline::NoAttack,
-                                        horizon));
+    Runner serialRunner(1);
+    const auto serial = serialRunner.run(grid).normalizedValues();
+    // The shared NoAttack baseline was simulated exactly once.
+    EXPECT_EQ(serialRunner.baselineCacheSize(), 1u);
 
-    clearBaselineCache();
-    ParallelRunner runner(4);
-    const auto parallel = runner.map(std::size(kinds), [&](std::size_t i) {
-        return normalizedPerf(cfg, "429.mcf", AttackKind::None, kinds[i],
-                              Baseline::NoAttack, horizon);
-    });
+    Runner parallelRunner(4);
+    const auto parallel = parallelRunner.run(grid).normalizedValues();
+    EXPECT_EQ(parallelRunner.baselineCacheSize(), 1u);
 
     ASSERT_EQ(parallel.size(), serial.size());
     for (std::size_t i = 0; i < serial.size(); ++i)
         EXPECT_EQ(parallel[i], serial[i]) << "tracker " << i;
-    clearBaselineCache();
 }
 
 } // namespace

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Registry round-trip and metadata tests: every tracker/attack entry
+ * resolves back to itself by name, names are unique and stay in sync
+ * with the internal enum surfaces (trackerName / attackName) and with
+ * the combo list tests/scheduler_equivalence_test.cc pins, capability
+ * metadata matches the factory layer, and a tracker registered outside
+ * factory.cc (the "one file" recipe) is a first-class citizen of the
+ * Scenario API.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "src/sim/runner.hh"
+
+namespace dapper {
+namespace {
+
+TEST(TrackerRegistryTest, EveryEntryRoundTripsByName)
+{
+    auto &registry = TrackerRegistry::instance();
+    std::set<std::string> seen;
+    for (const TrackerInfo *info : registry.entries()) {
+        EXPECT_TRUE(seen.insert(info->name).second)
+            << "duplicate name " << info->name;
+        // parse(name(x)) == x: lookup returns the same stable entry.
+        EXPECT_EQ(registry.find(info->name), info);
+        EXPECT_EQ(&registry.at(info->name), info);
+    }
+}
+
+TEST(TrackerRegistryTest, BuiltinsRoundTripByKindAndMatchTrackerName)
+{
+    auto &registry = TrackerRegistry::instance();
+    for (const TrackerInfo *info : registry.entries()) {
+        if (!info->kind)
+            continue;
+        EXPECT_EQ(&registry.at(*info->kind), info) << info->name;
+        // Display names stay in sync with the enum surface.
+        EXPECT_EQ(info->displayName, trackerName(*info->kind));
+        EXPECT_EQ(info->reservesLlc, reservesLlc(*info->kind));
+    }
+}
+
+TEST(TrackerRegistryTest, CounterAttacksResolve)
+{
+    for (const TrackerInfo *info : TrackerRegistry::instance().entries())
+        EXPECT_NE(AttackRegistry::instance().find(info->counterAttack),
+                  nullptr)
+            << info->name << " -> " << info->counterAttack;
+    EXPECT_EQ(TrackerRegistry::instance().at("hydra").counterAttack,
+              "hydra-rcc");
+    EXPECT_EQ(TrackerRegistry::instance().at("start").counterAttack,
+              "start-stream");
+    EXPECT_EQ(TrackerRegistry::instance().at("comet").counterAttack,
+              "comet-rat");
+    EXPECT_EQ(TrackerRegistry::instance().at("abacus").counterAttack,
+              "abacus-spill");
+}
+
+TEST(TrackerRegistryTest, UnknownNameThrowsListingChoices)
+{
+    try {
+        TrackerRegistry::instance().at("no-such-tracker");
+        FAIL() << "expected std::invalid_argument";
+    } catch (const std::invalid_argument &e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("no-such-tracker"), std::string::npos);
+        EXPECT_NE(msg.find("dapper-h"), std::string::npos);
+    }
+}
+
+TEST(AttackRegistryTest, EveryEntryRoundTripsByNameAndKind)
+{
+    auto &registry = AttackRegistry::instance();
+    std::set<std::string> seen;
+    for (const AttackInfo *info : registry.entries()) {
+        EXPECT_TRUE(seen.insert(info->name).second)
+            << "duplicate name " << info->name;
+        EXPECT_EQ(registry.find(info->name), info);
+        EXPECT_EQ(&registry.at(info->name), info);
+        ASSERT_TRUE(info->kind.has_value()) << info->name;
+        EXPECT_EQ(&registry.at(*info->kind), info);
+        // Names stay in sync with the enum surface.
+        EXPECT_EQ(info->name, attackName(*info->kind));
+    }
+}
+
+/**
+ * The scheduler-equivalence suite pins these (tracker, attack) combos
+ * bit-identical across engines; the registries must keep exporting
+ * every one of them under these exact names so benches and CLI flags
+ * can reach all pinned behavior.
+ */
+TEST(RegistrySyncTest, SchedulerEquivalenceComboListResolves)
+{
+    const std::pair<const char *, TrackerKind> trackers[] = {
+        {"none", TrackerKind::None},
+        {"hydra", TrackerKind::Hydra},
+        {"start", TrackerKind::Start},
+        {"dapper-h", TrackerKind::DapperH},
+        {"blockhammer", TrackerKind::BlockHammer},
+        {"para", TrackerKind::Para},
+        {"prac", TrackerKind::Prac},
+        {"abacus", TrackerKind::Abacus},
+        {"dapper-s", TrackerKind::DapperS},
+        {"comet", TrackerKind::Comet},
+    };
+    const std::pair<const char *, AttackKind> attacks[] = {
+        {"none", AttackKind::None},
+        {"refresh", AttackKind::RefreshAttack},
+        {"hydra-rcc", AttackKind::HydraRcc},
+        {"streaming", AttackKind::Streaming},
+        {"start-stream", AttackKind::StartStream},
+        {"abacus-spill", AttackKind::AbacusSpill},
+    };
+    for (const auto &[name, kind] : trackers)
+        EXPECT_EQ(TrackerRegistry::instance().at(name).kind, kind)
+            << name;
+    for (const auto &[name, kind] : attacks)
+        EXPECT_EQ(AttackRegistry::instance().at(name).kind, kind) << name;
+}
+
+// ---------------------------------------------------------------------
+// The "adding a tracker in one file" recipe: register an entry from
+// this translation unit and drive it through the full Scenario API.
+// The alias delegates to the DAPPER-H factory, so its results must be
+// bit-identical to the built-in entry — proving registry-resolved
+// trackers take the exact same path as enum-resolved ones.
+// ---------------------------------------------------------------------
+
+DAPPER_REGISTER_TRACKER(testAlias, {
+    .name = "test-alias-dapper-h",
+    .displayName = "TestAlias",
+    .kind = {},
+    .reservesLlc = false,
+    .counterAttack = "streaming",
+    .adjustConfig = {},
+    .make =
+        [](SysConfig &cfg, Llc *llc) {
+            return makeTracker(TrackerKind::DapperH, cfg, llc);
+        },
+});
+
+TEST(RegistryExtensionTest, OneFileTrackerRunsThroughScenarioApi)
+{
+    const TrackerInfo &info =
+        TrackerRegistry::instance().at("test-alias-dapper-h");
+    EXPECT_FALSE(info.kind.has_value());
+    EXPECT_EQ(info.displayName, "TestAlias");
+
+    SysConfig cfg;
+    cfg.nRH = 500;
+    cfg.timeScale = 32.0;
+    const Scenario base = Scenario()
+                              .config(cfg)
+                              .workload("429.mcf")
+                              .attack("refresh")
+                              .horizon(200000);
+    Runner runner;
+    const RunResult custom =
+        runner.runRaw(Scenario(base).tracker("test-alias-dapper-h"));
+    const RunResult builtin =
+        runner.runRaw(Scenario(base).tracker("dapper-h"));
+    EXPECT_EQ(custom.benignIpcMean, builtin.benignIpcMean);
+    EXPECT_EQ(custom.mitigations, builtin.mitigations);
+    EXPECT_EQ(custom.activations, builtin.activations);
+    EXPECT_EQ(custom.energyNj, builtin.energyNj);
+}
+
+} // namespace
+} // namespace dapper
