@@ -48,7 +48,8 @@ SIM_BENCHES="fig01_motivation fig03_perf_attacks fig04_nrh_sensitivity \
 fig05_llc_sensitivity fig09_dapper_s_agnostic fig10_dapper_h_agnostic \
 fig11_dapper_h_benign fig12_nrh_sweep fig13_blast_radius fig14_blockhammer \
 fig15_probabilistic_benign fig16_probabilistic_attack fig17_prac \
-ablation_dapper_h tab04_energy micro_scheduler micro_controller"
+ablation_dapper_h tab04_energy micro_scheduler micro_controller \
+micro_groundtruth"
 ANALYTIC_BENCHES="tab02_mapping_capture tab03_storage"
 
 # ---------------------------------------------------------------------
@@ -77,9 +78,10 @@ for bench in $SIM_BENCHES $ANALYTIC_BENCHES; do
         *) bench_json="$JSON_DIR/$bench.json"
            args="$BENCH_ARGS --json $bench_json" ;;
     esac
-    # micro_controller drives a bare MemController (no scenarios).
+    # micro_controller / micro_groundtruth drive bare components (no
+    # scenarios, so no ResultTable JSON).
     case "$bench" in
-        micro_controller) bench_json=""; args="$BENCH_ARGS" ;;
+        micro_controller|micro_groundtruth) bench_json=""; args="$BENCH_ARGS" ;;
     esac
     echo "timing $bench $args" >&2
     t0=$(now_s)
@@ -124,18 +126,18 @@ SCHED_JSON="$OUT_DIR/BENCH_scheduler.json"
     echo '{'
     echo '  "generated_by": "bench/run_all.sh",'
     echo "  \"args\": \"$SCHED_ARGS\","
-    echo '  "note": "seconds_tick is the pre-refactor per-tick loop (System::runReference); seconds_event is the event-driven scheduler. Outputs are asserted identical.",'
+    echo '  "note": "seconds_tick is the pre-refactor per-tick loop (System::runReference); seconds_event is the event-driven scheduler. Outputs are asserted identical. micro_groundtruth repurposes the flag pair as epoch (event) vs dense-reference (tick) GroundTruth implementations.",'
     echo '  "benches": ['
 } > "$SCHED_JSON"
 
 first=1
-for bench in micro_scheduler micro_controller fig14_blockhammer fig03_perf_attacks; do
+for bench in micro_scheduler micro_controller micro_groundtruth fig14_blockhammer fig03_perf_attacks; do
     bin="$BUILD_DIR/$bench"
     [ -x "$bin" ] || { echo "skipping $bench (not built)" >&2; continue; }
     case "$bench" in
         # The micro benches are quick: run their full default horizons
         # so process startup does not dilute the engine comparison.
-        micro_scheduler|micro_controller) args="" ;;
+        micro_scheduler|micro_controller|micro_groundtruth) args="" ;;
         *) args="$SCHED_ARGS" ;;
     esac
     echo "engine comparison: $bench $args" >&2

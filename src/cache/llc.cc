@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/common/check.hh"
 #include "src/cpu/core.hh"
 #include "src/mem/controller.hh"
 
@@ -14,38 +15,74 @@ Llc::Llc(const SysConfig &cfg, const AddressMapper &mapper,
       controllers_(std::move(controllers)),
       sets_(cfg.llcSets()),
       ways_(cfg.llcWays),
-      maxMshrs_(static_cast<std::size_t>(cfg.numCores) * cfg.coreMshrs * 4)
+      lineBits_(static_cast<unsigned>(mapper.lineBits())),
+      maxMshrs_(static_cast<std::size_t>(cfg.numCores) * cfg.coreMshrs * 4),
+      mshrs_(maxMshrs_)
 {
-    lines_.assign(static_cast<std::size_t>(sets_) * ways_, Line{});
+    if (sets_ > 0 && (sets_ & (sets_ - 1)) == 0)
+        setMask_ = static_cast<std::uint64_t>(sets_) - 1;
+    const std::size_t slots =
+        static_cast<std::size_t>(sets_) * static_cast<std::size_t>(ways_);
+    tags_.assign(slots, kInvalidTag);
+    lru_.assign(slots, 0);
+    dirty_.assign(slots, 0);
 }
 
 void
-Llc::reserveWays(int ways)
+Llc::writeback(std::uint64_t tag, Tick now)
+{
+    Request wb;
+    wb.dram = mapper_.decode(tag << lineBits_);
+    wb.type = ReqType::Write;
+    wb.sink = nullptr;
+    ++stats_.writebacks;
+    // A full write queue drops the writeback (historical demand-path
+    // behaviour, kept for output stability); the drop is counted so a
+    // bulk reserveWays() eviction that overruns the queue is visible
+    // instead of silently under-reporting DRAM write traffic.
+    if (!controllers_[static_cast<std::size_t>(wb.dram.channel)]->enqueue(
+            wb, now))
+        ++stats_.droppedWritebacks;
+}
+
+void
+Llc::reserveWays(int ways, Tick now)
 {
     assert(ways >= 0 && ways < ways_);
     reservedWays_ = ways;
-    // Invalidate anything sitting in the now-reserved ways.
-    for (int s = 0; s < sets_; ++s)
-        for (int w = 0; w < ways; ++w)
-            lines_[static_cast<std::size_t>(s) * ways_ + w] = Line{};
+    // Evict everything sitting in the now-reserved ways. Dirty lines
+    // become DRAM writebacks — the reconfiguration must not swallow
+    // write traffic the lines still owe.
+    for (int s = 0; s < sets_; ++s) {
+        const std::size_t base = wayBase(static_cast<std::uint64_t>(s));
+        for (int w = 0; w < ways; ++w) {
+            const std::size_t i = base + static_cast<std::size_t>(w);
+            if (tags_[i] != kInvalidTag && dirty_[i] != 0)
+                writeback(tags_[i], now);
+            tags_[i] = kInvalidTag;
+            lru_[i] = 0;
+            dirty_[i] = 0;
+        }
+    }
 }
 
 CacheResult
 Llc::access(std::uint64_t byteAddr, bool isWrite, Core *core,
             std::uint32_t slot, Tick now)
 {
-    const std::uint64_t lineAddr =
-        byteAddr >> static_cast<unsigned>(mapper_.lineBits());
+    const std::uint64_t lineAddr = byteAddr >> lineBits_;
     const int set = setIndex(lineAddr);
-    Line *base = setBase(static_cast<std::uint64_t>(set));
+    const std::size_t base = wayBase(static_cast<std::uint64_t>(set));
+    const std::uint64_t *tags = &tags_[base];
 
-    // Look up in the demand ways.
+    // Look up in the demand ways: a contiguous tag-lane scan (invalid
+    // ways hold the sentinel, which never equals a real line address).
     for (int w = reservedWays_; w < ways_; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == lineAddr) {
-            line.lru = lruClock_++;
+        if (tags[w] == lineAddr) {
+            const std::size_t i = base + static_cast<std::size_t>(w);
+            lru_[i] = lruClock_++;
             if (isWrite)
-                line.dirty = true;
+                dirty_[i] = 1;
             ++stats_.hits;
             if (!isWrite && core != nullptr && slot != kNoSlot)
                 core->completeAfter(slot, cfg_.llcHitLatency);
@@ -54,12 +91,11 @@ Llc::access(std::uint64_t byteAddr, bool isWrite, Core *core,
     }
 
     // Miss. Merge into an existing MSHR if present.
-    auto it = mshrs_.find(lineAddr);
-    if (it != mshrs_.end()) {
+    if (MshrEntry *entry = mshrs_.find(lineAddr)) {
         if (!isWrite && core != nullptr && slot != kNoSlot)
-            it->second.waiters.push_back({core, slot});
+            entry->waiters.push_back({core, slot});
         if (isWrite)
-            it->second.isWrite = true;
+            entry->isWrite = true;
         ++stats_.misses;
         return CacheResult::MergedMiss;
     }
@@ -71,7 +107,7 @@ Llc::access(std::uint64_t byteAddr, bool isWrite, Core *core,
     entry.isWrite = isWrite;
     if (!isWrite && core != nullptr && slot != kNoSlot)
         entry.waiters.push_back({core, slot});
-    mshrs_.emplace(lineAddr, std::move(entry));
+    mshrs_.insert(lineAddr, std::move(entry));
     ++stats_.misses;
 
     Request req;
@@ -83,8 +119,10 @@ Llc::access(std::uint64_t byteAddr, bool isWrite, Core *core,
     const bool ok =
         controllers_[static_cast<std::size_t>(req.dram.channel)]->enqueue(
             req, now);
-    assert(ok && "MC read queue sized to cover all MSHRs");
-    (void)ok;
+    // A dropped fill request would strand the MSHR (and its waiters)
+    // forever; the config sizes the MC read queue to cover all MSHRs,
+    // so this must hold in every build type, not just with asserts on.
+    DAPPER_CHECK(ok, "MC read queue sized to cover all MSHRs");
     return CacheResult::Miss;
 }
 
@@ -92,54 +130,42 @@ void
 Llc::insertLine(std::uint64_t lineAddr, bool dirty, Tick now)
 {
     const int set = setIndex(lineAddr);
-    Line *base = setBase(static_cast<std::uint64_t>(set));
+    const std::size_t base = wayBase(static_cast<std::uint64_t>(set));
 
-    Line *victim = nullptr;
+    // First invalid way, else the LRU way (demand region only).
+    std::size_t victim = base + static_cast<std::size_t>(reservedWays_);
     for (int w = reservedWays_; w < ways_; ++w) {
-        Line &line = base[w];
-        if (!line.valid) {
-            victim = &line;
+        const std::size_t i = base + static_cast<std::size_t>(w);
+        if (tags_[i] == kInvalidTag) {
+            victim = i;
             break;
         }
-        if (victim == nullptr || line.lru < victim->lru)
-            victim = &line;
-    }
-    assert(victim != nullptr);
-
-    if (victim->valid && victim->dirty) {
-        // Writeback to DRAM.
-        Request wb;
-        wb.dram = mapper_.decode(victim->tag
-                                 << static_cast<unsigned>(
-                                        mapper_.lineBits()));
-        wb.type = ReqType::Write;
-        wb.sink = nullptr;
-        ++stats_.writebacks;
-        controllers_[static_cast<std::size_t>(wb.dram.channel)]->enqueue(
-            wb, now);
+        if (lru_[i] < lru_[victim])
+            victim = i;
     }
 
-    victim->tag = lineAddr;
-    victim->valid = true;
-    victim->dirty = dirty;
-    victim->lru = lruClock_++;
+    if (tags_[victim] != kInvalidTag && dirty_[victim] != 0)
+        writeback(tags_[victim], now);
+
+    tags_[victim] = lineAddr;
+    dirty_[victim] = dirty ? 1 : 0;
+    lru_[victim] = lruClock_++;
 }
 
 void
 Llc::memDone(const Request &req, Tick now)
 {
-    const std::uint64_t lineAddr =
-        mapper_.encode(req.dram) >> static_cast<unsigned>(mapper_.lineBits());
-    auto it = mshrs_.find(lineAddr);
-    if (it == mshrs_.end())
+    const std::uint64_t lineAddr = mapper_.encode(req.dram) >> lineBits_;
+    MshrEntry *entry = mshrs_.find(lineAddr);
+    if (entry == nullptr)
         return; // Spurious (possible after reserved-way reconfiguration).
 
-    insertLine(lineAddr, it->second.isWrite, now);
-    for (const auto &waiter : it->second.waiters) {
+    insertLine(lineAddr, entry->isWrite, now);
+    for (const auto &waiter : entry->waiters) {
         waiter.core->completeNow(waiter.slot);
         waiter.core->wake(now + 1); // Head may retire next tick.
     }
-    mshrs_.erase(it);
+    mshrs_.erase(lineAddr);
     // An MSHR freed: cores stalled on CacheResult::Blocked can proceed.
     if (wakeHub_ != nullptr)
         wakeHub_->requestWakeAll(now + 1);
@@ -153,13 +179,14 @@ Llc::counterAccess(std::uint64_t counterLine, bool makeDirty)
         return result;
 
     const int set = setIndex(counterLine);
-    Line *base = setBase(static_cast<std::uint64_t>(set));
+    const std::size_t base = wayBase(static_cast<std::uint64_t>(set));
+    const std::uint64_t *tags = &tags_[base];
 
     for (int w = 0; w < reservedWays_; ++w) {
-        Line &line = base[w];
-        if (line.valid && line.tag == counterLine) {
-            line.lru = lruClock_++;
-            line.dirty = line.dirty || makeDirty;
+        if (tags[w] == counterLine) {
+            const std::size_t i = base + static_cast<std::size_t>(w);
+            lru_[i] = lruClock_++;
+            dirty_[i] = dirty_[i] != 0 || makeDirty ? 1 : 0;
             result.hit = true;
             ++stats_.counterHits;
             return result;
@@ -168,22 +195,21 @@ Llc::counterAccess(std::uint64_t counterLine, bool makeDirty)
 
     // Miss: install, evicting LRU from the reserved region.
     ++stats_.counterMisses;
-    Line *victim = nullptr;
+    std::size_t victim = base;
     for (int w = 0; w < reservedWays_; ++w) {
-        Line &line = base[w];
-        if (!line.valid) {
-            victim = &line;
+        const std::size_t i = base + static_cast<std::size_t>(w);
+        if (tags_[i] == kInvalidTag) {
+            victim = i;
             break;
         }
-        if (victim == nullptr || line.lru < victim->lru)
-            victim = &line;
+        if (lru_[i] < lru_[victim])
+            victim = i;
     }
-    if (victim->valid && victim->dirty)
+    if (tags_[victim] != kInvalidTag && dirty_[victim] != 0)
         result.evictedDirty = true;
-    victim->tag = counterLine;
-    victim->valid = true;
-    victim->dirty = makeDirty;
-    victim->lru = lruClock_++;
+    tags_[victim] = counterLine;
+    dirty_[victim] = makeDirty ? 1 : 0;
+    lru_[victim] = lruClock_++;
     return result;
 }
 

@@ -7,16 +7,25 @@
  * Reserving ways shrinks the capacity available to demand lines — the
  * first ingredient of the START Perf-Attack — while counter lookups that
  * miss in the reserved region cost DRAM counter traffic (the second).
+ *
+ * Hot-path layout: line state is struct-of-arrays. The way scan in
+ * access()/counterAccess() — the flat-profile leader after the PR 2
+ * controller work — walks a contiguous per-set tag lane (invalid slots
+ * hold a sentinel tag, so the probe is a bare 64-bit compare with no
+ * valid-bit load); LRU ranks and dirty bits live in parallel lanes
+ * touched only on hit or fill. The MSHR table is a flat open-addressing
+ * map keyed on line address (src/common/flat_map.hh), so the miss path
+ * allocates nothing for the table itself.
  */
 
 #ifndef DAPPER_CACHE_LLC_HH
 #define DAPPER_CACHE_LLC_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "src/common/config.hh"
+#include "src/common/flat_map.hh"
 #include "src/dram/address.hh"
 #include "src/mem/request.hh"
 #include "src/sim/scheduler.hh"
@@ -41,6 +50,8 @@ struct LlcStats
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
     std::uint64_t writebacks = 0;
+    /// Writebacks the MC write queue had no room for (see Llc::writeback).
+    std::uint64_t droppedWritebacks = 0;
     std::uint64_t counterHits = 0;
     std::uint64_t counterMisses = 0;
 };
@@ -71,8 +82,11 @@ class Llc : public MemSink
 
     /**
      * Reserve the low @p ways of every set for RH counter lines (START).
+     * Dirty demand lines displaced by the reconfiguration are written
+     * back to DRAM (at @p now, the current simulation time), not
+     * dropped.
      */
-    void reserveWays(int ways);
+    void reserveWays(int ways, Tick now);
     int reservedWays() const { return reservedWays_; }
 
     /** Result of a counter-region access (START tracker interface). */
@@ -94,13 +108,9 @@ class Llc : public MemSink
     static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
   private:
-    struct Line
-    {
-        std::uint64_t tag = 0;
-        bool valid = false;
-        bool dirty = false;
-        std::uint64_t lru = 0;
-    };
+    /// Sentinel tag for invalid ways. Real line addresses are byte
+    /// addresses >> lineBits and never reach 2^64 - 1.
+    static constexpr std::uint64_t kInvalidTag = ~std::uint64_t(0);
 
     struct MshrEntry
     {
@@ -113,15 +123,23 @@ class Llc : public MemSink
         bool isWrite = false;
     };
 
-    Line *setBase(std::uint64_t setIdx) { return &lines_[setIdx * ways_]; }
-    /// Modulo (not mask) so non-power-of-two LLC capacities (3/5 MB per
+    std::size_t wayBase(std::uint64_t setIdx) const
+    {
+        return static_cast<std::size_t>(setIdx) *
+               static_cast<std::size_t>(ways_);
+    }
+    /// Mask when the set count is a power of two (the default config),
+    /// modulo otherwise so non-power-of-two LLC capacities (3/5 MB per
     /// core in Fig. 5) index correctly.
     int setIndex(std::uint64_t lineAddr) const
     {
+        if (setMask_ != 0)
+            return static_cast<int>(lineAddr & setMask_);
         return static_cast<int>(lineAddr %
                                 static_cast<std::uint64_t>(sets_));
     }
     void insertLine(std::uint64_t lineAddr, bool dirty, Tick now);
+    void writeback(std::uint64_t tag, Tick now);
 
     const SysConfig cfg_;
     const AddressMapper &mapper_;
@@ -129,12 +147,18 @@ class Llc : public MemSink
     WakeHub *wakeHub_ = nullptr;
     int sets_;
     int ways_;
+    /// sets_ - 1 when sets_ is a power of two, else 0 (use modulo).
+    std::uint64_t setMask_ = 0;
+    unsigned lineBits_;
     int reservedWays_ = 0;
     std::uint64_t lruClock_ = 1;
-    /// sets_ x ways_; ways [0, reservedWays_) hold counter lines (START).
-    std::vector<Line> lines_;
-    std::unordered_map<std::uint64_t, MshrEntry> mshrs_;
+    /// SoA line state, each sets_ x ways_; ways [0, reservedWays_) hold
+    /// counter lines (START). tags_ is the scan lane.
+    std::vector<std::uint64_t> tags_;
+    std::vector<std::uint64_t> lru_;
+    std::vector<std::uint8_t> dirty_;
     std::size_t maxMshrs_;
+    FlatMap64<MshrEntry> mshrs_;
     LlcStats stats_;
 };
 

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Unconditional runtime checks.
+ *
+ * `assert` compiles out under NDEBUG (the default Release build), so a
+ * condition that guards simulation correctness — a queue the config
+ * promises can never overflow, an invariant whose violation would
+ * silently corrupt results — must not rely on it. DAPPER_CHECK stays in
+ * every build type and aborts with a message instead of letting the
+ * simulation limp on with wrong state.
+ */
+
+#ifndef DAPPER_COMMON_CHECK_HH
+#define DAPPER_COMMON_CHECK_HH
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace dapper {
+
+[[noreturn]] inline void
+fatalError(const char *file, int line, const char *msg)
+{
+    std::fprintf(stderr, "%s:%d: fatal: %s\n", file, line, msg);
+    std::abort();
+}
+
+} // namespace dapper
+
+/** Abort (in every build type) with @p msg when @p cond is false. */
+#define DAPPER_CHECK(cond, msg)                                           \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::dapper::fatalError(__FILE__, __LINE__, (msg));              \
+    } while (0)
+
+#endif // DAPPER_COMMON_CHECK_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Zero-initialized flat buffer backed by calloc.
+ *
+ * For large per-simulation state (the GroundTruth damage cells: tens of
+ * MB per System), `std::vector<T>(n)` memsets the whole allocation up
+ * front — at one System per scenario cell that zeroing dominated whole
+ * bench profiles. calloc instead hands back fresh zero pages for large
+ * allocations: construction is O(1), the kernel zero-fills each page on
+ * first fault, and regions the run never touches never cost physical
+ * memory at all.
+ *
+ * T must be trivially copyable with all-zero-bytes as its zero value
+ * (calloc'd storage is never constructed; C++20 implicit lifetime).
+ */
+
+#ifndef DAPPER_COMMON_ZEROED_BUFFER_HH
+#define DAPPER_COMMON_ZEROED_BUFFER_HH
+
+#include <cstdlib>
+#include <memory>
+#include <type_traits>
+
+#include "src/common/check.hh"
+
+namespace dapper {
+
+template <typename T>
+class ZeroedBuffer
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ZeroedBuffer requires trivially copyable T");
+
+  public:
+    ZeroedBuffer() = default;
+    explicit ZeroedBuffer(std::size_t n) { reset(n); }
+
+    /** Drop the current contents and allocate @p n zeroed elements. */
+    void
+    reset(std::size_t n)
+    {
+        data_.reset(n == 0 ? nullptr
+                           : static_cast<T *>(std::calloc(n, sizeof(T))));
+        DAPPER_CHECK(n == 0 || data_ != nullptr,
+                     "ZeroedBuffer: allocation failed");
+        n_ = n;
+    }
+
+    T &operator[](std::size_t i) { return data_[i]; }
+    const T &operator[](std::size_t i) const { return data_[i]; }
+    std::size_t size() const { return n_; }
+
+  private:
+    struct FreeDeleter
+    {
+        void operator()(T *p) const { std::free(p); }
+    };
+    std::unique_ptr<T[], FreeDeleter> data_;
+    std::size_t n_ = 0;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_COMMON_ZEROED_BUFFER_HH

@@ -1,44 +1,104 @@
 #include "src/rh/ground_truth.hh"
 
 #include <algorithm>
-#include <cstring>
+#include <limits>
 
 namespace dapper {
+
+namespace {
+
+int
+log2IfPow2(int v)
+{
+    if (v <= 0 || (v & (v - 1)) != 0)
+        return -1;
+    int shift = 0;
+    while ((1 << shift) < v)
+        ++shift;
+    return shift;
+}
+
+} // namespace
 
 GroundTruth::GroundTruth(const SysConfig &cfg)
     : cfg_(cfg),
       rowsPerBank_(cfg.rowsPerBank),
       nRH_(static_cast<std::uint32_t>(cfg.nRH))
 {
-    const int banksTotal = cfg.ranksPerChannel * cfg.banksPerRank();
-    damage_.resize(static_cast<std::size_t>(cfg.channels) * banksTotal);
-    for (auto &vec : damage_)
-        vec.assign(static_cast<std::size_t>(rowsPerBank_), 0);
-    refreshSlice_.assign(
-        static_cast<std::size_t>(cfg.channels) * cfg.ranksPerChannel, 0);
-    // 8192 auto-refresh commands cover the bank each tREFW.
+    // 8192 auto-refresh commands cover the bank each tREFW; the last
+    // slice is short when sliceRows does not divide rowsPerBank (the
+    // ceil keeps tail rows inside the rotation).
     sliceRows_ = std::max(1, rowsPerBank_ / 8192);
+    sliceCount_ = (rowsPerBank_ + sliceRows_ - 1) / sliceRows_;
+    sliceShift_ = log2IfPow2(sliceRows_);
+
+    const std::size_t ranksTotal =
+        static_cast<std::size_t>(cfg.channels) * cfg.ranksPerChannel;
+    const std::size_t banksTotal = ranksTotal * cfg.banksPerRank();
+    cells_.reset(banksTotal * static_cast<std::size_t>(rowsPerBank_));
+    chanClear_.assign(static_cast<std::size_t>(cfg.channels), 0);
+    rankClear_.assign(ranksTotal, 0);
+    sliceClear_.assign(ranksTotal * static_cast<std::size_t>(sliceCount_),
+                       0);
+    refreshSlice_.assign(ranksTotal, 0);
 }
 
-std::vector<std::uint16_t> &
-GroundTruth::bankVec(int channel, int rank, int bank)
+std::uint32_t
+GroundTruth::nextClearEpoch()
 {
-    const int banksTotal = cfg_.ranksPerChannel * cfg_.banksPerRank();
-    return damage_[static_cast<std::size_t>(channel) * banksTotal +
-                   rank * cfg_.banksPerRank() + bank];
+    if (epochClock_ == std::numeric_limits<std::uint32_t>::max())
+        renormalize();
+    return ++epochClock_;
 }
 
 void
-GroundTruth::bump(std::vector<std::uint16_t> &vec, int row)
+GroundTruth::renormalize()
+{
+    // Fold every scope's clear epoch into the cells (stale -> damage 0)
+    // and restart the clock at zero. O(rows) but reached only after
+    // 2^32 - 1 clear events, so it never shows up in profiles.
+    for (int c = 0; c < cfg_.channels; ++c) {
+        for (int r = 0; r < cfg_.ranksPerChannel; ++r) {
+            const std::size_t rankIdx = rankIndex(c, r);
+            for (int b = 0; b < cfg_.banksPerRank(); ++b) {
+                Cell *bank = &cells_[bankBase(c, r, b)];
+                for (int row = 0; row < rowsPerBank_; ++row) {
+                    Cell &cell = bank[row];
+                    if (cell.stamp < clearEpochFor(c, rankIdx, row))
+                        cell.damage = 0;
+                    cell.stamp = 0;
+                }
+            }
+        }
+    }
+    epochClock_ = 0;
+    globalClear_ = 0;
+    std::fill(chanClear_.begin(), chanClear_.end(), 0);
+    std::fill(rankClear_.begin(), rankClear_.end(), 0);
+    std::fill(sliceClear_.begin(), sliceClear_.end(), 0);
+}
+
+void
+GroundTruth::bump(int channel, std::size_t rankIdx,
+                  std::size_t bankBaseIdx, int row)
 {
     if (row < 0 || row >= rowsPerBank_)
         return;
-    auto &cell = vec[static_cast<std::size_t>(row)];
-    if (cell < 0xffff)
-        ++cell;
-    if (cell > maxDamageEver_)
-        maxDamageEver_ = cell;
-    if (cell >= nRH_) {
+    Cell &cell = cells_[bankBaseIdx + static_cast<std::size_t>(row)];
+    // stamp == epochClock_ means no scope anywhere was cleared since the
+    // last write, so the cell is valid as-is; otherwise resolve against
+    // the enclosing scopes' clear epochs.
+    std::uint32_t d = cell.damage;
+    if (cell.stamp != epochClock_ &&
+        cell.stamp < clearEpochFor(channel, rankIdx, row))
+        d = 0;
+    if (d < 0xffff)
+        ++d;
+    cell.damage = static_cast<std::uint16_t>(d);
+    cell.stamp = epochClock_;
+    if (d > maxDamageEver_)
+        maxDamageEver_ = d;
+    if (d >= nRH_) {
         if (violations_ == 0) {
             firstViolation_ = current_;
             firstViolation_.row = row;
@@ -52,70 +112,64 @@ GroundTruth::onActivation(int channel, int rank, int bank, int row)
 {
     ++activations_;
     current_ = {channel, rank, bank, row};
-    auto &vec = bankVec(channel, rank, bank);
-    bump(vec, row - 1);
-    bump(vec, row + 1);
+    const std::size_t rankIdx = rankIndex(channel, rank);
+    const std::size_t base = bankBase(channel, rank, bank);
+    bump(channel, rankIdx, base, row - 1);
+    bump(channel, rankIdx, base, row + 1);
 }
 
 void
 GroundTruth::onVictimRefresh(int channel, int rank, int bank, int row,
                              int blastRadius)
 {
-    auto &vec = bankVec(channel, rank, bank);
+    const std::size_t base = bankBase(channel, rank, bank);
     for (int d = 1; d <= blastRadius; ++d) {
         if (row - d >= 0)
-            vec[static_cast<std::size_t>(row - d)] = 0;
+            cells_[base + static_cast<std::size_t>(row - d)] =
+                Cell{epochClock_, 0};
         if (row + d < rowsPerBank_)
-            vec[static_cast<std::size_t>(row + d)] = 0;
+            cells_[base + static_cast<std::size_t>(row + d)] =
+                Cell{epochClock_, 0};
     }
 }
 
 void
 GroundTruth::onAutoRefresh(int channel, int rank)
 {
-    auto &slice =
-        refreshSlice_[static_cast<std::size_t>(channel) *
-                          cfg_.ranksPerChannel + rank];
-    const int start = slice * sliceRows_;
-    for (int bank = 0; bank < cfg_.banksPerRank(); ++bank) {
-        auto &vec = bankVec(channel, rank, bank);
-        for (int row = start;
-             row < start + sliceRows_ && row < rowsPerBank_; ++row)
-            vec[static_cast<std::size_t>(row)] = 0;
-    }
-    slice = (slice + 1) % std::max(1, rowsPerBank_ / sliceRows_);
+    const std::size_t rankIdx = rankIndex(channel, rank);
+    int &slice = refreshSlice_[rankIdx];
+    sliceClear_[rankIdx * static_cast<std::size_t>(sliceCount_) +
+                static_cast<std::size_t>(slice)] = nextClearEpoch();
+    slice = (slice + 1) % sliceCount_;
 }
 
 void
 GroundTruth::onBulkRankRefresh(int channel, int rank)
 {
-    for (int bank = 0; bank < cfg_.banksPerRank(); ++bank) {
-        auto &vec = bankVec(channel, rank, bank);
-        std::memset(vec.data(), 0, vec.size() * sizeof(std::uint16_t));
-    }
+    rankClear_[rankIndex(channel, rank)] = nextClearEpoch();
 }
 
 void
 GroundTruth::onBulkChannelRefresh(int channel)
 {
-    for (int rank = 0; rank < cfg_.ranksPerChannel; ++rank)
-        onBulkRankRefresh(channel, rank);
+    chanClear_[static_cast<std::size_t>(channel)] = nextClearEpoch();
 }
 
 void
 GroundTruth::onWindowBoundary()
 {
-    for (auto &vec : damage_)
-        std::memset(vec.data(), 0, vec.size() * sizeof(std::uint16_t));
+    globalClear_ = nextClearEpoch();
 }
 
 std::uint32_t
 GroundTruth::damageOf(int channel, int rank, int bank, int row) const
 {
-    const int banksTotal = cfg_.ranksPerChannel * cfg_.banksPerRank();
-    return damage_[static_cast<std::size_t>(channel) * banksTotal +
-                   rank * cfg_.banksPerRank() + bank]
-                  [static_cast<std::size_t>(row)];
+    const Cell &cell =
+        cells_[bankBase(channel, rank, bank) +
+               static_cast<std::size_t>(row)];
+    if (cell.stamp < clearEpochFor(channel, rankIndex(channel, rank), row))
+        return 0;
+    return cell.damage;
 }
 
 } // namespace dapper

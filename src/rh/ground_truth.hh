@@ -13,6 +13,17 @@
  * tracker is RowHammer-safe iff no row's damage reaches N_RH within any
  * window. Integration and property tests assert this invariant under the
  * paper's attack patterns.
+ *
+ * Implementation: epoch-stamped cells. Every row stores (damage, stamp)
+ * and every refresh scope — the whole model (window boundary), a channel
+ * (bulk channel refresh), a rank (bulk rank refresh), and each
+ * auto-refresh slice of a rank — records the epoch at which it was last
+ * cleared. A cell's damage counts only if its stamp is at least every
+ * enclosing scope's clear epoch; otherwise it is stale and reads as
+ * zero, resolved lazily on the next bump or damageOf. This makes all
+ * refresh paths O(1) epoch bumps instead of dense row sweeps — see
+ * src/rh/README.md for the full contract, and ground_truth_dense.hh for
+ * the dense reference model the differential test pins this against.
  */
 
 #ifndef DAPPER_RH_GROUND_TRUTH_HH
@@ -22,6 +33,7 @@
 #include <vector>
 
 #include "src/common/config.hh"
+#include "src/common/zeroed_buffer.hh"
 
 namespace dapper {
 
@@ -73,17 +85,97 @@ class GroundTruth
     /** Current damage of one row (tests). */
     std::uint32_t damageOf(int channel, int rank, int bank, int row) const;
 
+    /** Rows refreshed per auto-refresh command per bank. */
+    int sliceRows() const { return sliceRows_; }
+
+    /** Auto-refresh commands needed to sweep a whole bank (ceil). */
+    int sliceCount() const { return sliceCount_; }
+
   private:
-    std::vector<std::uint16_t> &bankVec(int channel, int rank, int bank);
-    void bump(std::vector<std::uint16_t> &vec, int row);
+    /** Per-row damage with the epoch it was last written at. */
+    struct Cell
+    {
+        std::uint32_t stamp = 0;
+        std::uint16_t damage = 0;
+    };
+
+    std::size_t
+    bankBase(int channel, int rank, int bank) const
+    {
+        const std::size_t banksTotal =
+            static_cast<std::size_t>(cfg_.ranksPerChannel) *
+            cfg_.banksPerRank();
+        return (static_cast<std::size_t>(channel) * banksTotal +
+                static_cast<std::size_t>(rank) * cfg_.banksPerRank() +
+                static_cast<std::size_t>(bank)) *
+               static_cast<std::size_t>(rowsPerBank_);
+    }
+
+    std::size_t
+    rankIndex(int channel, int rank) const
+    {
+        return static_cast<std::size_t>(channel) * cfg_.ranksPerChannel +
+               rank;
+    }
+
+    int
+    sliceOf(int row) const
+    {
+        return sliceShift_ >= 0 ? row >> sliceShift_ : row / sliceRows_;
+    }
+
+    /**
+     * Smallest stamp still valid for (channel, rank, row): the max clear
+     * epoch over the scopes enclosing that row.
+     */
+    std::uint32_t
+    clearEpochFor(int channel, std::size_t rankIdx, int row) const
+    {
+        std::uint32_t e = globalClear_;
+        const std::uint32_t c =
+            chanClear_[static_cast<std::size_t>(channel)];
+        if (c > e)
+            e = c;
+        const std::uint32_t r = rankClear_[rankIdx];
+        if (r > e)
+            e = r;
+        const std::uint32_t s =
+            sliceClear_[rankIdx * static_cast<std::size_t>(sliceCount_) +
+                        static_cast<std::size_t>(sliceOf(row))];
+        return s > e ? s : e;
+    }
+
+    /** Allot a fresh clear epoch (renormalizing near wrap-around). */
+    std::uint32_t nextClearEpoch();
+
+    /** Resolve every cell and reset all epochs to zero (rare). */
+    void renormalize();
+
+    void bump(int channel, std::size_t rankIdx, std::size_t bankBaseIdx,
+              int row);
 
     const SysConfig cfg_;
     int rowsPerBank_;
     std::uint32_t nRH_;
-    // [channel][rank * banks + bank] -> damage per row
-    std::vector<std::vector<std::uint16_t>> damage_;
+    int sliceRows_;  ///< rows refreshed per REF per bank
+    int sliceCount_; ///< ceil(rowsPerBank / sliceRows): REFs per sweep
+    int sliceShift_; ///< log2(sliceRows) when a power of two, else -1
+
+    /// Flat [channel][rank][bank][row] damage cells. calloc-backed:
+    /// construction is O(1) and untouched banks stay unmapped (a System
+    /// is built per scenario run, so eager zeroing shows up in bench
+    /// profiles).
+    ZeroedBuffer<Cell> cells_;
+
+    /// Epoch clock: clears take ++epochClock_, writes stamp epochClock_.
+    std::uint32_t epochClock_ = 0;
+    std::uint32_t globalClear_ = 0;       ///< window boundary
+    std::vector<std::uint32_t> chanClear_; ///< bulk channel refresh
+    std::vector<std::uint32_t> rankClear_; ///< bulk rank refresh
+    /// [rankIndex][slice]: auto-refresh slice clears.
+    std::vector<std::uint32_t> sliceClear_;
     std::vector<int> refreshSlice_; ///< per (channel,rank) rotating pointer
-    int sliceRows_;                 ///< rows refreshed per REF per bank
+
     std::uint32_t maxDamageEver_ = 0;
     std::uint64_t violations_ = 0;
     std::uint64_t activations_ = 0;

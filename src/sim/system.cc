@@ -39,7 +39,7 @@ System::System(const SysConfig &cfg, const TrackerInfo &tracker,
     for (auto &mc : controllers_)
         mc->setWakeHub(&wakeHub_);
     if (tracker.reservesLlc)
-        llc_->reserveWays(cfg_.llcWays / 2);
+        llc_->reserveWays(cfg_.llcWays / 2, 0);
 
     tracker_ = tracker.make(cfg_, llc_.get());
     for (auto &mc : controllers_)

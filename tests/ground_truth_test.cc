@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/rng.hh"
 #include "src/rh/ground_truth.hh"
+#include "src/rh/ground_truth_dense.hh"
 
 namespace dapper {
 namespace {
@@ -129,6 +131,131 @@ TEST(GroundTruth, ActivationCountTracked)
     for (int i = 0; i < 7; ++i)
         gt.onActivation(0, 0, 0, 10);
     EXPECT_EQ(gt.activations(), 7u);
+}
+
+// Regression: with rowsPerBank not a multiple of the slice size, the
+// truncating slice count (rowsPerBank / sliceRows) left the tail rows
+// outside the auto-refresh rotation forever — phantom damage. The slice
+// count must round up (last slice short) so a full rotation covers
+// every row.
+TEST(GroundTruth, AutoRefreshCoversTailRowsWithNonDivisibleRowCount)
+{
+    SysConfig cfg = smallCfg();
+    cfg.rowsPerBank = 3 * 8192 + 1; // sliceRows = 3, 1 tail row.
+    GroundTruth gt(cfg);
+    ASSERT_EQ(gt.sliceRows(), 3);
+    ASSERT_EQ(gt.sliceCount(), 8193); // ceil, not 8192.
+
+    const int tail = cfg.rowsPerBank - 1; // Row 24576: in no full slice.
+    gt.onActivation(0, 0, 0, tail - 1);
+    ASSERT_EQ(gt.damageOf(0, 0, 0, tail), 1u);
+
+    // One full rotation refreshes every row, including the short last
+    // slice (the truncating count skipped it and wrapped early).
+    for (int i = 0; i < gt.sliceCount(); ++i)
+        gt.onAutoRefresh(0, 0);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, tail), 0u);
+    EXPECT_EQ(gt.damageOf(0, 0, 0, tail - 2), 0u);
+    for (int row = 0; row < cfg.rowsPerBank; ++row)
+        ASSERT_EQ(gt.damageOf(0, 0, 0, row), 0u) << "row " << row;
+}
+
+// Differential: the epoch-stamped model must be observation-equivalent
+// to the dense reference (ground_truth_dense.hh) under randomized
+// interleavings of every event type, including a non-divisible row
+// count that exercises the short last slice.
+TEST(GroundTruth, MatchesDenseReferenceUnderRandomInterleavings)
+{
+    SysConfig cfg;
+    cfg.nRH = 40;
+    cfg.channels = 2;
+    cfg.ranksPerChannel = 2;
+    cfg.bankGroups = 2;
+    cfg.banksPerGroup = 2;
+    const int rowCounts[] = {4096, 3 * 8192 + 1};
+
+    for (const int rows : rowCounts) {
+        cfg.rowsPerBank = rows;
+        GroundTruth epoch(cfg);
+        DenseGroundTruth dense(cfg);
+        ASSERT_EQ(epoch.sliceRows(), dense.sliceRows());
+        ASSERT_EQ(epoch.sliceCount(), dense.sliceCount());
+
+        Rng rng(0xd1fful + static_cast<unsigned>(rows));
+        // A few hot aggressors per bank drive damage toward nRH; the
+        // rest is background noise across the whole bank.
+        const int banks = cfg.banksPerRank();
+        auto randomRow = [&]() {
+            if (rng.chance(0.7))
+                return 100 + static_cast<int>(rng.below(8)) * 7;
+            return static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(rows)));
+        };
+
+        for (int op = 0; op < 60000; ++op) {
+            const int c = static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(cfg.channels)));
+            const int r = static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(cfg.ranksPerChannel)));
+            const int b = static_cast<int>(
+                rng.below(static_cast<std::uint64_t>(banks)));
+            const double dice = rng.uniform();
+            if (dice < 0.80) {
+                const int row = randomRow();
+                epoch.onActivation(c, r, b, row);
+                dense.onActivation(c, r, b, row);
+            } else if (dice < 0.85) {
+                const int row = randomRow();
+                const int br = 1 + static_cast<int>(rng.below(2));
+                epoch.onVictimRefresh(c, r, b, row, br);
+                dense.onVictimRefresh(c, r, b, row, br);
+            } else if (dice < 0.97) {
+                epoch.onAutoRefresh(c, r);
+                dense.onAutoRefresh(c, r);
+            } else if (dice < 0.98) {
+                epoch.onBulkRankRefresh(c, r);
+                dense.onBulkRankRefresh(c, r);
+            } else if (dice < 0.99) {
+                epoch.onBulkChannelRefresh(c);
+                dense.onBulkChannelRefresh(c);
+            } else {
+                epoch.onWindowBoundary();
+                dense.onWindowBoundary();
+            }
+
+            if (op % 977 == 0) {
+                ASSERT_EQ(epoch.violations(), dense.violations())
+                    << "op " << op;
+                ASSERT_EQ(epoch.maxDamageEver(), dense.maxDamageEver())
+                    << "op " << op;
+                for (int probe = 0; probe < 32; ++probe) {
+                    const int pr = randomRow();
+                    ASSERT_EQ(epoch.damageOf(c, r, b, pr),
+                              dense.damageOf(c, r, b, pr))
+                        << "op " << op << " row " << pr;
+                }
+            }
+        }
+
+        // Full-state sweep at the end.
+        EXPECT_EQ(epoch.activations(), dense.activations());
+        EXPECT_EQ(epoch.violations(), dense.violations());
+        EXPECT_EQ(epoch.maxDamageEver(), dense.maxDamageEver());
+        EXPECT_EQ(epoch.firstViolation().channel,
+                  dense.firstViolation().channel);
+        EXPECT_EQ(epoch.firstViolation().rank,
+                  dense.firstViolation().rank);
+        EXPECT_EQ(epoch.firstViolation().bank,
+                  dense.firstViolation().bank);
+        EXPECT_EQ(epoch.firstViolation().row, dense.firstViolation().row);
+        for (int c = 0; c < cfg.channels; ++c)
+            for (int r = 0; r < cfg.ranksPerChannel; ++r)
+                for (int b = 0; b < banks; ++b)
+                    for (int row = 0; row < rows; ++row)
+                        ASSERT_EQ(epoch.damageOf(c, r, b, row),
+                                  dense.damageOf(c, r, b, row))
+                            << c << "/" << r << "/" << b << "/" << row;
+    }
 }
 
 } // namespace

@@ -122,7 +122,7 @@ class StartTest : public ::testing::Test
           llc_(cfg_, mapper_, {&mc0_, &mc1_}),
           tracker_(cfg_)
     {
-        llc_.reserveWays(cfg_.llcWays / 2);
+        llc_.reserveWays(cfg_.llcWays / 2, 0);
         tracker_.attachLlc(&llc_);
     }
 

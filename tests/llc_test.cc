@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "src/cache/llc.hh"
+#include "src/common/check.hh"
 #include "src/cpu/core.hh"
 #include "src/mem/controller.hh"
 #include "src/sim/system.hh"
@@ -81,7 +82,7 @@ TEST_F(LlcTest, DirtyEvictionWritesBack)
 
 TEST_F(LlcTest, ReservedWaysShrinkDemandCapacity)
 {
-    llc_.reserveWays(cfg_.llcWays / 2);
+    llc_.reserveWays(cfg_.llcWays / 2, now_);
     EXPECT_EQ(llc_.reservedWays(), 8);
     const std::uint64_t stride =
         static_cast<std::uint64_t>(cfg_.llcSets()) * cfg_.lineBytes;
@@ -100,7 +101,7 @@ TEST_F(LlcTest, ReservedWaysShrinkDemandCapacity)
 
 TEST_F(LlcTest, CounterRegionHitsAndEvictions)
 {
-    llc_.reserveWays(8);
+    llc_.reserveWays(8, now_);
     const auto first = llc_.counterAccess(42, true);
     EXPECT_FALSE(first.hit);
     const auto second = llc_.counterAccess(42, false);
@@ -127,9 +128,45 @@ TEST_F(LlcTest, CounterRegionDisabledWithoutReservation)
     EXPECT_EQ(llc_.stats().counterMisses, 0u);
 }
 
+// Regression: reserveWays used to invalidate the newly reserved ways in
+// place, silently dropping dirty lines — DRAM write traffic vanished
+// after a reconfiguration. Displaced dirty lines must be written back
+// (and counted).
+TEST_F(LlcTest, ReserveWaysWritesBackDisplacedDirtyLines)
+{
+    // 8 dirty lines in one set land in ways 0..7 (first-invalid fill
+    // order), exactly the region a later reserveWays(8) claims.
+    const std::uint64_t stride =
+        static_cast<std::uint64_t>(cfg_.llcSets()) * cfg_.lineBytes;
+    for (int i = 0; i < 8; ++i) {
+        llc_.access(stride * static_cast<std::uint64_t>(i), true, nullptr,
+                    Llc::kNoSlot, now_);
+        runTo(now_ + 400); // Fill between accesses: no evictions yet.
+    }
+    ASSERT_EQ(llc_.stats().writebacks, 0u);
+
+    llc_.reserveWays(8, now_);
+    EXPECT_EQ(llc_.stats().writebacks, 8u);
+    EXPECT_EQ(llc_.stats().droppedWritebacks, 0u); // Queue had room.
+
+    // The displaced lines are gone from the demand region.
+    const auto missesBefore = llc_.stats().misses;
+    EXPECT_EQ(llc_.access(0, false, nullptr, Llc::kNoSlot, now_),
+              CacheResult::Miss);
+    EXPECT_EQ(llc_.stats().misses, missesBefore + 1);
+}
+
+TEST(LlcCheck, FatalCheckAbortsInEveryBuildType)
+{
+    // The MC-enqueue guard in Llc::access must not compile out under
+    // NDEBUG; DAPPER_CHECK aborts unconditionally.
+    EXPECT_DEATH(DAPPER_CHECK(false, "unconditional fatal check"),
+                 "unconditional fatal check");
+}
+
 TEST_F(LlcTest, DemandAndCounterRegionsAreDisjoint)
 {
-    llc_.reserveWays(8);
+    llc_.reserveWays(8, now_);
     // A demand line and a counter line with identical index bits must
     // not evict each other.
     llc_.access(0x4000, false, nullptr, Llc::kNoSlot, 0);

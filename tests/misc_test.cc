@@ -8,7 +8,9 @@
 
 #include <cmath>
 #include <map>
+#include <unordered_map>
 
+#include "src/common/flat_map.hh"
 #include "src/common/rng.hh"
 #include "src/common/stats.hh"
 #include "src/energy/energy_model.hh"
@@ -61,6 +63,48 @@ TEST(Rng, ChanceMatchesProbability)
     for (int i = 0; i < 40000; ++i)
         hits += rng.chance(0.125) ? 1 : 0;
     EXPECT_NEAR(hits / 40000.0, 0.125, 0.01);
+}
+
+// The LLC's MSHR table: randomized differential against
+// std::unordered_map, exercising collision chains and backward-shift
+// deletion at the table's occupancy bound.
+TEST(FlatMap64, MatchesUnorderedMapUnderRandomOps)
+{
+    const std::size_t maxEntries = 64;
+    FlatMap64<int> flat(maxEntries);
+    std::unordered_map<std::uint64_t, int> ref;
+    Rng rng(0xf1a7u);
+
+    for (int op = 0; op < 200000; ++op) {
+        // Small key space (and a clustered one) to force collisions.
+        const std::uint64_t key = rng.chance(0.5)
+                                      ? rng.below(96)
+                                      : 0x1000 + rng.below(96) * 8192;
+        const double dice = rng.uniform();
+        if (dice < 0.45) {
+            if (ref.count(key) == 0 && ref.size() < maxEntries) {
+                flat.insert(key, static_cast<int>(op));
+                ref.emplace(key, static_cast<int>(op));
+            }
+        } else if (dice < 0.75) {
+            const bool erased = ref.erase(key) == 1;
+            EXPECT_EQ(flat.erase(key), erased) << "op " << op;
+        } else {
+            int *v = flat.find(key);
+            auto it = ref.find(key);
+            ASSERT_EQ(v != nullptr, it != ref.end()) << "op " << op;
+            if (v != nullptr) {
+                ASSERT_EQ(*v, it->second) << "op " << op;
+            }
+        }
+        ASSERT_EQ(flat.size(), ref.size());
+    }
+    // Every surviving key is still reachable.
+    for (const auto &[key, value] : ref) {
+        int *v = flat.find(key);
+        ASSERT_NE(v, nullptr);
+        EXPECT_EQ(*v, value);
+    }
 }
 
 TEST(Stats, GeomeanAndMean)
