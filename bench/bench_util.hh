@@ -8,7 +8,12 @@
  *
  * Benches declare a ScenarioGrid (axes + labels), execute it through a
  * Runner, and print from the returned ResultTable; finish() emits the
- * machine-readable rendering bench/run_all.sh collects.
+ * machine-readable rendering bench/run_all.sh collects. Since the
+ * stats API, that rendering carries the full per-component telemetry
+ * dict ("stats") and the tREFI probe time series ("series") for every
+ * scenario — bench tables keep printing the typed RunResult fields,
+ * but analysis scripts can read any exported counter without a bench
+ * edit (table.statValues("llc.misses"), statSeries(row, "series.ipc")).
  */
 
 #ifndef DAPPER_BENCH_BENCH_UTIL_HH
@@ -69,8 +74,11 @@ usage(const char *prog, const char *error, int exitCode = 2)
                  "one tracker\n"
                  "  --attack NAME    restrict the attack table cells to "
                  "one attack\n"
-                 "  --json FILE      also write results as JSON\n"
-                 "  --csv FILE       also write results as CSV\n",
+                 "  --json FILE      also write results as JSON (incl. "
+                 "per-component stats\n"
+                 "                   and tREFI time series)\n"
+                 "  --csv FILE       also write results as CSV (stat "
+                 "columns appended)\n",
                  prog);
     std::fprintf(stderr, "trackers:");
     for (const auto &name : TrackerRegistry::instance().names())
@@ -303,6 +311,20 @@ population(const Options &opt, int perSuite = 2)
     }
     out.push_back("456.hmmer"); // Compute-bound control.
     return out;
+}
+
+/**
+ * One probe time series of a scenario result, by full exported name
+ * ("series.ipc", "series.mitigationsPerTrefi"); throws
+ * std::out_of_range when absent so a typo cannot read as "no data".
+ */
+inline const std::vector<double> &
+statSeries(const ScenarioResult &row, const std::string &name)
+{
+    const StatSeries *series = row.run.stats.findSeries(name);
+    if (series == nullptr)
+        throw std::out_of_range("no series '" + name + "'");
+    return series->values;
 }
 
 /**

@@ -5,12 +5,16 @@
  * Paper reference rows (SRAM KB / CAM KB / area mm^2):
  *   Hydra 56.5 / - / 0.044 ; CoMeT 112 / 23 / 0.139 ; START 4 / - / 0.003
  *   ABACUS 19.3 / 7.5 / 0.038 ; DAPPER-H 96 / - / 0.075
+ *
+ * Numbers come from TrackerInfo::storage() — the same registry path
+ * the "tracker.storage.*" stats export resolves through — so this
+ * table, the telemetry, and tests/registry_test.cc all read one
+ * source of truth.
  */
 
 #include <cstdio>
 
-#include "src/cache/llc.hh"
-#include "src/rh/factory.hh"
+#include "src/rh/registry.hh"
 
 int
 main()
@@ -21,21 +25,19 @@ main()
     std::printf("%-16s %10s %10s %14s\n", "Tracker", "SRAM(KB)", "CAM(KB)",
                 "Area(mm^2)");
 
-    const TrackerKind kinds[] = {
-        TrackerKind::Hydra,  TrackerKind::Comet, TrackerKind::Start,
-        TrackerKind::Abacus, TrackerKind::DapperS,
-        TrackerKind::DapperH,
+    const char *names[] = {
+        "hydra", "comet", "start", "abacus", "dapper-s", "dapper-h",
     };
 
-    for (TrackerKind kind : kinds) {
+    for (const char *name : names) {
         SysConfig cfg;
         cfg.nRH = 500;
         // Storage is quoted per physical tREFW (no window scaling).
         cfg.timeScale = 1.0;
-        auto tracker = makeTracker(kind, cfg, nullptr);
-        const StorageEstimate est = tracker->storage();
+        const TrackerInfo &info = TrackerRegistry::instance().at(name);
+        const StorageEstimate est = info.storage(cfg);
         std::printf("%-16s %10.1f %10.1f %14.3f\n",
-                    tracker->name().c_str(), est.sramKB, est.camKB,
+                    info.displayName.c_str(), est.sramKB, est.camKB,
                     est.areaMm2());
     }
     return 0;

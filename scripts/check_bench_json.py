@@ -7,15 +7,47 @@ The benches emit their structured results themselves (bench_util
 validates one against this checker. Stdlib-only on purpose: no
 jsonschema dependency.
 
+Beyond the flat per-scenario columns, every scenario must carry the
+hierarchical telemetry introduced by the stats API (src/common/
+stats.hh): a non-empty "stats" object of finite numbers covering at
+least the core / llc / mem / energy / gt component trees, and a
+"series" object with at least one non-empty "series.*" tREFI time
+series. Values the flat columns duplicate (mitigations, activations,
+max_damage, rh_violations, energy_nj) must agree exactly with their
+stat counterparts.
+
 Usage: check_bench_json.py FILE [FILE...]
 Exits non-zero with a message naming the first offending field.
 """
 
 import json
+import math
 import sys
 
 BASELINES = {"raw", "no-attack", "same-attack"}
 ENGINES = {"event", "tick"}
+
+# Every scenario must export at least these per-component stats
+# ("tracker.*" is absent for the unprotected system, so not required).
+REQUIRED_STATS = [
+    "sys.ticks",
+    "core.0.ipc",
+    "llc.misses",
+    "llc.droppedWritebacks",
+    "mem.0.activations",
+    "mem.0.p99ReadLatency",
+    "energy.totalNj",
+    "gt.maxDamage",
+    "gt.violations",
+    "series.points",
+]
+
+# (flat column, stat name) pairs that are one measurement, two views.
+MIRRORED = [
+    ("max_damage", "gt.maxDamage"),
+    ("rh_violations", "gt.violations"),
+    ("energy_nj", "energy.totalNj"),
+]
 
 # field -> (type check, description)
 SCENARIO_FIELDS = {
@@ -106,8 +138,62 @@ def check_file(path):
                 f"scenarios[{index}]: baseline '{row['baseline']}' "
                 "with baseline_ipc <= 0",
             )
+        check_stats(path, index, row)
 
     print(f"{path}: OK ({doc['bench']}, {len(scenarios)} scenarios)")
+
+
+def check_stats(path, index, row):
+    """Validate the per-scenario 'stats'/'series' telemetry section."""
+    where = f"scenarios[{index}]"
+    stats = row.get("stats")
+    if not isinstance(stats, dict) or not stats:
+        fail(path, f"{where}.stats must be a non-empty object")
+    for name, value in stats.items():
+        if not isinstance(name, str) or not name:
+            fail(path, f"{where}.stats has a non-string key")
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or not math.isfinite(value):
+            fail(path, f"{where}.stats[{name!r}] = {value!r}, "
+                       "expected a finite number")
+    for name in REQUIRED_STATS:
+        if name not in stats:
+            fail(path, f"{where}.stats missing '{name}'")
+    if row["tracker"] != "none":
+        if "tracker.mitigations" not in stats:
+            fail(path, f"{where}.stats missing 'tracker.mitigations'")
+        if stats["tracker.mitigations"] != row["mitigations"]:
+            fail(path, f"{where}: mitigations column "
+                       f"{row['mitigations']} != tracker.mitigations "
+                       f"stat {stats['tracker.mitigations']}")
+    for column, stat in MIRRORED:
+        if stats[stat] != row[column]:
+            fail(path, f"{where}: {column} column {row[column]!r} != "
+                       f"{stat} stat {stats[stat]!r}")
+
+    series = row.get("series")
+    if not isinstance(series, dict) or not series:
+        fail(path, f"{where}.series must be a non-empty object")
+    trefi_series = 0
+    for name, values in series.items():
+        if not isinstance(name, str) or not name.startswith("series."):
+            fail(path, f"{where}.series key {name!r} must start with "
+                       "'series.'")
+        if not isinstance(values, list):
+            fail(path, f"{where}.series[{name!r}] must be an array")
+        for value in values:
+            if not isinstance(value, (int, float)) \
+                    or isinstance(value, bool) \
+                    or not math.isfinite(value):
+                fail(path, f"{where}.series[{name!r}] has non-finite "
+                           f"value {value!r}")
+        if len(values) != stats["series.points"]:
+            fail(path, f"{where}.series[{name!r}] length {len(values)} "
+                       f"!= series.points {stats['series.points']}")
+        if values:
+            trefi_series += 1
+    if trefi_series == 0:
+        fail(path, f"{where}.series has no non-empty tREFI time series")
 
 
 def main():

@@ -26,6 +26,7 @@
 
 #include "src/common/config.hh"
 #include "src/common/flat_map.hh"
+#include "src/common/stats.hh"
 #include "src/dram/address.hh"
 #include "src/mem/request.hh"
 #include "src/sim/scheduler.hh"
@@ -105,6 +106,21 @@ class Llc : public MemSink
                                       bool makeDirty);
 
     const LlcStats &stats() const { return stats_; }
+
+    /** Telemetry under the caller's prefix (System: "llc."). */
+    void
+    exportStats(StatWriter &w) const
+    {
+        w.u64("hits", stats_.hits);
+        w.u64("misses", stats_.misses);
+        w.u64("writebacks", stats_.writebacks);
+        w.u64("droppedWritebacks", stats_.droppedWritebacks);
+        w.u64("counterHits", stats_.counterHits);
+        w.u64("counterMisses", stats_.counterMisses);
+        w.u64("reservedWays", static_cast<std::uint64_t>(reservedWays_));
+        w.u64("mshrOccupancy", mshrs_.size());
+    }
+
     static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
   private:

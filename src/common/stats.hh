@@ -1,6 +1,22 @@
 /**
  * @file
- * Small statistics helpers shared by experiments and benches.
+ * Structured telemetry API plus small numeric helpers shared by
+ * experiments and benches.
+ *
+ * Every simulated component implements `exportStats(StatWriter &)`,
+ * publishing its counters under a hierarchical dot-separated prefix
+ * ("llc.misses", "mem.1.p99ReadLatency", "tracker.storage.sramKB").
+ * `System::exportStats` walks the components in fixed registration
+ * order — never map iteration — so the resulting `StatDict` is an
+ * *ordered* list with a deterministic layout: two runs of the same
+ * scenario produce entry-for-entry identical dicts regardless of
+ * engine or thread count (pinned by tests/scheduler_equivalence_test.cc
+ * and tests/experiment_test.cc).
+ *
+ * A `StatDict` carries scalar entries (u64 or f64) and time series
+ * (vectors of doubles sampled at tREFI cadence by the probes in
+ * src/sim/probe.hh, exported under "series."). `RunResult::stats`
+ * carries the dict end-to-end into ResultTable JSON/CSV renderings.
  */
 
 #ifndef DAPPER_COMMON_STATS_HH
@@ -8,9 +24,200 @@
 
 #include <cmath>
 #include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
 #include <vector>
 
 namespace dapper {
+
+/** One scalar telemetry value: hierarchical name + u64 or f64. */
+struct StatEntry
+{
+    enum class Type
+    {
+        U64,
+        F64,
+    };
+
+    std::string name;
+    Type type = Type::U64;
+    std::uint64_t u64 = 0;
+    double f64 = 0.0;
+
+    /** The value as a double regardless of underlying type. */
+    double
+    asDouble() const
+    {
+        return type == Type::U64 ? static_cast<double>(u64) : f64;
+    }
+
+    bool
+    operator==(const StatEntry &other) const
+    {
+        return name == other.name && type == other.type &&
+               u64 == other.u64 && f64 == other.f64;
+    }
+};
+
+/** One named time series (doubles, one point per probe bucket). */
+struct StatSeries
+{
+    std::string name;
+    std::vector<double> values;
+
+    bool
+    operator==(const StatSeries &other) const
+    {
+        return name == other.name && values == other.values;
+    }
+};
+
+/**
+ * Ordered collection of stat entries and series. Append-only;
+ * insertion order is the export order, so equality is layout equality
+ * (the property the engine-equivalence and thread-invariance tests
+ * assert). Lookup is linear — dicts hold ~100 entries and are read a
+ * handful of times per run, so no index is kept.
+ */
+class StatDict
+{
+  public:
+    void
+    addU64(std::string name, std::uint64_t value)
+    {
+        StatEntry e;
+        e.name = std::move(name);
+        e.type = StatEntry::Type::U64;
+        e.u64 = value;
+        entries_.push_back(std::move(e));
+    }
+
+    void
+    addF64(std::string name, double value)
+    {
+        StatEntry e;
+        e.name = std::move(name);
+        e.type = StatEntry::Type::F64;
+        e.f64 = value;
+        entries_.push_back(std::move(e));
+    }
+
+    void
+    addSeries(std::string name, std::vector<double> values)
+    {
+        series_.push_back({std::move(name), std::move(values)});
+    }
+
+    const std::vector<StatEntry> &entries() const { return entries_; }
+    const std::vector<StatSeries> &series() const { return series_; }
+    std::size_t size() const { return entries_.size(); }
+    bool empty() const { return entries_.empty() && series_.empty(); }
+
+    const StatEntry *
+    find(const std::string &name) const
+    {
+        for (const StatEntry &e : entries_)
+            if (e.name == name)
+                return &e;
+        return nullptr;
+    }
+
+    const StatSeries *
+    findSeries(const std::string &name) const
+    {
+        for (const StatSeries &s : series_)
+            if (s.name == name)
+                return &s;
+        return nullptr;
+    }
+
+    bool has(const std::string &name) const { return find(name) != nullptr; }
+
+    /** Typed lookups; throw std::out_of_range on a missing name. */
+    std::uint64_t
+    u64(const std::string &name) const
+    {
+        const StatEntry *e = find(name);
+        if (e == nullptr || e->type != StatEntry::Type::U64)
+            throw std::out_of_range("no u64 stat '" + name + "'");
+        return e->u64;
+    }
+
+    double
+    f64(const std::string &name) const
+    {
+        const StatEntry *e = find(name);
+        if (e == nullptr || e->type != StatEntry::Type::F64)
+            throw std::out_of_range("no f64 stat '" + name + "'");
+        return e->f64;
+    }
+
+    /** Any scalar as a double; throws std::out_of_range when absent. */
+    double
+    value(const std::string &name) const
+    {
+        const StatEntry *e = find(name);
+        if (e == nullptr)
+            throw std::out_of_range("no stat '" + name + "'");
+        return e->asDouble();
+    }
+
+    bool
+    operator==(const StatDict &other) const
+    {
+        return entries_ == other.entries_ && series_ == other.series_;
+    }
+
+  private:
+    std::vector<StatEntry> entries_;
+    std::vector<StatSeries> series_;
+};
+
+/**
+ * Prefix-carrying writer components export through. `scope("llc")`
+ * returns a child writer whose names land as "llc.<name>" — a
+ * component never knows (or repeats) its own position in the
+ * hierarchy, so the same exportStats works under "mem.0" and "mem.1".
+ */
+class StatWriter
+{
+  public:
+    explicit StatWriter(StatDict &dict) : dict_(&dict) {}
+
+    /** Child writer under @p component ("llc", "core.0", "storage"). */
+    StatWriter
+    scope(const std::string &component) const
+    {
+        StatWriter child(*dict_);
+        child.prefix_ = prefix_ + component + '.';
+        return child;
+    }
+
+    void
+    u64(const std::string &name, std::uint64_t value) const
+    {
+        dict_->addU64(prefix_ + name, value);
+    }
+
+    void
+    f64(const std::string &name, double value) const
+    {
+        dict_->addF64(prefix_ + name, value);
+    }
+
+    void
+    series(const std::string &name, std::vector<double> values) const
+    {
+        dict_->addSeries(prefix_ + name, std::move(values));
+    }
+
+    const std::string &prefix() const { return prefix_; }
+
+  private:
+    StatDict *dict_;
+    std::string prefix_;
+};
 
 /** Geometric mean of a vector of positive values; 0 if empty. */
 inline double

@@ -88,6 +88,15 @@ class Core : public MemSink
     std::uint64_t memReads() const { return memReads_; }
     int id() const { return id_; }
 
+    /** Telemetry under the caller's prefix (System: "core.<id>.").
+     *  System adds "ipc" itself — it owns the global clock. */
+    void
+    exportStats(StatWriter &w) const
+    {
+        w.u64("retired", retired_);
+        w.u64("memReads", memReads_);
+    }
+
   private:
     /** One in-flight memory instruction plus its preceding bubbles. */
     struct Slot

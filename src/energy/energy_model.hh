@@ -12,6 +12,8 @@
 
 #include <cstdint>
 
+#include "src/common/stats.hh"
+
 namespace dapper {
 
 class EnergyModel
@@ -71,6 +73,22 @@ class EnergyModel
                static_cast<double>(bulkRows_) * kRowRefreshNj +
                static_cast<double>(counterReads_) * kReadNj +
                static_cast<double>(counterWrites_) * kWriteNj;
+    }
+
+    /** Telemetry under the caller's prefix (System: "energy."). */
+    void
+    exportStats(StatWriter &w) const
+    {
+        w.u64("act", acts_);
+        w.u64("read", reads_);
+        w.u64("write", writes_);
+        w.u64("ref", refs_);
+        w.u64("vrrRows", vrrRows_);
+        w.u64("bulkRows", bulkRows_);
+        w.u64("counterReads", counterReads_);
+        w.u64("counterWrites", counterWrites_);
+        w.f64("totalNj", totalNj());
+        w.f64("mitigationNj", mitigationNj());
     }
 
   private:

@@ -38,6 +38,7 @@
 #include <vector>
 
 #include "src/common/config.hh"
+#include "src/common/stats.hh"
 #include "src/common/types.hh"
 #include "src/energy/energy_model.hh"
 #include "src/mem/request.hh"
@@ -113,6 +114,30 @@ struct MemControllerStats
     }
 
     Tick p99ReadLatency() const { return readLatency.percentile(0.99); }
+
+    /** Telemetry under the caller's prefix (System: "mem.<channel>."). */
+    void
+    exportStats(StatWriter &w) const
+    {
+        w.u64("reads", reads);
+        w.u64("writes", writes);
+        w.u64("counterReads", counterReads);
+        w.u64("counterWrites", counterWrites);
+        w.u64("activations", activations);
+        w.u64("rowHits", rowHits);
+        w.u64("rowMisses", rowMisses);
+        w.u64("refreshes", refreshes);
+        w.u64("vrrCommands", vrrCommands);
+        w.u64("rfmCommands", rfmCommands);
+        w.u64("bulkResets", bulkResets);
+        w.u64("throttledActs", throttledActs);
+        w.u64("busyBlockedTicks",
+              static_cast<std::uint64_t>(busyBlockedTicks));
+        w.u64("readLatencyCount", readLatencyCount);
+        w.f64("avgReadLatency", avgReadLatency());
+        w.u64("p99ReadLatency",
+              static_cast<std::uint64_t>(p99ReadLatency()));
+    }
 };
 
 class MemController
@@ -162,6 +187,9 @@ class MemController
 
     const MemControllerStats &stats() const { return stats_; }
     int channel() const { return channel_; }
+
+    /** Telemetry export (scheduler-invariant counters only). */
+    void exportStats(StatWriter &w) const { stats_.exportStats(w); }
 
     /** Earliest tick at which this controller has work to do. */
     Tick nextWorkAt() const { return nextWorkAt_; }

@@ -52,7 +52,7 @@ AbacusTracker::onActivation(const ActEvent &e, MitigationVec &out)
                         out.push_back(
                             victimRefresh(e.channel, r, b, e.row));
                 entry.count = ch.spill;
-                ++mitigations;
+                ++mitigations_;
             }
         }
         return;
@@ -116,6 +116,22 @@ AbacusTracker::storage() const
     const double camKB = entries_ * 2.0 / 1024.0;
     const double sramKB = entries_ * (2.0 + 8.0) / 1024.0;
     return {sramKB, camKB};
+}
+
+void
+AbacusTracker::exportStats(StatWriter &w) const
+{
+    Tracker::exportStats(w);
+    w.u64("entriesPerChannel", static_cast<std::uint64_t>(entries_));
+    w.u64("spillResets", spillResets_);
+    std::uint64_t tableOccupancy = 0;
+    std::uint64_t spill = 0;
+    for (const ChannelState &ch : channels_) {
+        tableOccupancy += ch.table.size();
+        spill += ch.spill;
+    }
+    w.u64("tableOccupancy", tableOccupancy);
+    w.u64("spill", spill);
 }
 
 } // namespace dapper

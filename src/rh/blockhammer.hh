@@ -31,6 +31,14 @@ class BlockHammerTracker : public BaseTracker
     Tick throttleUntil(const ActEvent &e) override;
     void onPeriodic(Tick now, MitigationVec &out) override;
 
+    void
+    exportStats(StatWriter &w) const override
+    {
+        Tracker::exportStats(w);
+        w.u64("blacklistThreshold", static_cast<std::uint64_t>(nBL_));
+        w.u64("throttleEvents", throttleEvents_);
+    }
+
     StorageEstimate
     storage() const override
     {

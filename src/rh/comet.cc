@@ -91,7 +91,7 @@ CometTracker::onActivation(const ActEvent &e, MitigationVec &out)
         if (++hit->count >= nMc_) {
             out.push_back(victimRefresh(e.channel, e.rank, e.bank, e.row));
             hit->count = 0;
-            ++mitigations;
+            ++mitigations_;
         }
         return;
     }
@@ -104,7 +104,7 @@ CometTracker::onActivation(const ActEvent &e, MitigationVec &out)
     ++ch.missWindow;
     ++ch.missCount;
     out.push_back(victimRefresh(e.channel, e.rank, e.bank, e.row));
-    ++mitigations;
+    ++mitigations_;
 
     RatEntry *victim = nullptr;
     for (auto &entry : ch.rat) {
@@ -170,6 +170,18 @@ CometTracker::estimateOf(int channel, int rank, int bank, int row) const
         est = std::min(est, ct[static_cast<std::size_t>(h) *
                                    kCountersPerHash + hashOf(h, row)]);
     return est;
+}
+
+void
+CometTracker::exportStats(StatWriter &w) const
+{
+    Tracker::exportStats(w);
+    w.u64("bulkResets", bulkResets_);
+    std::uint64_t ratOccupancy = 0;
+    for (const ChannelState &ch : channels_)
+        for (const RatEntry &e : ch.rat)
+            ratOccupancy += e.valid ? 1 : 0;
+    w.u64("ratOccupancy", ratOccupancy);
 }
 
 } // namespace dapper

@@ -37,6 +37,8 @@ class CometTracker : public BaseTracker
     void onPeriodic(Tick now, MitigationVec &out) override;
     void onRefreshWindow(Tick now, MitigationVec &out) override;
 
+    void exportStats(StatWriter &w) const override;
+
     StorageEstimate storage() const override;
     std::string name() const override { return "CoMeT"; }
 

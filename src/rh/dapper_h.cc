@@ -105,7 +105,7 @@ DapperHTracker::mitigate(RankState &rs, const ActEvent &e, std::uint64_t g1,
     }
     if (shared == 1)
         ++singleRowMitigations_;
-    ++mitigations;
+    ++mitigations_;
 
     if (useResetCounters_) {
         // Novel reset (Fig. 8, steps 3-4): each table's entry resets to

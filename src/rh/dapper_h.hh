@@ -45,6 +45,15 @@ class DapperHTracker : public BaseTracker
     void onActivation(const ActEvent &e, MitigationVec &out) override;
     void onRefreshWindow(Tick now, MitigationVec &out) override;
 
+    void
+    exportStats(StatWriter &w) const override
+    {
+        Tracker::exportStats(w);
+        w.u64("numGroups", numGroups_);
+        w.u64("sharedRowRefreshes", sharedRowRefreshes_);
+        w.u64("singleRowMitigations", singleRowMitigations_);
+    }
+
     StorageEstimate storage() const override;
     std::string
     name() const override

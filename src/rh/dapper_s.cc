@@ -60,7 +60,7 @@ DapperSTracker::onActivation(const ActEvent &e, MitigationVec &out)
         out.push_back(victimRefresh(e.channel, e.rank, bank, row));
     }
     rs.rgc[group] = 0;
-    ++mitigations;
+    ++mitigations_;
 }
 
 void

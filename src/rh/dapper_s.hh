@@ -34,6 +34,14 @@ class DapperSTracker : public BaseTracker
     void onPeriodic(Tick now, MitigationVec &out) override;
     void onRefreshWindow(Tick now, MitigationVec &out) override;
 
+    void
+    exportStats(StatWriter &w) const override
+    {
+        Tracker::exportStats(w);
+        w.u64("numGroups", numGroups_);
+        w.u64("rekeys", rekeys_);
+    }
+
     StorageEstimate storage() const override;
     std::string name() const override { return "DAPPER-S"; }
 

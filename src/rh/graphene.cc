@@ -53,7 +53,7 @@ GrapheneTracker::onActivation(const ActEvent &e, MitigationVec &out)
     if (++it->second >= static_cast<std::uint32_t>(nM_)) {
         out.push_back(victimRefresh(e.channel, e.rank, e.bank, e.row));
         it->second = table.spill;
-        ++mitigations;
+        ++mitigations_;
     }
 }
 
@@ -79,6 +79,23 @@ GrapheneTracker::storage() const
     const double sramKB = static_cast<double>(entries_) * 2.0 *
                           banksTotal / 1024.0;
     return {sramKB, camKB};
+}
+
+void
+GrapheneTracker::exportStats(StatWriter &w) const
+{
+    Tracker::exportStats(w);
+    w.u64("entriesPerBank", static_cast<std::uint64_t>(entries_));
+    // Size / integer sums only: unordered_map iteration order is not
+    // deterministic, so no per-entry values may be exported.
+    std::uint64_t tableOccupancy = 0;
+    std::uint64_t spillRaw = 0;
+    for (const BankTable &table : banks_) {
+        tableOccupancy += table.counts.size();
+        spillRaw += table.spillRaw;
+    }
+    w.u64("tableOccupancy", tableOccupancy);
+    w.u64("spillRaw", spillRaw);
 }
 
 } // namespace dapper

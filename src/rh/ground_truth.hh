@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "src/common/config.hh"
+#include "src/common/stats.hh"
 #include "src/common/zeroed_buffer.hh"
 
 namespace dapper {
@@ -90,6 +91,17 @@ class GroundTruth
 
     /** Auto-refresh commands needed to sweep a whole bank (ceil). */
     int sliceCount() const { return sliceCount_; }
+
+    /** Telemetry under the caller's prefix (System: "gt."). */
+    void
+    exportStats(StatWriter &w) const
+    {
+        w.u64("maxDamage", maxDamageEver_);
+        w.u64("violations", violations_);
+        w.u64("activations", activations_);
+        w.u64("sliceRows", static_cast<std::uint64_t>(sliceRows_));
+        w.u64("sliceCount", static_cast<std::uint64_t>(sliceCount_));
+    }
 
   private:
     /** Per-row damage with the epoch it was last written at. */

@@ -105,7 +105,7 @@ HydraTracker::onActivation(const ActEvent &e, MitigationVec &out)
     if (++cnt >= nM_) {
         out.push_back(victimRefresh(e.channel, e.rank, e.bank, e.row));
         cnt = 0;
-        ++mitigations;
+        ++mitigations_;
     }
 }
 
@@ -149,6 +149,24 @@ HydraTracker::groupPerRow(int channel, int rank, std::uint64_t rowId) const
 {
     return ranks_[static_cast<std::size_t>(rankIndex(channel, rank))]
         .perRow[rowId / kGroupSize];
+}
+
+void
+HydraTracker::exportStats(StatWriter &w) const
+{
+    Tracker::exportStats(w);
+    w.u64("rccHits", rccHits_);
+    w.u64("rccMisses", rccMisses_);
+    std::uint64_t rccOccupancy = 0;
+    std::uint64_t perRowGroups = 0;
+    for (const RankState &rs : ranks_) {
+        for (const RccEntry &e : rs.rcc)
+            rccOccupancy += e.valid ? 1 : 0;
+        for (const bool escalated : rs.perRow)
+            perRowGroups += escalated ? 1 : 0;
+    }
+    w.u64("rccOccupancy", rccOccupancy);
+    w.u64("perRowGroups", perRowGroups);
 }
 
 } // namespace dapper

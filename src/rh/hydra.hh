@@ -33,6 +33,8 @@ class HydraTracker : public BaseTracker
     void onActivation(const ActEvent &e, MitigationVec &out) override;
     void onRefreshWindow(Tick now, MitigationVec &out) override;
 
+    void exportStats(StatWriter &w) const override;
+
     StorageEstimate storage() const override;
     std::string name() const override { return "Hydra"; }
 

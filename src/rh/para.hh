@@ -31,8 +31,15 @@ class ParaTracker : public BaseTracker
     {
         if (rng_.chance(p_)) {
             out.push_back(victimRefresh(e.channel, e.rank, e.bank, e.row));
-            ++mitigations;
+            ++mitigations_;
         }
+    }
+
+    void
+    exportStats(StatWriter &w) const override
+    {
+        Tracker::exportStats(w);
+        w.f64("probability", p_);
     }
 
     StorageEstimate storage() const override { return {0.1, 0.0}; }

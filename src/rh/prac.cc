@@ -28,7 +28,7 @@ PracTracker::onActivation(const ActEvent &e, MitigationVec &out)
         // per-ACT counter RMW, not the mitigations.
         out.push_back(victimRefresh(e.channel, e.rank, e.bank, e.row));
         cnt = 0;
-        ++mitigations;
+        ++mitigations_;
     }
 }
 

@@ -33,6 +33,13 @@ class PracTracker : public BaseTracker
 
     Tick actExtraTicks() const override { return nsToTicks(kRmwNs); }
 
+    void
+    exportStats(StatWriter &w) const override
+    {
+        Tracker::exportStats(w);
+        w.u64("actExtraTicks", static_cast<std::uint64_t>(actExtraTicks()));
+    }
+
     /// Host-side cost is negligible; counters live in DRAM.
     StorageEstimate storage() const override { return {0.5, 0.0}; }
     std::string name() const override { return "PRAC"; }

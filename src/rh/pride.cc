@@ -47,7 +47,7 @@ PrideTracker::onPeriodic(Tick now, MitigationVec &out)
                            s.bank, s.row});
         else
             out.push_back(victimRefresh(s.channel, s.rank, s.bank, s.row));
-        ++mitigations;
+        ++mitigations_;
     }
 }
 

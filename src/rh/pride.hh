@@ -34,6 +34,17 @@ class PrideTracker : public BaseTracker
     void onActivation(const ActEvent &e, MitigationVec &out) override;
     void onPeriodic(Tick now, MitigationVec &out) override;
 
+    void
+    exportStats(StatWriter &w) const override
+    {
+        Tracker::exportStats(w);
+        w.u64("rfmsPerTrefi", static_cast<std::uint64_t>(rfmsPerTrefi_));
+        std::uint64_t pending = 0;
+        for (const auto &fifo : fifo_)
+            pending += fifo.size();
+        w.u64("fifoPending", pending);
+    }
+
     StorageEstimate storage() const override { return {0.5, 0.0}; }
     std::string
     name() const override

@@ -54,6 +54,23 @@ struct TrackerInfo
     std::function<std::unique_ptr<Tracker>(SysConfig &, Llc *)> make;
 
     bool isNone() const { return kind == TrackerKind::None; }
+
+    /**
+     * Table-III storage estimate without building a System: adjust a
+     * copy of @p cfg, construct the tracker with no LLC, and read its
+     * storage(). This is the path tab03 and the "tracker.storage.*"
+     * stats both resolve through, keeping the printed Table III and
+     * the exported telemetry provably the same numbers
+     * (tests/registry_test.cc pins them against each other).
+     */
+    StorageEstimate
+    storage(SysConfig cfg) const
+    {
+        if (adjustConfig)
+            adjustConfig(cfg);
+        const std::unique_ptr<Tracker> tracker = make(cfg, nullptr);
+        return tracker ? tracker->storage() : StorageEstimate{};
+    }
 };
 
 /**

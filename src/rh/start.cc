@@ -56,7 +56,7 @@ StartTracker::onActivation(const ActEvent &e, MitigationVec &out)
     if (++cnt >= nM_) {
         out.push_back(victimRefresh(e.channel, e.rank, e.bank, e.row));
         cnt = 0;
-        ++mitigations;
+        ++mitigations_;
     }
 }
 

@@ -35,6 +35,17 @@ class StartTracker : public BaseTracker
     void onActivation(const ActEvent &e, MitigationVec &out) override;
     void onRefreshWindow(Tick now, MitigationVec &out) override;
 
+    void
+    exportStats(StatWriter &w) const override
+    {
+        // Counter-cache behaviour shows up as llc.counterHits /
+        // llc.counterMisses and llc.reservedWays; only the static
+        // sizing is tracker-local.
+        Tracker::exportStats(w);
+        w.u64("countersPerLine",
+              static_cast<std::uint64_t>(kCountersPerLine));
+    }
+
     StorageEstimate storage() const override
     {
         return {4.0, 0.0}; ///< Bookkeeping only; counters use the LLC.

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "src/common/config.hh"
+#include "src/common/stats.hh"
 #include "src/common/types.hh"
 
 namespace dapper {
@@ -145,7 +146,31 @@ class Tracker
     virtual std::string name() const = 0;
 
     /** Total mitigative refreshes issued (for stats / energy). */
-    std::uint64_t mitigations = 0;
+    std::uint64_t mitigations() const { return mitigations_; }
+
+    /**
+     * Publish telemetry under the caller's prefix (System exports every
+     * tracker under "tracker."). The base implementation emits the
+     * mitigation count and the Table-III storage estimate; overrides
+     * must call it first, then append tracker-specific internals (table
+     * occupancy, cache hit rates, reset counts) — *appending* keeps the
+     * shared leading layout stable across trackers. Export order must
+     * be deterministic: fixed sequences only, no map iteration.
+     */
+    virtual void
+    exportStats(StatWriter &w) const
+    {
+        w.u64("mitigations", mitigations_);
+        const StorageEstimate est = storage();
+        const StatWriter s = w.scope("storage");
+        s.f64("sramKB", est.sramKB);
+        s.f64("camKB", est.camKB);
+        s.f64("areaMm2", est.areaMm2());
+    }
+
+  protected:
+    /** Mitigation count; concrete trackers increment on each action. */
+    std::uint64_t mitigations_ = 0;
 };
 
 } // namespace dapper

@@ -1,8 +1,11 @@
 #include "src/sim/experiment.hh"
 
 #include <memory>
+#include <string>
 
+#include "src/common/check.hh"
 #include "src/common/stats.hh"
+#include "src/sim/probe.hh"
 
 namespace dapper {
 
@@ -40,6 +43,8 @@ runOnce(const SysConfig &cfg, const std::string &workload,
     }
 
     System sys(runCfg, tracker, std::move(gens), attackerCore);
+    TrefiSeriesProbe probe;
+    sys.attachProbe(&probe);
     if (engine == Engine::Tick)
         sys.runReference(horizon);
     else
@@ -54,7 +59,7 @@ runOnce(const SysConfig &cfg, const std::string &workload,
     }
     result.benignIpcMean = geomean(benign);
     if (sys.tracker() != nullptr)
-        result.mitigations = sys.tracker()->mitigations;
+        result.mitigations = sys.tracker()->mitigations();
     for (int c = 0; c < runCfg.channels; ++c) {
         const auto &stats = sys.controller(c).stats();
         result.bulkResets += stats.bulkResets;
@@ -64,6 +69,38 @@ runOnce(const SysConfig &cfg, const std::string &workload,
     result.maxDamage = sys.groundTruth().maxDamageEver();
     result.rhViolations = sys.groundTruth().violations();
     result.energyNj = sys.energy().totalNj();
+
+    // Full telemetry export: the component tree, then the probe series.
+    StatWriter writer(result.stats);
+    sys.exportStats(writer);
+    probe.exportStats(writer);
+
+    // The typed convenience fields must mirror their stat counterparts
+    // exactly — one measurement, two views. Cheap (once per run), so
+    // checked in every build type.
+    DAPPER_CHECK(result.mitigations ==
+                     (sys.tracker() != nullptr
+                          ? result.stats.u64("tracker.mitigations")
+                          : 0),
+                 "RunResult.mitigations != tracker.mitigations stat");
+    DAPPER_CHECK(result.maxDamage == result.stats.u64("gt.maxDamage"),
+                 "RunResult.maxDamage != gt.maxDamage stat");
+    DAPPER_CHECK(result.rhViolations ==
+                     result.stats.u64("gt.violations"),
+                 "RunResult.rhViolations != gt.violations stat");
+    DAPPER_CHECK(result.energyNj == result.stats.f64("energy.totalNj"),
+                 "RunResult.energyNj != energy.totalNj stat");
+    std::uint64_t statActs = 0;
+    for (int c = 0; c < runCfg.channels; ++c)
+        statActs += result.stats.u64("mem." + std::to_string(c) +
+                                     ".activations");
+    DAPPER_CHECK(result.activations == statActs,
+                 "RunResult.activations != sum of mem.*.activations");
+    for (int i = 0; i < runCfg.numCores; ++i)
+        DAPPER_CHECK(result.coreIpc[static_cast<std::size_t>(i)] ==
+                         result.stats.f64("core." + std::to_string(i) +
+                                          ".ipc"),
+                     "RunResult.coreIpc != core.<i>.ipc stat");
     return result;
 }
 

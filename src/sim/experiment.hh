@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "src/common/config.hh"
+#include "src/common/stats.hh"
 #include "src/rh/registry.hh"
 #include "src/sim/system.hh"
 #include "src/workload/attack_registry.hh"
@@ -27,7 +28,16 @@
 
 namespace dapper {
 
-/** One simulation outcome. */
+/**
+ * One simulation outcome.
+ *
+ * The typed fields are the stable high-traffic subset benches print
+ * from; `stats` is the full hierarchical telemetry export (every
+ * component's counters plus the tREFI probe series, see
+ * src/common/stats.hh and src/sim/README.md "Telemetry contract").
+ * runOnce asserts the typed fields consistent with their stat
+ * counterparts, so the two views can never drift apart.
+ */
 struct RunResult
 {
     std::vector<double> coreIpc; ///< Per core.
@@ -39,6 +49,9 @@ struct RunResult
     std::uint32_t maxDamage = 0;
     std::uint64_t rhViolations = 0;
     double energyNj = 0.0;
+    /// Ordered hierarchical stat export ("core.0.ipc", "llc.misses",
+    /// "mem.1.p99ReadLatency", "tracker.mitigations", "series.ipc", ...).
+    StatDict stats;
 };
 
 /** Default simulated horizon: two (scaled) refresh windows. */

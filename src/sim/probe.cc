@@ -1,0 +1,102 @@
+#include "src/sim/probe.hh"
+
+#include <algorithm>
+
+#include "src/sim/system.hh"
+
+namespace dapper {
+
+void
+TrefiSeriesProbe::onTrefi(const System &sys, Tick now)
+{
+    const SysConfig &cfg = sys.config();
+    numCores_ = cfg.numCores;
+
+    std::uint64_t mitigations = 0;
+    if (sys.tracker() != nullptr)
+        mitigations = sys.tracker()->mitigations();
+    std::uint64_t retired = 0;
+    for (int i = 0; i < cfg.numCores; ++i)
+        retired += sys.core(i).retired();
+    std::uint64_t activations = 0;
+    for (int c = 0; c < cfg.channels; ++c)
+        activations += sys.controller(c).stats().activations;
+    const double energyNj = sys.energy().totalNj();
+
+    Bucket sample;
+    sample.trefis = 1;
+    sample.mitigations = mitigations - lastMitigations_;
+    sample.retired = retired - lastRetired_;
+    sample.activations = activations - lastActivations_;
+    sample.energyNj = energyNj - lastEnergyNj_;
+    sample.ticks = now - lastTick_;
+
+    lastMitigations_ = mitigations;
+    lastRetired_ = retired;
+    lastActivations_ = activations;
+    lastEnergyNj_ = energyNj;
+    lastTick_ = now;
+    ++samples_;
+
+    pending_.fold(sample);
+    if (pending_.trefis < trefisPerPoint_)
+        return;
+    buckets_.push_back(pending_);
+    pending_ = Bucket{};
+    if (buckets_.size() < kMaxPoints)
+        return;
+    // Capacity reached: halve resolution. Pure fold of adjacent pairs,
+    // so the result depends only on the sample stream (deterministic
+    // across engines and thread counts). kMaxPoints is even.
+    std::vector<Bucket> merged;
+    merged.reserve(kMaxPoints / 2);
+    for (std::size_t i = 0; i < buckets_.size(); i += 2) {
+        Bucket b = buckets_[i];
+        b.fold(buckets_[i + 1]);
+        merged.push_back(b);
+    }
+    buckets_ = std::move(merged);
+    trefisPerPoint_ *= 2;
+}
+
+void
+TrefiSeriesProbe::exportStats(StatWriter &w) const
+{
+    // Snapshot completed buckets plus the partial tail, if any.
+    std::vector<Bucket> points = buckets_;
+    if (pending_.trefis > 0)
+        points.push_back(pending_);
+
+    const StatWriter s = w.scope("series");
+    s.u64("points", points.size());
+    s.u64("trefisPerPoint", trefisPerPoint_);
+    s.u64("samples", samples_);
+
+    std::vector<double> mitigationsPerTrefi;
+    std::vector<double> ipc;
+    std::vector<double> activationsPerTrefi;
+    std::vector<double> energyNjPerTrefi;
+    mitigationsPerTrefi.reserve(points.size());
+    ipc.reserve(points.size());
+    activationsPerTrefi.reserve(points.size());
+    energyNjPerTrefi.reserve(points.size());
+    for (const Bucket &b : points) {
+        const double trefis = static_cast<double>(b.trefis);
+        mitigationsPerTrefi.push_back(
+            static_cast<double>(b.mitigations) / trefis);
+        const double coreTicks =
+            static_cast<double>(b.ticks) * std::max(1, numCores_);
+        ipc.push_back(coreTicks > 0.0
+                          ? static_cast<double>(b.retired) / coreTicks
+                          : 0.0);
+        activationsPerTrefi.push_back(
+            static_cast<double>(b.activations) / trefis);
+        energyNjPerTrefi.push_back(b.energyNj / trefis);
+    }
+    s.series("mitigationsPerTrefi", std::move(mitigationsPerTrefi));
+    s.series("ipc", std::move(ipc));
+    s.series("activationsPerTrefi", std::move(activationsPerTrefi));
+    s.series("energyNjPerTrefi", std::move(energyNjPerTrefi));
+}
+
+} // namespace dapper

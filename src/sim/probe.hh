@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Deterministic tREFI-cadence telemetry probes.
+ *
+ * The System fires every attached Probe at each (scaled) tREFI
+ * boundary, from the same serviceDeadlines path both time-advance
+ * engines share — the event engine folds the probe deadline into its
+ * watermark minimum, so both engines sample at *identical ticks* with
+ * identical component state, and the scheduler-equivalence contract
+ * (src/sim/README.md) extends to every recorded series. Probes are
+ * read-only observers: onTrefi receives a const System and must not
+ * perturb simulation state, which is what keeps bench outputs
+ * bit-identical whether or not a probe is attached.
+ */
+
+#ifndef DAPPER_SIM_PROBE_HH
+#define DAPPER_SIM_PROBE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "src/common/stats.hh"
+#include "src/common/types.hh"
+
+namespace dapper {
+
+class System;
+
+/** Read-only observer sampled at every tREFI boundary. */
+class Probe
+{
+  public:
+    virtual ~Probe() = default;
+
+    /**
+     * One tREFI elapsed. Called at the same ticks by both engines,
+     * before the periodic/window tracker hooks due at the same tick —
+     * a sample therefore sees the pre-reset state of window-scoped
+     * structures.
+     */
+    virtual void onTrefi(const System &sys, Tick now) = 0;
+};
+
+/**
+ * Standard time-series probe: per-tREFI deltas of mitigations, retired
+ * instructions, activations and energy.
+ *
+ * Series stay bounded for any horizon: samples accumulate into buckets
+ * of trefisPerPoint() tREFIs each, and when kMaxPoints complete
+ * buckets exist adjacent pairs merge (bucket width doubles). The
+ * merge is a pure function of the sample stream, so series remain
+ * engine- and thread-count-invariant. Rendering normalizes sums by
+ * each bucket's actual tREFI count (the tail bucket may be partial).
+ */
+class TrefiSeriesProbe : public Probe
+{
+  public:
+    static constexpr std::size_t kMaxPoints = 512;
+
+    void onTrefi(const System &sys, Tick now) override;
+
+    /**
+     * Render under the caller's prefix as a "series." scope:
+     * "series.points" / "series.trefisPerPoint" scalars plus the
+     * "series.mitigationsPerTrefi", "series.ipc",
+     * "series.activationsPerTrefi" and "series.energyNjPerTrefi"
+     * time series.
+     */
+    void exportStats(StatWriter &w) const;
+
+    std::uint64_t trefisPerPoint() const { return trefisPerPoint_; }
+    std::uint64_t samples() const { return samples_; }
+
+  private:
+    /** Deltas accumulated over one bucket of tREFIs. */
+    struct Bucket
+    {
+        std::uint64_t trefis = 0;
+        std::uint64_t mitigations = 0;
+        std::uint64_t retired = 0;
+        std::uint64_t activations = 0;
+        double energyNj = 0.0;
+        Tick ticks = 0;
+
+        void
+        fold(const Bucket &other)
+        {
+            trefis += other.trefis;
+            mitigations += other.mitigations;
+            retired += other.retired;
+            activations += other.activations;
+            energyNj += other.energyNj;
+            ticks += other.ticks;
+        }
+    };
+
+    std::vector<Bucket> buckets_; ///< Completed buckets.
+    Bucket pending_;              ///< Partial bucket being filled.
+    std::uint64_t trefisPerPoint_ = 1;
+    std::uint64_t samples_ = 0;
+    int numCores_ = 0;
+
+    // Cumulative counters at the previous sample.
+    std::uint64_t lastMitigations_ = 0;
+    std::uint64_t lastRetired_ = 0;
+    std::uint64_t lastActivations_ = 0;
+    double lastEnergyNj_ = 0.0;
+    Tick lastTick_ = 0;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_SIM_PROBE_HH

@@ -1,5 +1,6 @@
 #include "src/sim/runner.hh"
 
+#include <algorithm>
 #include <sstream>
 #include <stdexcept>
 
@@ -239,6 +240,16 @@ ResultTable::normalizedValues() const
     return out;
 }
 
+std::vector<double>
+ResultTable::statValues(const std::string &name) const
+{
+    std::vector<double> out;
+    out.reserve(rows_.size());
+    for (const ScenarioResult &row : rows_)
+        out.push_back(row.run.stats.value(name));
+    return out;
+}
+
 void
 ResultTable::merge(const ResultTable &other)
 {
@@ -286,7 +297,7 @@ ResultTable::writeJson(std::FILE *out, const std::string &benchName) const
             ",\n     \"mitigations\": %llu, \"bulk_resets\": %llu, "
             "\"counter_traffic\": %llu, \"activations\": %llu, "
             "\"max_damage\": %u, \"rh_violations\": %llu, "
-            "\"energy_nj\": %.17g}",
+            "\"energy_nj\": %.17g",
             static_cast<unsigned long long>(row.run.mitigations),
             static_cast<unsigned long long>(row.run.bulkResets),
             static_cast<unsigned long long>(row.run.counterTraffic),
@@ -294,6 +305,37 @@ ResultTable::writeJson(std::FILE *out, const std::string &benchName) const
             row.run.maxDamage,
             static_cast<unsigned long long>(row.run.rhViolations),
             row.run.energyNj);
+        // Full telemetry dict (additive; the flat columns above are
+        // unchanged). Scalar entries under "stats", probe time series
+        // under "series", both in export (= registration) order.
+        std::fputs(",\n     \"stats\": {", out);
+        bool firstEntry = true;
+        for (const StatEntry &e : row.run.stats.entries()) {
+            if (!firstEntry)
+                std::fputs(", ", out);
+            firstEntry = false;
+            writeJsonString(out, e.name);
+            if (e.type == StatEntry::Type::U64)
+                std::fprintf(out, ": %llu",
+                             static_cast<unsigned long long>(e.u64));
+            else
+                std::fprintf(out, ": %.17g", e.f64);
+        }
+        std::fputs("}", out);
+        std::fputs(",\n     \"series\": {", out);
+        bool firstSeries = true;
+        for (const StatSeries &series : row.run.stats.series()) {
+            if (!firstSeries)
+                std::fputs(", ", out);
+            firstSeries = false;
+            writeJsonString(out, series.name);
+            std::fputs(": [", out);
+            for (std::size_t k = 0; k < series.values.size(); ++k)
+                std::fprintf(out, k == 0 ? "%.17g" : ", %.17g",
+                             series.values[k]);
+            std::fputs("]", out);
+        }
+        std::fputs("}}", out);
     }
     std::fputs("\n  ]\n}\n", out);
 }
@@ -301,19 +343,34 @@ ResultTable::writeJson(std::FILE *out, const std::string &benchName) const
 void
 ResultTable::writeCsv(std::FILE *out) const
 {
+    // Stat columns are additive after the fixed ones: the union of
+    // every row's scalar stat names, ordered by first appearance (row
+    // order, then export order — deterministic). Rows lacking a column
+    // (e.g. "none" vs a real tracker) leave the cell empty. Series are
+    // not representable in one flat row and stay JSON-only.
+    std::vector<std::string> statCols;
+    for (const ScenarioResult &row : rows_)
+        for (const StatEntry &e : row.run.stats.entries())
+            if (std::find(statCols.begin(), statCols.end(), e.name) ==
+                statCols.end())
+                statCols.push_back(e.name);
+
     std::fputs(
         "workload,tracker,attack,baseline,label,nrh,time_scale,"
         "llc_bytes,channels,seed,horizon,engine,benign_ipc,normalized,"
         "baseline_ipc,mitigations,bulk_resets,counter_traffic,"
-        "activations,max_damage,rh_violations,energy_nj\n",
+        "activations,max_damage,rh_violations,energy_nj",
         out);
+    for (const std::string &name : statCols)
+        std::fprintf(out, ",%s", name.c_str());
+    std::fputc('\n', out);
     for (const ScenarioResult &row : rows_) {
         const Scenario &s = row.scenario;
         const SysConfig &c = s.configRef();
         std::fprintf(
             out,
             "%s,%s,%s,%s,%s,%d,%.17g,%llu,%d,%llu,%llu,%s,%.17g,%.17g,"
-            "%.17g,%llu,%llu,%llu,%llu,%u,%llu,%.17g\n",
+            "%.17g,%llu,%llu,%llu,%llu,%u,%llu,%.17g",
             s.workloadName().c_str(), s.trackerInfo().name.c_str(),
             s.attackInfo().name.c_str(), baselineName(s.baselineKind()),
             s.labelText().c_str(), c.nRH, c.timeScale,
@@ -329,6 +386,17 @@ ResultTable::writeCsv(std::FILE *out) const
             row.run.maxDamage,
             static_cast<unsigned long long>(row.run.rhViolations),
             row.run.energyNj);
+        for (const std::string &name : statCols) {
+            const StatEntry *e = row.run.stats.find(name);
+            if (e == nullptr)
+                std::fputc(',', out);
+            else if (e->type == StatEntry::Type::U64)
+                std::fprintf(out, ",%llu",
+                             static_cast<unsigned long long>(e->u64));
+            else
+                std::fprintf(out, ",%.17g", e->f64);
+        }
+        std::fputc('\n', out);
     }
 }
 

@@ -63,6 +63,14 @@ class ResultTable
     /** normalized per row, in index order (geomeanSlice-ready). */
     std::vector<double> normalizedValues() const;
 
+    /**
+     * One exported stat as a column: stats[name] per row, in index
+     * order (u64 entries widen to double). Throws std::out_of_range
+     * when any row lacks the stat — a telemetry column is either
+     * present everywhere or a caller bug.
+     */
+    std::vector<double> statValues(const std::string &name) const;
+
     /** Append another table's rows (multi-grid benches). */
     void merge(const ResultTable &other);
 

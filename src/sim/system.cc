@@ -1,6 +1,7 @@
 #include "src/sim/system.hh"
 
 #include <cassert>
+#include <string>
 
 namespace dapper {
 
@@ -62,6 +63,8 @@ System::System(const SysConfig &cfg, const TrackerInfo &tracker,
     nextWindowAt_ = cfg_.tREFW();
     periodicStep_ = std::max<Tick>(1, cfg_.tREFI() / 4);
     nextPeriodicAt_ = periodicStep_;
+    trefiStep_ = std::max<Tick>(1, cfg_.tREFI());
+    nextSeriesAt_ = trefiStep_;
 }
 
 void
@@ -76,6 +79,14 @@ void
 System::serviceDeadlines(Tick t)
 {
     Tracker *tracker = tracker_.get();
+    if (t >= nextSeriesAt_) {
+        // Probe sample first: a tREFI boundary coinciding with the
+        // periodic or window deadline below sees the pre-hook state.
+        // Probes are read-only, so firing them never changes results.
+        nextSeriesAt_ += trefiStep_;
+        for (Probe *probe : probes_)
+            probe->onTrefi(*this, t);
+    }
     if (t >= nextPeriodicAt_) {
         nextPeriodicAt_ += periodicStep_;
         if (tracker != nullptr) {
@@ -116,7 +127,8 @@ System::run(Tick horizon)
         for (MemController *mc : mcRaw_)
             if (mc->nextWorkAt() <= t)
                 mc->tick(t);
-        if (t >= nextPeriodicAt_ || t >= nextWindowAt_)
+        if (t >= nextPeriodicAt_ || t >= nextWindowAt_ ||
+            t >= nextSeriesAt_)
             serviceDeadlines(t);
 
         // Controller watermarks are read only after every controller
@@ -137,12 +149,49 @@ System::run(Tick horizon)
         // wake-all-then-fold-all).
         const Tick broadcast = wakeHub_.take();
         Tick next = std::min(mcMin, std::min(nextPeriodicAt_, nextWindowAt_));
+        next = std::min(next, nextSeriesAt_);
         for (Core *core : coreRaw_) {
             if (broadcast != kTickMax)
                 core->wakeIfResourceStalled(broadcast);
             next = std::min(next, core->nextEventAt());
         }
         now_ = std::max(t + 1, std::min(next, horizon));
+    }
+}
+
+void
+System::exportStats(StatWriter &w) const
+{
+    {
+        StatWriter s = w.scope("sys");
+        s.u64("ticks", static_cast<std::uint64_t>(now_));
+        s.u64("numCores", static_cast<std::uint64_t>(cfg_.numCores));
+        s.u64("channels", static_cast<std::uint64_t>(cfg_.channels));
+    }
+    for (int i = 0; i < cfg_.numCores; ++i) {
+        StatWriter s = w.scope("core." + std::to_string(i));
+        s.f64("ipc", ipc(i));
+        cores_[static_cast<std::size_t>(i)]->exportStats(s);
+    }
+    {
+        StatWriter s = w.scope("llc");
+        llc_->exportStats(s);
+    }
+    for (int c = 0; c < cfg_.channels; ++c) {
+        StatWriter s = w.scope("mem." + std::to_string(c));
+        controllers_[static_cast<std::size_t>(c)]->exportStats(s);
+    }
+    if (tracker_ != nullptr) {
+        StatWriter s = w.scope("tracker");
+        tracker_->exportStats(s);
+    }
+    {
+        StatWriter s = w.scope("energy");
+        energy_.exportStats(s);
+    }
+    {
+        StatWriter s = w.scope("gt");
+        groundTruth_->exportStats(s);
     }
 }
 

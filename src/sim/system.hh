@@ -21,6 +21,7 @@
 #include "src/rh/ground_truth.hh"
 #include "src/rh/registry.hh"
 #include "src/rh/tracker.hh"
+#include "src/sim/probe.hh"
 #include "src/sim/scheduler.hh"
 #include "src/workload/trace_gen.hh"
 
@@ -73,15 +74,45 @@ class System
     Tick now() const { return now_; }
     const SysConfig &config() const { return cfg_; }
     Tracker *tracker() { return tracker_.get(); }
+    const Tracker *tracker() const { return tracker_.get(); }
     GroundTruth &groundTruth() { return *groundTruth_; }
+    const GroundTruth &groundTruth() const { return *groundTruth_; }
     EnergyModel &energy() { return energy_; }
+    const EnergyModel &energy() const { return energy_; }
     Llc &llc() { return *llc_; }
+    const Llc &llc() const { return *llc_; }
     MemController &controller(int channel)
     {
         return *controllers_[static_cast<std::size_t>(channel)];
     }
+    const MemController &controller(int channel) const
+    {
+        return *controllers_[static_cast<std::size_t>(channel)];
+    }
     Core &core(int idx) { return *cores_[static_cast<std::size_t>(idx)]; }
+    const Core &core(int idx) const
+    {
+        return *cores_[static_cast<std::size_t>(idx)];
+    }
     const AddressMapper &mapper() const { return mapper_; }
+
+    /**
+     * Attach a read-only tREFI-cadence observer (src/sim/probe.hh).
+     * Non-owning; the probe must outlive run()/runReference(). Both
+     * engines fire probes at identical ticks, and attaching one never
+     * changes simulation results.
+     */
+    void attachProbe(Probe *probe) { probes_.push_back(probe); }
+
+    /**
+     * Export the full telemetry tree in fixed registration order:
+     * sys.*, core.<i>.*, llc.*, mem.<ch>.*, tracker.*, energy.*, gt.*.
+     * Deterministic layout — no map iteration anywhere on this path —
+     * so equal systems produce entry-for-entry equal dicts (the
+     * engine-equivalence and thread-invariance tests compare whole
+     * dicts).
+     */
+    void exportStats(StatWriter &w) const;
 
   private:
     void applySystemMitigations(const MitigationVec &actions, Tick now);
@@ -105,6 +136,12 @@ class System
     Tick nextWindowAt_;
     Tick nextPeriodicAt_;
     Tick periodicStep_;
+    /// Probe cadence: one (scaled) tREFI. Advanced whether or not any
+    /// probe is attached, so the event engine's visited-tick schedule
+    /// does not depend on probe presence.
+    Tick nextSeriesAt_;
+    Tick trefiStep_;
+    std::vector<Probe *> probes_;
     MitigationVec scratch_;
     WakeHub wakeHub_;
 };

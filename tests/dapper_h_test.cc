@@ -84,7 +84,7 @@ TEST(DapperH, MitigationNeedsBothTablesAtThreshold)
     }
     EXPECT_GE(actsToMitigate, cfg.nM() - 2);
     EXPECT_LE(actsToMitigate, cfg.nM() + 1);
-    EXPECT_EQ(tracker.mitigations, 1u);
+    EXPECT_EQ(tracker.mitigations(), 1u);
 }
 
 TEST(DapperH, MitigationRefreshesOnlySharedRows)
@@ -195,7 +195,7 @@ TEST(DapperH, StreamingPatternNeverInflatesTable1)
     for (int row = 0; row < 4096; ++row)
         for (int bank = 0; bank < 8; ++bank)
             tracker.onActivation(act(bank, row), out);
-    EXPECT_EQ(tracker.mitigations, 0u);
+    EXPECT_EQ(tracker.mitigations(), 0u);
     std::uint32_t maxRgc1 = 0;
     for (std::uint64_t g = 0; g < tracker.numGroups(); ++g)
         maxRgc1 = std::max(maxRgc1, tracker.rgc1Of(0, 0, g));

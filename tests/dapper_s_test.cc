@@ -69,7 +69,7 @@ TEST(DapperS, CountsUntilMitigationThenResets)
     tracker.onActivation(act(2, 777), out);
     ASSERT_EQ(out.size(), static_cast<std::size_t>(cfg.rowGroupSize));
     EXPECT_EQ(tracker.rgcOf(0, 0, group), 0u);
-    EXPECT_EQ(tracker.mitigations, 1u);
+    EXPECT_EQ(tracker.mitigations(), 1u);
 }
 
 TEST(DapperS, MitigationRefreshesExactlyTheGroupMembers)

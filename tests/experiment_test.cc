@@ -130,6 +130,44 @@ TEST(RunnerTest, GridResultsAreIndexOrderedAndThreadCountInvariant)
     }
 }
 
+/**
+ * Regression: the full exported stat dict — every component counter
+ * AND every tREFI probe series point — must be identical between a
+ * 1-thread and an N-thread Runner sweep. Seed-purity means the probe
+ * samples (driven from System's deadline machinery) cannot observe
+ * worker scheduling; a divergence here means telemetry state leaked
+ * across jobs.
+ */
+TEST(RunnerTest, ExportedStatsAreThreadCountInvariant)
+{
+    ScenarioGrid grid(Scenario()
+                          .config(fastCfg())
+                          .workload("429.mcf")
+                          .horizon(150000));
+    grid.trackers({"none", "dapper-h", "hydra"})
+        .attacks({"none", "refresh"});
+
+    Runner one(1);
+    Runner many(4);
+    const ResultTable a = one.run(grid);
+    const ResultTable b = many.run(grid);
+    ASSERT_EQ(a.size(), grid.size());
+    ASSERT_EQ(b.size(), grid.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const StatDict &da = a.at(i).run.stats;
+        const StatDict &db = b.at(i).run.stats;
+        ASSERT_GT(da.size(), 0u) << i;
+        EXPECT_TRUE(da == db) << "stat dict diverged at row " << i;
+        // The probe series must exist and carry data (the horizon
+        // spans many tREFIs), not just compare equal-but-empty.
+        const StatSeries *series =
+            da.findSeries("series.mitigationsPerTrefi");
+        ASSERT_NE(series, nullptr) << i;
+        EXPECT_GT(series->values.size(), 0u) << i;
+        EXPECT_EQ(da.u64("series.points"), series->values.size()) << i;
+    }
+}
+
 TEST(RunnerTest, RunnersOwnTheirBaselineCaches)
 {
     const Scenario s = Scenario()

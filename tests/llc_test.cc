@@ -164,6 +164,53 @@ TEST(LlcCheck, FatalCheckAbortsInEveryBuildType)
                  "unconditional fatal check");
 }
 
+/**
+ * Saturating the MC write queue makes Llc::writeback drop the excess
+ * and count it: dirty >512-per-channel lines, then displace them all
+ * at once with reserveWays() so the writeback burst overruns the
+ * queues with no MC tick in between. The counter must be reachable
+ * through the stats export ("llc.droppedWritebacks") — it used to be
+ * counted but unreadable from any bench or test.
+ */
+TEST_F(LlcTest, SaturatedWriteQueueCountsDroppedWritebacks)
+{
+    // Dirty one line in 1500 distinct sets. Write misses allocate
+    // MSHRs (capacity 256), so fill in batches, draining between them.
+    const int kLines = 1500;
+    int issued = 0;
+    while (issued < kLines) {
+        const std::uint64_t addr =
+            static_cast<std::uint64_t>(issued) * 64;
+        if (llc_.access(addr, true, nullptr, Llc::kNoSlot, now_) ==
+            CacheResult::Blocked) {
+            runTo(now_ + 20000); // Drain fills to free MSHRs.
+            continue;
+        }
+        ++issued;
+    }
+    runTo(now_ + 50000); // Complete the last batch of fills.
+    ASSERT_EQ(llc_.stats().droppedWritebacks, 0u);
+
+    // Fresh fills land in way 0 of each untouched set, so reserving
+    // the low ways displaces every dirty line in one burst: ~750
+    // writebacks per channel against a 512-entry write queue.
+    llc_.reserveWays(8, now_);
+    EXPECT_EQ(llc_.stats().writebacks, static_cast<unsigned>(kLines));
+    EXPECT_GT(llc_.stats().droppedWritebacks, 0u);
+    EXPECT_LT(llc_.stats().droppedWritebacks,
+              static_cast<std::uint64_t>(kLines));
+
+    // Reachable through the telemetry export, under the same name the
+    // System publishes ("llc." prefix).
+    StatDict dict;
+    StatWriter writer(dict);
+    StatWriter scoped = writer.scope("llc");
+    llc_.exportStats(scoped);
+    EXPECT_EQ(dict.u64("llc.droppedWritebacks"),
+              llc_.stats().droppedWritebacks);
+    EXPECT_EQ(dict.u64("llc.writebacks"), llc_.stats().writebacks);
+}
+
 TEST_F(LlcTest, DemandAndCounterRegionsAreDisjoint)
 {
     llc_.reserveWays(8, now_);

@@ -116,6 +116,60 @@ TEST(Stats, GeomeanAndMean)
     EXPECT_DOUBLE_EQ(minOf({3.0, 1.0, 2.0}), 1.0);
 }
 
+TEST(StatDictTest, PreservesInsertionOrderAndTypes)
+{
+    StatDict dict;
+    dict.addU64("b.count", 7);
+    dict.addF64("a.rate", 0.5);
+    dict.addU64("c.count", 9);
+    dict.addSeries("a.series", {1.0, 2.0});
+
+    // Order is insertion order — never sorted, never map-ordered.
+    ASSERT_EQ(dict.entries().size(), 3u);
+    EXPECT_EQ(dict.entries()[0].name, "b.count");
+    EXPECT_EQ(dict.entries()[1].name, "a.rate");
+    EXPECT_EQ(dict.entries()[2].name, "c.count");
+
+    EXPECT_EQ(dict.u64("b.count"), 7u);
+    EXPECT_DOUBLE_EQ(dict.f64("a.rate"), 0.5);
+    EXPECT_DOUBLE_EQ(dict.value("b.count"), 7.0);
+    EXPECT_TRUE(dict.has("c.count"));
+    EXPECT_FALSE(dict.has("missing"));
+    EXPECT_THROW(dict.u64("missing"), std::out_of_range);
+    EXPECT_THROW(dict.u64("a.rate"), std::out_of_range); // Wrong type.
+    EXPECT_THROW(dict.f64("b.count"), std::out_of_range);
+    ASSERT_NE(dict.findSeries("a.series"), nullptr);
+    EXPECT_EQ(dict.findSeries("a.series")->values.size(), 2u);
+
+    // Equality is layout equality: same entries in another order differ.
+    StatDict reordered;
+    reordered.addF64("a.rate", 0.5);
+    reordered.addU64("b.count", 7);
+    reordered.addU64("c.count", 9);
+    reordered.addSeries("a.series", {1.0, 2.0});
+    EXPECT_FALSE(dict == reordered);
+}
+
+TEST(StatWriterTest, ScopesComposeIntoDottedPrefixes)
+{
+    StatDict dict;
+    StatWriter root(dict);
+    root.u64("top", 1);
+    StatWriter mem = root.scope("mem.0");
+    mem.u64("reads", 2);
+    StatWriter nested = mem.scope("latency");
+    nested.f64("avg", 3.5);
+    nested.series("histogram", {1.0});
+
+    EXPECT_EQ(dict.u64("top"), 1u);
+    EXPECT_EQ(dict.u64("mem.0.reads"), 2u);
+    EXPECT_DOUBLE_EQ(dict.f64("mem.0.latency.avg"), 3.5);
+    EXPECT_NE(dict.findSeries("mem.0.latency.histogram"), nullptr);
+    // Scoping a child never disturbs the parent's prefix.
+    mem.u64("writes", 4);
+    EXPECT_EQ(dict.u64("mem.0.writes"), 4u);
+}
+
 TEST(Energy, AccumulatesPerEvent)
 {
     EnergyModel energy;

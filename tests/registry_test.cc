@@ -123,6 +123,50 @@ TEST(RegistrySyncTest, SchedulerEquivalenceComboListResolves)
         EXPECT_EQ(AttackRegistry::instance().at(name).kind, kind) << name;
 }
 
+/**
+ * TrackerInfo::storage() — the path tab03 and the "tracker.storage.*"
+ * stats resolve through — must report exactly what a directly-built
+ * tracker reports (Table III re-derived from the registry is
+ * bit-identical), and the stats export must carry the same numbers.
+ */
+TEST(TrackerRegistryTest, StorageViaRegistryMatchesDirectConstruction)
+{
+    for (const TrackerInfo *info : TrackerRegistry::instance().entries()) {
+        SysConfig cfg;
+        cfg.nRH = 500;
+        cfg.timeScale = 1.0; // Table III quotes physical tREFW.
+        const StorageEstimate viaRegistry = info->storage(cfg);
+        SysConfig direct = cfg;
+        info->adjustConfig(direct);
+        const std::unique_ptr<Tracker> tracker =
+            info->make(direct, nullptr);
+        if (tracker == nullptr) { // "none": no storage at all.
+            EXPECT_EQ(viaRegistry.sramKB, 0.0) << info->name;
+            EXPECT_EQ(viaRegistry.camKB, 0.0) << info->name;
+            continue;
+        }
+        const StorageEstimate fromTracker = tracker->storage();
+        EXPECT_EQ(viaRegistry.sramKB, fromTracker.sramKB) << info->name;
+        EXPECT_EQ(viaRegistry.camKB, fromTracker.camKB) << info->name;
+        EXPECT_EQ(viaRegistry.areaMm2(), fromTracker.areaMm2())
+            << info->name;
+
+        // The default exportStats publishes the same estimate.
+        StatDict dict;
+        StatWriter writer(dict);
+        StatWriter scoped = writer.scope("tracker");
+        tracker->exportStats(scoped);
+        EXPECT_EQ(dict.f64("tracker.storage.sramKB"), fromTracker.sramKB)
+            << info->name;
+        EXPECT_EQ(dict.f64("tracker.storage.camKB"), fromTracker.camKB)
+            << info->name;
+        EXPECT_EQ(dict.f64("tracker.storage.areaMm2"),
+                  fromTracker.areaMm2())
+            << info->name;
+        EXPECT_EQ(dict.u64("tracker.mitigations"), 0u) << info->name;
+    }
+}
+
 // ---------------------------------------------------------------------
 // The "adding a tracker in one file" recipe: register an entry from
 // this translation unit and drive it through the full Scenario API.

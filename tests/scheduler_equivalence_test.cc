@@ -2,9 +2,12 @@
  * @file
  * Event-driven scheduler equivalence: System::run (next-event time
  * advance) must produce bit-identical RunResult stats to the
- * tick-by-tick reference loop (System::runReference) on the same seed.
- * This is the contract that lets every experiment and test run on the
- * fast engine — any divergence here is a scheduler bug, not noise.
+ * tick-by-tick reference loop (System::runReference) on the same seed —
+ * including the *entire* exported stat dict (every component counter
+ * and every tREFI probe series point), not just the typed RunResult
+ * fields. This is the contract that lets every experiment and test run
+ * on the fast engine — any divergence here is a scheduler bug, not
+ * noise.
  *
  * Coverage: trackers with counter traffic (Hydra), LLC way reservation
  * (START), mitigation bursts (DAPPER-H), plus the unprotected system,
@@ -42,6 +45,29 @@ expectIdentical(const RunResult &event, const RunResult &tick)
     EXPECT_EQ(event.maxDamage, tick.maxDamage);
     EXPECT_EQ(event.rhViolations, tick.rhViolations);
     EXPECT_EQ(event.energyNj, tick.energyNj);
+
+    // The full exported telemetry — every component counter and every
+    // probe series point — must be bit-identical too, not just the
+    // typed convenience fields above. Layout equality first (names in
+    // the same order), then values, so a divergence names the exact
+    // stat that broke.
+    ASSERT_EQ(event.stats.size(), tick.stats.size());
+    for (std::size_t i = 0; i < event.stats.entries().size(); ++i) {
+        const StatEntry &e = event.stats.entries()[i];
+        const StatEntry &t = tick.stats.entries()[i];
+        ASSERT_EQ(e.name, t.name) << "stat layout diverged at " << i;
+        EXPECT_TRUE(e == t) << "stat " << e.name << ": event "
+                            << e.asDouble() << " vs tick "
+                            << t.asDouble();
+    }
+    ASSERT_EQ(event.stats.series().size(), tick.stats.series().size());
+    for (std::size_t i = 0; i < event.stats.series().size(); ++i) {
+        const StatSeries &e = event.stats.series()[i];
+        const StatSeries &t = tick.stats.series()[i];
+        ASSERT_EQ(e.name, t.name) << "series layout diverged at " << i;
+        EXPECT_TRUE(e == t) << "series " << e.name << " diverged";
+    }
+    EXPECT_TRUE(event.stats == tick.stats);
 }
 
 class SchedulerEquivalence
