@@ -20,6 +20,7 @@
 #define DAPPER_BENCH_BENCH_UTIL_HH
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -44,6 +45,7 @@ struct Options
     double timeScale = 16.0;
     int windows = 2;         ///< Simulated (scaled) tREFW windows.
     int jobs = 0;            ///< Sweep worker threads (0: auto).
+    int repeat = 1;          ///< Timing repetitions (median-of-N).
     Engine engine = Engine::Event; ///< Simulation time-advance engine.
     std::string trackerFilter; ///< Registry name: keep matching cells.
     std::string attackFilter;  ///< Registry name: keep matching cells.
@@ -68,6 +70,10 @@ usage(const char *prog, const char *error, int exitCode = 2)
                  "(>= 1, default 2)\n"
                  "  --jobs N         sweep worker threads (>= 1, default: "
                  "DAPPER_JOBS or hardware)\n"
+                 "  --repeat N       timing repetitions; benches that "
+                 "report wall-clock\n"
+                 "                   take the median of N runs and assert "
+                 "identical results\n"
                  "  --engine E       time-advance engine: event | tick "
                  "(default event)\n"
                  "  --tracker NAME   restrict the tracker table cells to "
@@ -119,6 +125,10 @@ parse(int argc, char **argv)
             opt.jobs = std::atoi(value(i));
             if (opt.jobs < 1)
                 usage(prog, "--jobs must be >= 1");
+        } else if (std::strcmp(argv[i], "--repeat") == 0) {
+            opt.repeat = std::atoi(value(i));
+            if (opt.repeat < 1)
+                usage(prog, "--repeat must be >= 1");
         } else if (std::strcmp(argv[i], "--engine") == 0) {
             const char *name = value(i);
             if (std::strcmp(name, "event") == 0)
@@ -281,6 +291,37 @@ rejectFilters(const Options &opt, const char *prog)
         usage(prog,
               "this bench's table is fixed; --tracker/--attack are not "
               "supported here");
+}
+
+/**
+ * Median-of-N timing: run @p body opt.repeat times, print each rep's
+ * wall-clock to stderr (stdout must stay engine-invariant — run_all.sh
+ * diffs it across --engine event/tick), and return the median seconds.
+ * @p body must be deterministic; benches using this assert that every
+ * repetition reproduces the first rep's results. Honest-comparison
+ * rule: when comparing two builds or engines, interleave their runs in
+ * one session on one machine (A B A B ...), never across days or hosts
+ * (see scripts/profile.sh).
+ */
+template <typename Body>
+inline double
+timedMedian(int repeat, Body &&body)
+{
+    std::vector<double> secs;
+    secs.reserve(static_cast<std::size_t>(repeat));
+    for (int rep = 0; rep < repeat; ++rep) {
+        const auto t0 = std::chrono::steady_clock::now();
+        body(rep);
+        const auto t1 = std::chrono::steady_clock::now();
+        const double s =
+            std::chrono::duration<double>(t1 - t0).count();
+        secs.push_back(s);
+        if (repeat > 1)
+            std::fprintf(stderr, "  rep %d/%d: %.3fs\n", rep + 1, repeat,
+                         s);
+    }
+    std::sort(secs.begin(), secs.end());
+    return secs[secs.size() / 2];
 }
 
 inline Tick

@@ -49,7 +49,7 @@ fig05_llc_sensitivity fig09_dapper_s_agnostic fig10_dapper_h_agnostic \
 fig11_dapper_h_benign fig12_nrh_sweep fig13_blast_radius fig14_blockhammer \
 fig15_probabilistic_benign fig16_probabilistic_attack fig17_prac \
 ablation_dapper_h tab04_energy micro_scheduler micro_controller \
-micro_groundtruth"
+micro_groundtruth micro_core"
 ANALYTIC_BENCHES="tab02_mapping_capture tab03_storage"
 
 # ---------------------------------------------------------------------
@@ -78,10 +78,11 @@ for bench in $SIM_BENCHES $ANALYTIC_BENCHES; do
         *) bench_json="$JSON_DIR/$bench.json"
            args="$BENCH_ARGS --json $bench_json" ;;
     esac
-    # micro_controller / micro_groundtruth drive bare components (no
-    # scenarios, so no ResultTable JSON).
+    # micro_controller / micro_groundtruth / micro_core drive bare
+    # components (no scenarios, so no ResultTable JSON).
     case "$bench" in
-        micro_controller|micro_groundtruth) bench_json=""; args="$BENCH_ARGS" ;;
+        micro_controller|micro_groundtruth|micro_core)
+            bench_json=""; args="$BENCH_ARGS" ;;
     esac
     echo "timing $bench $args" >&2
     t0=$(now_s)
@@ -131,13 +132,14 @@ SCHED_JSON="$OUT_DIR/BENCH_scheduler.json"
 } > "$SCHED_JSON"
 
 first=1
-for bench in micro_scheduler micro_controller micro_groundtruth fig14_blockhammer fig03_perf_attacks; do
+for bench in micro_scheduler micro_controller micro_groundtruth micro_core fig14_blockhammer fig03_perf_attacks; do
     bin="$BUILD_DIR/$bench"
     [ -x "$bin" ] || { echo "skipping $bench (not built)" >&2; continue; }
     case "$bench" in
         # The micro benches are quick: run their full default horizons
         # so process startup does not dilute the engine comparison.
-        micro_scheduler|micro_controller|micro_groundtruth) args="" ;;
+        micro_scheduler|micro_controller|micro_groundtruth|micro_core)
+            args="" ;;
         *) args="$SCHED_ARGS" ;;
     esac
     echo "engine comparison: $bench $args" >&2

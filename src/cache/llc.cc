@@ -17,10 +17,21 @@ Llc::Llc(const SysConfig &cfg, const AddressMapper &mapper,
       ways_(cfg.llcWays),
       lineBits_(static_cast<unsigned>(mapper.lineBits())),
       maxMshrs_(static_cast<std::size_t>(cfg.numCores) * cfg.coreMshrs * 4),
-      mshrs_(maxMshrs_)
+      mshrs_(maxMshrs_),
+      waiterPool_(maxMshrs_)
 {
-    if (sets_ > 0 && (sets_ & (sets_ - 1)) == 0)
+    if (sets_ > 0 && (sets_ & (sets_ - 1)) == 0) {
         setMask_ = static_cast<std::uint64_t>(sets_) - 1;
+        while ((1 << setBits_) < sets_)
+            ++setBits_;
+    }
+    // The 32-bit tag lanes store set-relative tags (lineAddr / sets);
+    // every such tag — incl. START counter-line ids, bounded by the
+    // total row count — must stay below the sentinel.
+    DAPPER_CHECK((cfg.totalBytes() >> lineBits_) /
+                         static_cast<std::uint64_t>(sets_) <
+                     kInvalidTag,
+                 "DRAM set-relative tags must fit the 32-bit LLC tag lane");
     const std::size_t slots =
         static_cast<std::size_t>(sets_) * static_cast<std::size_t>(ways_);
     tags_.assign(slots, kInvalidTag);
@@ -58,7 +69,7 @@ Llc::reserveWays(int ways, Tick now)
         for (int w = 0; w < ways; ++w) {
             const std::size_t i = base + static_cast<std::size_t>(w);
             if (tags_[i] != kInvalidTag && dirty_[i] != 0)
-                writeback(tags_[i], now);
+                writeback(lineOf(tags_[i], s), now);
             tags_[i] = kInvalidTag;
             lru_[i] = 0;
             dirty_[i] = 0;
@@ -71,16 +82,17 @@ Llc::access(std::uint64_t byteAddr, bool isWrite, Core *core,
             std::uint32_t slot, Tick now)
 {
     const std::uint64_t lineAddr = byteAddr >> lineBits_;
+    const std::uint32_t tag = tagOf(lineAddr);
     const int set = setIndex(lineAddr);
     const std::size_t base = wayBase(static_cast<std::uint64_t>(set));
-    const std::uint64_t *tags = &tags_[base];
+    const std::uint32_t *tags = &tags_[base];
 
     // Look up in the demand ways: a contiguous tag-lane scan (invalid
     // ways hold the sentinel, which never equals a real line address).
     for (int w = reservedWays_; w < ways_; ++w) {
-        if (tags[w] == lineAddr) {
+        if (tags[w] == tag) {
             const std::size_t i = base + static_cast<std::size_t>(w);
-            lru_[i] = lruClock_++;
+            lru_[i] = nextLru();
             if (isWrite)
                 dirty_[i] = 1;
             ++stats_.hits;
@@ -93,21 +105,23 @@ Llc::access(std::uint64_t byteAddr, bool isWrite, Core *core,
     // Miss. Merge into an existing MSHR if present.
     if (MshrEntry *entry = mshrs_.find(lineAddr)) {
         if (!isWrite && core != nullptr && slot != kNoSlot)
-            entry->waiters.push_back({core, slot});
+            appendWaiter(*entry, core, slot);
         if (isWrite)
             entry->isWrite = true;
         ++stats_.misses;
         return CacheResult::MergedMiss;
     }
 
-    if (mshrs_.size() >= maxMshrs_)
+    if (mshrs_.size() >= maxMshrs_) {
+        mshrBlockedSinceWake_ = true;
         return CacheResult::Blocked;
+    }
 
     MshrEntry entry;
     entry.isWrite = isWrite;
     if (!isWrite && core != nullptr && slot != kNoSlot)
-        entry.waiters.push_back({core, slot});
-    mshrs_.insert(lineAddr, std::move(entry));
+        appendWaiter(entry, core, slot);
+    mshrs_.insert(lineAddr, entry);
     ++stats_.misses;
 
     Request req;
@@ -116,6 +130,7 @@ Llc::access(std::uint64_t byteAddr, bool isWrite, Core *core,
     req.coreId = core != nullptr ? core->id() : -1;
     req.sink = this;
     req.tag = 0;
+    req.lineAddr = lineAddr;
     const bool ok =
         controllers_[static_cast<std::size_t>(req.dram.channel)]->enqueue(
             req, now);
@@ -124,6 +139,18 @@ Llc::access(std::uint64_t byteAddr, bool isWrite, Core *core,
     // so this must hold in every build type, not just with asserts on.
     DAPPER_CHECK(ok, "MC read queue sized to cover all MSHRs");
     return CacheResult::Miss;
+}
+
+void
+Llc::appendWaiter(MshrEntry &entry, Core *core, std::uint32_t slot)
+{
+    const std::int32_t n =
+        waiterPool_.alloc({core, slot, FreeListArena<Waiter>::kNone});
+    if (entry.waiterTail == FreeListArena<Waiter>::kNone)
+        entry.waiterHead = n;
+    else
+        waiterPool_.at(entry.waiterTail).next = n;
+    entry.waiterTail = n;
 }
 
 void
@@ -145,30 +172,71 @@ Llc::insertLine(std::uint64_t lineAddr, bool dirty, Tick now)
     }
 
     if (tags_[victim] != kInvalidTag && dirty_[victim] != 0)
-        writeback(tags_[victim], now);
+        writeback(lineOf(tags_[victim], set), now);
 
-    tags_[victim] = lineAddr;
+    tags_[victim] = tagOf(lineAddr);
     dirty_[victim] = dirty ? 1 : 0;
-    lru_[victim] = lruClock_++;
+    lru_[victim] = nextLru();
+}
+
+void
+Llc::renormalizeLru()
+{
+    // Rewrite every set's stamps as their rank order (0..ways-1). Ties
+    // (reset ways all hold stamp 0) keep the lower way index first,
+    // matching the strict-< victim scan's tie-break, so victim choices
+    // are unchanged forever after. Cost is O(sets * ways^2) but the
+    // clock only gets here after 2^32 - 1 touches.
+    assert(ways_ <= 64);
+    for (int s = 0; s < sets_; ++s) {
+        const std::size_t base = wayBase(static_cast<std::uint64_t>(s));
+        int order[64]; // way indices, sorted by (stamp, index)
+        for (int w = 0; w < ways_; ++w) {
+            int k = w;
+            while (k > 0 && lru_[base + static_cast<std::size_t>(
+                                       order[k - 1])] >
+                                lru_[base + static_cast<std::size_t>(w)]) {
+                order[k] = order[k - 1];
+                --k;
+            }
+            order[k] = w;
+        }
+        for (int r = 0; r < ways_; ++r)
+            lru_[base + static_cast<std::size_t>(order[r])] =
+                static_cast<std::uint32_t>(r);
+    }
+    lruClock_ = static_cast<std::uint32_t>(ways_);
 }
 
 void
 Llc::memDone(const Request &req, Tick now)
 {
-    const std::uint64_t lineAddr = mapper_.encode(req.dram) >> lineBits_;
+    const std::uint64_t lineAddr = req.lineAddr;
     MshrEntry *entry = mshrs_.find(lineAddr);
     if (entry == nullptr)
         return; // Spurious (possible after reserved-way reconfiguration).
 
     insertLine(lineAddr, entry->isWrite, now);
-    for (const auto &waiter : entry->waiters) {
+    for (std::int32_t w = entry->waiterHead;
+         w != FreeListArena<Waiter>::kNone;) {
+        const Waiter &waiter = waiterPool_.at(w);
         waiter.core->completeNow(waiter.slot);
         waiter.core->wake(now + 1); // Head may retire next tick.
+        const std::int32_t next = waiter.next;
+        waiterPool_.release(w);
+        w = next;
     }
     mshrs_.erase(lineAddr);
     // An MSHR freed: cores stalled on CacheResult::Blocked can proceed.
-    if (wakeHub_ != nullptr)
+    // Broadcast only if someone actually hit Blocked since the last
+    // broadcast — a full MSHR table implies an outstanding fill, so a
+    // completion (and with it this broadcast) is always still coming;
+    // skipping the no-op wakes keeps millions of spurious core visits
+    // off the event engine (visits are idempotent, outputs unchanged).
+    if (wakeHub_ != nullptr && mshrBlockedSinceWake_) {
+        mshrBlockedSinceWake_ = false;
         wakeHub_->requestWakeAll(now + 1);
+    }
 }
 
 Llc::CounterAccessResult
@@ -179,13 +247,14 @@ Llc::counterAccess(std::uint64_t counterLine, bool makeDirty)
         return result;
 
     const int set = setIndex(counterLine);
+    const std::uint32_t tag = tagOf(counterLine);
     const std::size_t base = wayBase(static_cast<std::uint64_t>(set));
-    const std::uint64_t *tags = &tags_[base];
+    const std::uint32_t *tags = &tags_[base];
 
     for (int w = 0; w < reservedWays_; ++w) {
-        if (tags[w] == counterLine) {
+        if (tags[w] == tag) {
             const std::size_t i = base + static_cast<std::size_t>(w);
-            lru_[i] = lruClock_++;
+            lru_[i] = nextLru();
             dirty_[i] = dirty_[i] != 0 || makeDirty ? 1 : 0;
             result.hit = true;
             ++stats_.counterHits;
@@ -207,9 +276,9 @@ Llc::counterAccess(std::uint64_t counterLine, bool makeDirty)
     }
     if (tags_[victim] != kInvalidTag && dirty_[victim] != 0)
         result.evictedDirty = true;
-    tags_[victim] = counterLine;
+    tags_[victim] = tag;
     dirty_[victim] = makeDirty ? 1 : 0;
-    lru_[victim] = lruClock_++;
+    lru_[victim] = nextLru();
     return result;
 }
 

@@ -11,11 +11,18 @@
  * Hot-path layout: line state is struct-of-arrays. The way scan in
  * access()/counterAccess() — the flat-profile leader after the PR 2
  * controller work — walks a contiguous per-set tag lane (invalid slots
- * hold a sentinel tag, so the probe is a bare 64-bit compare with no
- * valid-bit load); LRU ranks and dirty bits live in parallel lanes
- * touched only on hit or fill. The MSHR table is a flat open-addressing
- * map keyed on line address (src/common/flat_map.hh), so the miss path
- * allocates nothing for the table itself.
+ * hold a sentinel tag, so the probe is a bare compare with no valid-bit
+ * load); LRU ranks and dirty bits live in parallel lanes touched only
+ * on hit or fill. Tag and LRU lanes are 32-bit: the stored tag is the
+ * set-relative tag (lineAddr / sets, reconstructed as tag * sets + set
+ * on eviction — exact for both the pow2-mask and modulo set-index
+ * paths), which fits 32 bits for any capacity below 256 GB * sets
+ * (checked at construction), and the LRU clock renormalizes before it
+ * can wrap, halving the metadata cache footprint the miss path streams
+ * through. The MSHR
+ * table is a flat open-addressing map keyed on line address
+ * (src/common/flat_map.hh), so the miss path allocates nothing for the
+ * table itself.
  */
 
 #ifndef DAPPER_CACHE_LLC_HH
@@ -24,6 +31,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/common/arena.hh"
 #include "src/common/config.hh"
 #include "src/common/flat_map.hh"
 #include "src/common/stats.hh"
@@ -76,6 +84,23 @@ class Llc : public MemSink
     void memDone(const Request &req, Tick now) override;
 
     /**
+     * Completion-batch prefetch (see MemSink): memDone will probe the
+     * MSHR table for req.lineAddr and insertLine will scan the set's
+     * tag and LRU lanes, all usually cold after the simulated DRAM
+     * latency. One set's lane segment is ways_ * 4 bytes — a cache
+     * line each for the default 16-way config.
+     */
+    void
+    memPrefetch(const Request &req) const override
+    {
+        const std::size_t base = wayBase(
+            static_cast<std::uint64_t>(setIndex(req.lineAddr)));
+        __builtin_prefetch(&tags_[base], 1);
+        __builtin_prefetch(&lru_[base], 1);
+        mshrs_.prefetch(req.lineAddr);
+    }
+
+    /**
      * Event-driven wiring (optional): fills free an MSHR, which may
      * unblock any core, so they broadcast through the hub.
      */
@@ -124,20 +149,29 @@ class Llc : public MemSink
     static constexpr std::uint32_t kNoSlot = 0xffffffffu;
 
   private:
-    /// Sentinel tag for invalid ways. Real line addresses are byte
-    /// addresses >> lineBits and never reach 2^64 - 1.
-    static constexpr std::uint64_t kInvalidTag = ~std::uint64_t(0);
+    /// Sentinel tag for invalid ways. The constructor checks every
+    /// set-relative tag in the DRAM address space stays below this.
+    static constexpr std::uint32_t kInvalidTag = ~std::uint32_t(0);
+
+    /// One core waiting on a miss; chained through waiterPool_ indices
+    /// (stable across MshrEntry moves inside the flat map) so merged
+    /// misses allocate nothing.
+    struct Waiter
+    {
+        Core *core = nullptr;
+        std::uint32_t slot = 0;
+        std::int32_t next = FreeListArena<int>::kNone;
+    };
 
     struct MshrEntry
     {
-        struct Waiter
-        {
-            Core *core;
-            std::uint32_t slot;
-        };
-        std::vector<Waiter> waiters;
+        std::int32_t waiterHead = FreeListArena<int>::kNone;
+        std::int32_t waiterTail = FreeListArena<int>::kNone;
         bool isWrite = false;
     };
+
+    /** FIFO-append @p core to @p entry's waiter chain. */
+    void appendWaiter(MshrEntry &entry, Core *core, std::uint32_t slot);
 
     std::size_t wayBase(std::uint64_t setIdx) const
     {
@@ -154,27 +188,64 @@ class Llc : public MemSink
         return static_cast<int>(lineAddr %
                                 static_cast<std::uint64_t>(sets_));
     }
+    /// Set-relative tag stored in the 32-bit scan lane.
+    std::uint32_t tagOf(std::uint64_t lineAddr) const
+    {
+        if (setMask_ != 0)
+            return static_cast<std::uint32_t>(lineAddr >> setBits_);
+        return static_cast<std::uint32_t>(
+            lineAddr / static_cast<std::uint64_t>(sets_));
+    }
+    /// Inverse of (tagOf, setIndex): lineAddr = tag * sets + set holds
+    /// for both the pow2-mask and the modulo indexing paths.
+    std::uint64_t lineOf(std::uint32_t tag, int set) const
+    {
+        return static_cast<std::uint64_t>(tag) *
+                   static_cast<std::uint64_t>(sets_) +
+               static_cast<std::uint64_t>(set);
+    }
     void insertLine(std::uint64_t lineAddr, bool dirty, Tick now);
     void writeback(std::uint64_t tag, Tick now);
+
+    /**
+     * Next LRU stamp. The 32-bit clock renormalizes each set's stamps
+     * to their rank order (relative order — and thus every future
+     * victim choice — is preserved exactly) before the clock can wrap;
+     * reached only after 2^32 - 1 LLC touches, so it never shows up in
+     * profiles.
+     */
+    std::uint32_t
+    nextLru()
+    {
+        if (lruClock_ == ~std::uint32_t(0))
+            renormalizeLru();
+        return lruClock_++;
+    }
+    void renormalizeLru();
 
     const SysConfig cfg_;
     const AddressMapper &mapper_;
     std::vector<MemController *> controllers_;
     WakeHub *wakeHub_ = nullptr;
+    /// A core saw CacheResult::Blocked since the last MSHR-free
+    /// broadcast; gates memDone's requestWakeAll (see llc.cc).
+    bool mshrBlockedSinceWake_ = false;
     int sets_;
     int ways_;
     /// sets_ - 1 when sets_ is a power of two, else 0 (use modulo).
     std::uint64_t setMask_ = 0;
+    int setBits_ = 0; ///< log2(sets_) when setMask_ != 0.
     unsigned lineBits_;
     int reservedWays_ = 0;
-    std::uint64_t lruClock_ = 1;
+    std::uint32_t lruClock_ = 1;
     /// SoA line state, each sets_ x ways_; ways [0, reservedWays_) hold
     /// counter lines (START). tags_ is the scan lane.
-    std::vector<std::uint64_t> tags_;
-    std::vector<std::uint64_t> lru_;
+    std::vector<std::uint32_t> tags_;
+    std::vector<std::uint32_t> lru_;
     std::vector<std::uint8_t> dirty_;
     std::size_t maxMshrs_;
     FlatMap64<MshrEntry> mshrs_;
+    FreeListArena<Waiter> waiterPool_;
     LlcStats stats_;
 };
 

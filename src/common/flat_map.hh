@@ -46,6 +46,13 @@ class FlatMap64
 
     std::size_t size() const { return size_; }
 
+    /** Pull @p key's home bucket toward the cache (pure perf hint). */
+    void
+    prefetch(std::uint64_t key) const
+    {
+        __builtin_prefetch(&keys_[bucket(key)]);
+    }
+
     /** Pointer to the value for @p key, or nullptr. */
     Value *
     find(std::uint64_t key)
@@ -108,6 +115,21 @@ class FlatMap64
         values_[hole] = Value{};
         --size_;
         return true;
+    }
+
+    /** Drop every entry; capacity is retained. */
+    void
+    clear()
+    {
+        if (size_ == 0)
+            return;
+        for (std::size_t i = 0; i <= mask_; ++i) {
+            if (keys_[i] == kEmptyKey)
+                continue;
+            keys_[i] = kEmptyKey;
+            values_[i] = Value{};
+        }
+        size_ = 0;
     }
 
   private:

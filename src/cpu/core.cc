@@ -20,6 +20,11 @@ Core::Core(const SysConfig &cfg, int id, TraceGen *gen, Llc *llc,
       robSize_(cfg.robEntries)
 {
     rob_.assign(static_cast<std::size_t>(robSize_), Slot{});
+    // Completion heap can hold at most one entry per ROB slot;
+    // pre-sizing it keeps the issue/completion path allocation-free.
+    std::vector<Pending> backing;
+    backing.reserve(static_cast<std::size_t>(robSize_));
+    pending_ = decltype(pending_)(std::greater<>(), std::move(backing));
 }
 
 std::uint32_t
@@ -60,8 +65,90 @@ Core::memDone(const Request &req, Tick now)
 }
 
 void
+Core::tickEvent(Tick now, Tick limit)
+{
+    if (batchedUntil_ > 0 && now <= batchedUntil_) {
+        // Mid-batch wake (memDone or an LLC fill): completions only set
+        // ROB done flags and free MSHR slots, neither of which an
+        // all-bubble retire run can observe — the head's bubbles outlast
+        // the batch by construction and the occupancy check blocks fetch
+        // before any resource check is reached. Nothing scheduled
+        // (pending_) can fall inside the batch either, so just go back
+        // to sleep until the last modelled tick has passed.
+        assert(pending_.empty() || pending_.top().first > batchedUntil_);
+        wakeAt_ = batchedUntil_ + 1;
+        return;
+    }
+    tick(now);
+    tryBatch(now, limit);
+}
+
+void
+Core::tryBatch(Tick now, Tick limit)
+{
+    if (count_ == 0 || limit <= now)
+        return;
+    // Prime the head lazily, exactly as the next tick()'s retire loop
+    // would; headBubblesLeft_/Primed_ are unobservable bookkeeping.
+    if (!headBubblesPrimed_) {
+        headBubblesLeft_ =
+            rob_[static_cast<std::size_t>(head_)].bubblesBefore;
+        headBubblesPrimed_ = true;
+    }
+    const std::uint32_t w = static_cast<std::uint32_t>(width_);
+    if (headBubblesLeft_ < w)
+        return;
+    // Bubble supply: every batched tick retires exactly `width` bubbles
+    // and never reaches the head's done flag. Signed arithmetic: the
+    // fetch-slack term below can be negative.
+    std::int64_t len = static_cast<std::int64_t>(headBubblesLeft_ / w);
+    // Fetch must stay occupancy-blocked throughout. The occupancy check
+    // precedes every resource check in the fetch loop, so MSHR/queue
+    // state is never read during the run; with a full ROB the loop is
+    // not entered at all. Occupancy shrinks by `width` per tick, so the
+    // run ends strictly before the first tick where the pending record
+    // would fit.
+    if (count_ < robSize_) {
+        if (!haveRec_) {
+            // Same record tick(now + 1) would pull before its
+            // occupancy check; the generator stream is per-core and
+            // deterministic, so pulling it here is unobservable.
+            rec_ = gen_->next();
+            haveRec_ = true;
+        }
+        const std::int64_t slack = static_cast<std::int64_t>(occupancy_) +
+                                   static_cast<std::int64_t>(rec_.bubbles) +
+                                   1 - static_cast<std::int64_t>(robSize_);
+        if (slack <= static_cast<std::int64_t>(w))
+            return;
+        len = std::min(len, (slack - 1) / static_cast<std::int64_t>(w));
+    }
+    // No scheduled completion may pop inside the batch (tick(now) drained
+    // everything due, so the top is always > now).
+    if (!pending_.empty())
+        len = std::min(len, static_cast<std::int64_t>(
+                                pending_.top().first - now - 1));
+    // Never model past a stat-probe boundary or the last simulated tick:
+    // batch state is applied eagerly, and a probe must read exactly the
+    // end-of-its-own-tick retired count.
+    len = std::min(len, static_cast<std::int64_t>(limit - now));
+    if (len < 1)
+        return;
+
+    const std::uint64_t bubbles =
+        static_cast<std::uint64_t>(w) * static_cast<std::uint64_t>(len);
+    retired_ += bubbles;
+    occupancy_ -= static_cast<int>(bubbles);
+    headBubblesLeft_ -= static_cast<std::uint32_t>(bubbles);
+    batchedUntil_ = now + static_cast<Tick>(len);
+    now_ = batchedUntil_;
+    wakeAt_ = batchedUntil_ + 1;
+}
+
+void
 Core::tick(Tick now)
 {
+    assert(batchedUntil_ == 0 || now > batchedUntil_);
     now_ = now;
     bool progress = false;
     resourceStalled_ = false;

@@ -43,6 +43,18 @@ class Core : public MemSink
     void tick(Tick now);
 
     /**
+     * Event-engine entry point: run tick(now), then, if the core is in a
+     * stall-free all-bubble retire run, model the whole run in closed
+     * form up to @p limit (inclusive) and advance the watermark past it
+     * (see src/cpu/README.md for the batched-retire contract). @p limit
+     * must not exceed the next stat-probe boundary or the last simulated
+     * tick — state inside the batch is applied eagerly, so nothing may
+     * observe the core at an interior tick. The per-instruction tick()
+     * remains the executable spec; the reference engine uses it alone.
+     */
+    void tickEvent(Tick now, Tick limit);
+
+    /**
      * Earliest tick at which tick(now) can change observable state
      * (scheduler contract, see src/sim/scheduler.hh). now+1 while the
      * core is making progress; the earliest scheduled LLC-hit completion
@@ -107,6 +119,9 @@ class Core : public MemSink
     };
 
     std::uint32_t pushSlot(std::uint32_t bubbles, bool done);
+    /** Fold a stall-free bubble-retire run ending at or before @p limit
+     *  into closed-form state updates; no-op when none applies. */
+    void tryBatch(Tick now, Tick limit);
 
     const SysConfig cfg_;
     const int id_;
@@ -132,6 +147,10 @@ class Core : public MemSink
     int outstanding_ = 0; ///< Bypass-path requests in flight.
     Tick now_ = 0;
     Tick wakeAt_ = 0; ///< Next-event watermark (0: run at first tick).
+    /// Last tick already modelled by a closed-form batch; 0 = none
+    /// (batches start at now >= 0 with length >= 1, so 0 is never a
+    /// real batch end).
+    Tick batchedUntil_ = 0;
     bool resourceStalled_ = false; ///< Fetch hit MSHR/queue exhaustion.
     std::uint64_t retired_ = 0;
     std::uint64_t memReads_ = 0;

@@ -209,6 +209,16 @@ MemController::MemController(const SysConfig &cfg, int channel,
                             ~std::uint64_t(0));
     bankGen_.assign(static_cast<std::size_t>(numBanks), 0);
     rankGen_.assign(static_cast<std::size_t>(cfg.ranksPerChannel), 0);
+
+    // Pre-size the completion heap and drain scratch: the steady-state
+    // issue/completion path then performs no allocation at all.
+    {
+        std::vector<InFlight> backing;
+        backing.reserve(kReadQCap);
+        inflight_ = decltype(inflight_)(std::greater<InFlight>(),
+                                        std::move(backing));
+        drainScratch_.reserve(kReadQCap);
+    }
 }
 
 MemController::BankState &
@@ -252,6 +262,16 @@ MemController::enqueue(const Request &req, Tick now)
     qs->q.push_back(queued);
     qs->idx.pushBack(globalBank(queued), queued.seq, queued.dram.row);
 
+    // Long-distance GroundTruth prefetch: most demand requests activate
+    // when issued (row-buffer hit rates are low under attack traffic),
+    // and the queue wait gives the neighbor-cell lines time to arrive
+    // from DRAM; the short-distance prefetch at the top of issue()
+    // covers whatever slipped back out.
+    if (groundTruth_ != nullptr && req.type != ReqType::CounterRead &&
+        req.type != ReqType::CounterWrite)
+        groundTruth_->prefetchActivation(channel_, queued.dram.rank,
+                                         queued.dram.bank, queued.dram.row);
+
     // A new request does not invalidate the issue memo (bank/bus state is
     // untouched); fold its own earliest start into the memoized horizon.
     if (eventScheduling_ && scanGen_ == stateGen_) {
@@ -292,6 +312,12 @@ MemController::serviceCompletions(Tick now)
         drainScratch_.push_back(inflight_.top());
         inflight_.pop();
     }
+    // Prefetch sweep before any callback runs: each sink pulls the
+    // state its memDone will touch (LLC tag lanes, MSHR bucket), so
+    // the loads overlap the preceding entries' callback work.
+    for (const InFlight &fin : drainScratch_)
+        if (fin.req.sink != nullptr)
+            fin.req.sink->memPrefetch(fin.req);
     for (const InFlight &fin : drainScratch_)
         finish(fin);
 }
@@ -530,6 +556,10 @@ MemController::issue(Request req, Tick now)
     BankState &bk = bank(req.dram.rank, req.dram.bank);
     RankState &rk = rank(req.dram.rank);
     const bool rowHit = bk.openRow == req.dram.row;
+    if (!rowHit && groundTruth_ != nullptr && req.type != ReqType::CounterRead
+        && req.type != ReqType::CounterWrite)
+        groundTruth_->prefetchActivation(channel_, req.dram.rank,
+                                         req.dram.bank, req.dram.row);
     // Pure recomputation, NOT the cache-backed earliestStart: the
     // generation already moved and this function mutates timing state
     // below, so stamping the per-bank cache here would leave it stale

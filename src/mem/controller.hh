@@ -32,11 +32,11 @@
 
 #include <cassert>
 #include <cstdint>
-#include <deque>
 #include <limits>
 #include <queue>
 #include <vector>
 
+#include "src/common/arena.hh"
 #include "src/common/config.hh"
 #include "src/common/stats.hh"
 #include "src/common/types.hh"
@@ -368,10 +368,13 @@ class MemController
         std::vector<std::int32_t> active_;
     };
 
-    /** One request queue: seq-sorted deque plus its per-bank index. */
+    /** One request queue: seq-sorted bounded ring (src/common/arena.hh,
+     *  no steady-state allocation) plus its per-bank index. */
     struct QueueState
     {
-        std::deque<Request> q;
+        explicit QueueState(std::size_t cap) : q(cap) {}
+
+        RingDeque<Request> q;
         BankQueueIndex idx;
         std::int64_t nextBackSeq = 0;
         std::int64_t nextFrontSeq = -1;
@@ -456,9 +459,9 @@ class MemController
     Tick channelBlockedUntil_ = 0;
     bool writeMode_ = false;
 
-    QueueState readQ_;
-    QueueState writeQ_;
-    QueueState counterQ_;
+    QueueState readQ_{kReadQCap};
+    QueueState writeQ_{kWriteQCap};
+    QueueState counterQ_{kCounterQCap};
     std::priority_queue<InFlight, std::vector<InFlight>,
                         std::greater<InFlight>>
         inflight_;

@@ -34,6 +34,13 @@ struct Request
     MemSink *sink = nullptr; ///< Completion target (nullptr: fire & forget).
     std::uint32_t tag = 0;   ///< Opaque token returned to the sink.
     /**
+     * Cache-line address (byte address >> lineBits) for LLC fill
+     * requests, stamped by Llc::access so the completion path does not
+     * re-encode the DRAM coordinates. Equal by construction to
+     * encode(dram) >> lineBits; meaningless for other request kinds.
+     */
+    std::uint64_t lineAddr = 0;
+    /**
      * Controller-internal queue-order key. Assigned on enqueue (strictly
      * increasing) and re-assigned on a throttle re-queue (strictly
      * decreasing from the front), so every controller queue stays sorted
@@ -49,6 +56,15 @@ class MemSink
   public:
     virtual ~MemSink() = default;
     virtual void memDone(const Request &req, Tick now) = 0;
+
+    /**
+     * Hint that memDone(@p req) is about to be called: pull the state
+     * that call will touch toward the cache. The controller issues this
+     * across a whole completion batch before dispatching any callback,
+     * so later entries' loads overlap earlier entries' work. Pure perf
+     * hint — implementations must not change observable state.
+     */
+    virtual void memPrefetch(const Request &req) const { (void)req; }
 };
 
 } // namespace dapper

@@ -43,6 +43,7 @@ CometTracker::resetChannel(int channel, MitigationVec &out, Tick now)
         std::memset(vec.data(), 0, vec.size() * sizeof(std::uint16_t));
     for (auto &entry : ch.rat)
         entry = RatEntry{};
+    ch.ratIndex.clear();
     ch.missWindow = 0;
     ch.missCount = 0;
     // The paper observes attack-induced resets "every 1 ms, blocking
@@ -77,12 +78,8 @@ CometTracker::onActivation(const ActEvent &e, MitigationVec &out)
         (static_cast<std::uint64_t>(bankIdx) << 32) |
         static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.row));
     RatEntry *hit = nullptr;
-    for (auto &entry : ch.rat) {
-        if (entry.valid && entry.key == key) {
-            hit = &entry;
-            break;
-        }
-    }
+    if (const std::uint32_t *idx = ch.ratIndex.find(key))
+        hit = &ch.rat[*idx];
 
     if (hit != nullptr) {
         // RAT hit: record in the miss-history window as a hit.
@@ -115,10 +112,14 @@ CometTracker::onActivation(const ActEvent &e, MitigationVec &out)
         if (victim == nullptr || entry.lru < victim->lru)
             victim = &entry;
     }
+    if (victim->valid)
+        ch.ratIndex.erase(victim->key);
     victim->key = key;
     victim->count = 0;
     victim->valid = true;
     victim->lru = ch.lruClock++;
+    ch.ratIndex.insert(
+        key, static_cast<std::uint32_t>(victim - ch.rat.data()));
 
     if (ch.missWindow >= kMissHistory) {
         const double rate = static_cast<double>(ch.missCount) /

@@ -18,6 +18,7 @@
 
 #include <vector>
 
+#include "src/common/flat_map.hh"
 #include "src/rh/base_tracker.hh"
 
 namespace dapper {
@@ -59,6 +60,11 @@ class CometTracker : public BaseTracker
         /// Per (rank, bank): kHashes x kCountersPerHash counters.
         std::vector<std::vector<std::uint16_t>> ct;
         std::vector<RatEntry> rat;
+        /// key -> rat slot, replacing the per-activation linear scan.
+        /// Tracks exactly the valid entries; victim choice (first
+        /// invalid slot, else min-lru) is unchanged, so results are
+        /// bit-identical to the scan it replaces.
+        FlatMap64<std::uint32_t> ratIndex{kRatEntries};
         std::uint64_t lruClock = 1;
         int missWindow = 0;   ///< Lookups recorded in the history window.
         int missCount = 0;

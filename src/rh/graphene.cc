@@ -12,10 +12,12 @@ GrapheneTracker::GrapheneTracker(const SysConfig &cfg) : BaseTracker(cfg)
     entries_ = std::max<int>(
         8, static_cast<int>(actsPerBank / static_cast<std::uint64_t>(
                                               std::max(1, nM_))));
-    banks_.resize(static_cast<std::size_t>(cfg.channels) *
-                  cfg.ranksPerChannel * cfg.banksPerRank());
-    for (auto &bank : banks_)
-        bank.counts.reserve(static_cast<std::size_t>(entries_) * 2);
+    const std::size_t nBanks = static_cast<std::size_t>(cfg.channels) *
+                               cfg.ranksPerChannel * cfg.banksPerRank();
+    banks_.reserve(nBanks);
+    for (std::size_t i = 0; i < nBanks; ++i)
+        banks_.push_back(
+            BankTable{CatTable(static_cast<std::size_t>(entries_))});
 }
 
 void
@@ -23,36 +25,31 @@ GrapheneTracker::onActivation(const ActEvent &e, MitigationVec &out)
 {
     BankTable &table = banks_[static_cast<std::size_t>(
         bankIndex(e.channel, e.rank, e.bank))];
+    const std::uint64_t key =
+        static_cast<std::uint32_t>(e.row); // Rows are non-negative.
 
-    auto it = table.counts.find(e.row);
-    if (it == table.counts.end()) {
+    std::uint32_t *count = table.counts.find(key);
+    if (count == nullptr) {
         if (table.counts.size() <
             static_cast<std::size_t>(entries_)) {
-            table.counts.emplace(e.row, table.spill + 1);
+            table.counts.insert(key, table.spill + 1);
             return;
         }
         // Misra-Gries: account the untracked activation in the floor
-        // and replace a floor-level entry if one exists.
+        // and replace a floor-level entry if one exists — victim choice
+        // is the CatTable's documented probe order.
         ++table.spillRaw;
         table.spill = static_cast<std::uint32_t>(
             table.spillRaw / static_cast<std::uint64_t>(entries_));
-        auto probe = table.counts.begin();
-        for (int probes = 0;
-             probes < 8 && probe != table.counts.end(); ++probes, ++probe) {
-            if (probe->second <= table.spill) {
-                table.counts.erase(probe);
-                table.counts.emplace(e.row, table.spill + 1);
-                break;
-            }
-        }
+        table.counts.evictReplace(key, table.spill, table.spill + 1);
         // Per-bank sizing keeps spill below N_M within a window (the
         // Graphene guarantee), so no bulk reset path is needed.
         return;
     }
 
-    if (++it->second >= static_cast<std::uint32_t>(nM_)) {
+    if (++*count >= static_cast<std::uint32_t>(nM_)) {
         out.push_back(victimRefresh(e.channel, e.rank, e.bank, e.row));
-        it->second = table.spill;
+        *count = table.spill;
         ++mitigations_;
     }
 }
@@ -86,8 +83,9 @@ GrapheneTracker::exportStats(StatWriter &w) const
 {
     Tracker::exportStats(w);
     w.u64("entriesPerBank", static_cast<std::uint64_t>(entries_));
-    // Size / integer sums only: unordered_map iteration order is not
-    // deterministic, so no per-entry values may be exported.
+    // Same export set as the unordered_map-era tracker: sizes and
+    // integer sums (the CatTable would now permit per-entry exports,
+    // but the stat layout is pinned by checked-in bench snapshots).
     std::uint64_t tableOccupancy = 0;
     std::uint64_t spillRaw = 0;
     for (const BankTable &table : banks_) {

@@ -16,9 +16,9 @@
 #ifndef DAPPER_RH_GRAPHENE_HH
 #define DAPPER_RH_GRAPHENE_HH
 
-#include <unordered_map>
 #include <vector>
 
+#include "src/common/cat_table.hh"
 #include "src/rh/base_tracker.hh"
 
 namespace dapper {
@@ -39,9 +39,12 @@ class GrapheneTracker : public BaseTracker
     int entriesPerBank() const { return entries_; }
 
   private:
+    /// Per-bank CAT (src/common/cat_table.hh): deterministic eviction
+    /// order replaces the previous unordered_map's iteration-order
+    /// probes.
     struct BankTable
     {
-        std::unordered_map<std::int32_t, std::uint32_t> counts;
+        CatTable counts;
         std::uint32_t spill = 0;     ///< Misra-Gries floor.
         std::uint64_t spillRaw = 0;
     };

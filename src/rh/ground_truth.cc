@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "src/common/check.hh"
+
 namespace dapper {
 
 namespace {
@@ -31,6 +33,10 @@ GroundTruth::GroundTruth(const SysConfig &cfg)
     sliceRows_ = std::max(1, rowsPerBank_ / 8192);
     sliceCount_ = (rowsPerBank_ + sliceRows_ - 1) / sliceRows_;
     sliceShift_ = log2IfPow2(sliceRows_);
+    // Saturating 12-bit damage must still be able to reach the
+    // violation threshold.
+    DAPPER_CHECK(nRH_ <= kDamageCap,
+                 "nRH must fit the packed 12-bit damage field");
 
     const std::size_t ranksTotal =
         static_cast<std::size_t>(cfg.channels) * cfg.ranksPerChannel;
@@ -46,7 +52,7 @@ GroundTruth::GroundTruth(const SysConfig &cfg)
 std::uint32_t
 GroundTruth::nextClearEpoch()
 {
-    if (epochClock_ == std::numeric_limits<std::uint32_t>::max())
+    if (epochClock_ == kStampMax)
         renormalize();
     return ++epochClock_;
 }
@@ -64,9 +70,10 @@ GroundTruth::renormalize()
                 Cell *bank = &cells_[bankBase(c, r, b)];
                 for (int row = 0; row < rowsPerBank_; ++row) {
                     Cell &cell = bank[row];
-                    if (cell.stamp < clearEpochFor(c, rankIdx, row))
-                        cell.damage = 0;
-                    cell.stamp = 0;
+                    std::uint32_t d = damageOfCell(cell);
+                    if (stampOfCell(cell) < clearEpochFor(c, rankIdx, row))
+                        d = 0;
+                    cell = makeCell(0, d);
                 }
             }
         }
@@ -88,14 +95,13 @@ GroundTruth::bump(int channel, std::size_t rankIdx,
     // stamp == epochClock_ means no scope anywhere was cleared since the
     // last write, so the cell is valid as-is; otherwise resolve against
     // the enclosing scopes' clear epochs.
-    std::uint32_t d = cell.damage;
-    if (cell.stamp != epochClock_ &&
-        cell.stamp < clearEpochFor(channel, rankIdx, row))
+    std::uint32_t d = damageOfCell(cell);
+    if (stampOfCell(cell) != epochClock_ &&
+        stampOfCell(cell) < clearEpochFor(channel, rankIdx, row))
         d = 0;
-    if (d < 0xffff)
+    if (d < kDamageCap)
         ++d;
-    cell.damage = static_cast<std::uint16_t>(d);
-    cell.stamp = epochClock_;
+    cell = makeCell(epochClock_, d);
     if (d > maxDamageEver_)
         maxDamageEver_ = d;
     if (d >= nRH_) {
@@ -114,8 +120,66 @@ GroundTruth::onActivation(int channel, int rank, int bank, int row)
     current_ = {channel, rank, bank, row};
     const std::size_t rankIdx = rankIndex(channel, rank);
     const std::size_t base = bankBase(channel, rank, bank);
-    bump(channel, rankIdx, base, row - 1);
-    bump(channel, rankIdx, base, row + 1);
+    if (row <= 0 || row + 1 >= rowsPerBank_) {
+        // Edge rows are rare; take the simple one-at-a-time path.
+        bump(channel, rankIdx, base, row - 1);
+        bump(channel, rankIdx, base, row + 1);
+        return;
+    }
+
+    // Interior fast path: apply both neighbor bumps with the scope
+    // epochs resolved at most once for the pair (the two cells sit 16
+    // bytes apart and usually share a refresh slice, so the per-call
+    // global/channel/rank/slice lookups of bump() would be duplicates).
+    // Must stay bit-equivalent to bump(row-1) then bump(row+1),
+    // including firstViolation_ ordering.
+    Cell &lo = cells_[base + static_cast<std::size_t>(row) - 1];
+    Cell &hi = cells_[base + static_cast<std::size_t>(row) + 1];
+    const std::uint32_t clk = epochClock_;
+    const bool needLo = stampOfCell(lo) != clk;
+    const bool needHi = stampOfCell(hi) != clk;
+    std::uint32_t eLo = 0;
+    std::uint32_t eHi = 0;
+    if (needLo || needHi) {
+        std::uint32_t e = globalClear_;
+        const std::uint32_t c = chanClear_[static_cast<std::size_t>(channel)];
+        if (c > e)
+            e = c;
+        const std::uint32_t rk = rankClear_[rankIdx];
+        if (rk > e)
+            e = rk;
+        const std::size_t sliceBase =
+            rankIdx * static_cast<std::size_t>(sliceCount_);
+        const int sLo = sliceOf(row - 1);
+        const int sHi = sliceOf(row + 1);
+        const std::uint32_t sv =
+            sliceClear_[sliceBase + static_cast<std::size_t>(sLo)];
+        eLo = sv > e ? sv : e;
+        if (sHi == sLo) {
+            eHi = eLo;
+        } else {
+            const std::uint32_t sv2 =
+                sliceClear_[sliceBase + static_cast<std::size_t>(sHi)];
+            eHi = sv2 > e ? sv2 : e;
+        }
+    }
+    const auto apply = [this, clk](Cell &cell, int r, bool stale) {
+        std::uint32_t d = stale ? 0u : damageOfCell(cell);
+        if (d < kDamageCap)
+            ++d;
+        cell = makeCell(clk, d);
+        if (d > maxDamageEver_)
+            maxDamageEver_ = d;
+        if (d >= nRH_) {
+            if (violations_ == 0) {
+                firstViolation_ = current_;
+                firstViolation_.row = r;
+            }
+            ++violations_;
+        }
+    };
+    apply(lo, row - 1, needLo && stampOfCell(lo) < eLo);
+    apply(hi, row + 1, needHi && stampOfCell(hi) < eHi);
 }
 
 void
@@ -126,10 +190,10 @@ GroundTruth::onVictimRefresh(int channel, int rank, int bank, int row,
     for (int d = 1; d <= blastRadius; ++d) {
         if (row - d >= 0)
             cells_[base + static_cast<std::size_t>(row - d)] =
-                Cell{epochClock_, 0};
+                makeCell(epochClock_, 0);
         if (row + d < rowsPerBank_)
             cells_[base + static_cast<std::size_t>(row + d)] =
-                Cell{epochClock_, 0};
+                makeCell(epochClock_, 0);
     }
 }
 
@@ -164,12 +228,13 @@ GroundTruth::onWindowBoundary()
 std::uint32_t
 GroundTruth::damageOf(int channel, int rank, int bank, int row) const
 {
-    const Cell &cell =
+    const Cell cell =
         cells_[bankBase(channel, rank, bank) +
                static_cast<std::size_t>(row)];
-    if (cell.stamp < clearEpochFor(channel, rankIndex(channel, rank), row))
+    if (stampOfCell(cell) <
+        clearEpochFor(channel, rankIndex(channel, rank), row))
         return 0;
-    return cell.damage;
+    return damageOfCell(cell);
 }
 
 } // namespace dapper

@@ -47,6 +47,30 @@ class GroundTruth
     void onActivation(int channel, int rank, int bank, int row);
 
     /**
+     * Hint that (channel, rank, bank, row) is about to activate: pull
+     * the neighbor-row cells toward the cache before onActivation reads
+     * them. The cell array spans tens of MB, so bump()'s cell loads are
+     * the event engine's dominant cache misses; issuing this at the top
+     * of MemController::issue lets the timing bookkeeping in between
+     * hide part of that latency. Pure perf hint — no observable effect.
+     */
+    void
+    prefetchActivation(int channel, int rank, int bank, int row) const
+    {
+        if (row <= 0 || row + 1 >= rowsPerBank_)
+            return; // Edge rows: rare, not worth per-neighbor branches.
+        const Cell *base = &cells_[bankBase(channel, rank, bank)];
+        __builtin_prefetch(base + (row - 1), 1);
+        __builtin_prefetch(base + (row + 1), 1);
+        // The slice-clear entry the bump pair will consult (one line
+        // covers 16 slices, spanning both neighbors' slices).
+        const std::size_t rankIdx = rankIndex(channel, rank);
+        __builtin_prefetch(
+            &sliceClear_[rankIdx * static_cast<std::size_t>(sliceCount_) +
+                         static_cast<std::size_t>(sliceOf(row))]);
+    }
+
+    /**
      * Victim-row refresh around an aggressor: rows within @p blastRadius
      * on each side are refreshed (damage cleared).
      */
@@ -83,6 +107,15 @@ class GroundTruth
 
     std::uint64_t activations() const { return activations_; }
 
+    /**
+     * Damage saturates at kDamageCap (12 bits; see the Cell packing
+     * below). The constructor checks nRH fits, so violation detection
+     * is unaffected; the dense reference model mirrors the cap so the
+     * differential stays exact.
+     */
+    static constexpr std::uint32_t kDamageBits = 12;
+    static constexpr std::uint32_t kDamageCap = (1u << kDamageBits) - 1;
+
     /** Current damage of one row (tests). */
     std::uint32_t damageOf(int channel, int rank, int bank, int row) const;
 
@@ -104,12 +137,25 @@ class GroundTruth
     }
 
   private:
-    /** Per-row damage with the epoch it was last written at. */
-    struct Cell
+    /**
+     * Per-row cell: damage in the low kDamageBits, last-write epoch
+     * stamp in the high 20. Packing halves the cell-array cache traffic
+     * of onActivation — the event engine's dominant miss source. Every
+     * recorded bench tops out near damage 400, and the epoch clock
+     * renormalizes before exceeding 20 bits (~1M clear events —
+     * thousands of tREFW windows).
+     */
+    static constexpr std::uint32_t kStampMax =
+        (1u << (32 - kDamageBits)) - 1;
+    using Cell = std::uint32_t;
+
+    static std::uint32_t damageOfCell(Cell c) { return c & kDamageCap; }
+    static std::uint32_t stampOfCell(Cell c) { return c >> kDamageBits; }
+    static Cell
+    makeCell(std::uint32_t stamp, std::uint32_t damage)
     {
-        std::uint32_t stamp = 0;
-        std::uint16_t damage = 0;
-    };
+        return (stamp << kDamageBits) | damage;
+    }
 
     std::size_t
     bankBase(int channel, int rank, int bank) const

@@ -145,7 +145,7 @@ class DenseGroundTruth
         if (row < 0 || row >= rowsPerBank_)
             return;
         auto &cell = vec[static_cast<std::size_t>(row)];
-        if (cell < 0xffff)
+        if (cell < GroundTruth::kDamageCap) // mirror the packed cell's cap
             ++cell;
         if (cell > maxDamageEver_)
             maxDamageEver_ = cell;

@@ -121,9 +121,13 @@ System::run(Tick horizon)
         // controllers, then the periodic / window deadlines — but only
         // components whose watermark is due get called. Watermark
         // minima are folded into the same pass.
+        // Cores may fold a stall-free retire run into one visit, but a
+        // batch must never cross the next stat-probe boundary (probes
+        // read end-of-their-tick core state) or the last simulated tick.
+        const Tick coreLimit = std::min(nextSeriesAt_, horizon - 1);
         for (Core *core : coreRaw_)
             if (core->nextEventAt() <= t)
-                core->tick(t);
+                core->tickEvent(t, coreLimit);
         for (MemController *mc : mcRaw_)
             if (mc->nextWorkAt() <= t)
                 mc->tick(t);

@@ -120,6 +120,51 @@ TEST_F(CoreTest, MshrLimitBoundsOutstanding)
     EXPECT_GT(fatReads, thin.memReads() * 3);
 }
 
+// Batched-retire contract (src/cpu/README.md): driving a core through
+// the event API (tickEvent + nextEventAt watermarks, closed-form
+// retirement of stall-free runs) must reproduce the per-tick reference
+// loop's observable state exactly, across the bubble spectrum — from
+// bubble-free (no batch ever forms) to compute-bound (batches span
+// thousands of ticks and are cut only by the fetch-slack bound).
+TEST_F(CoreTest, BatchedEventSteppingMatchesReference)
+{
+    for (const std::uint32_t bubbles : {0u, 7u, 100u, 5000u}) {
+        // Two private memory systems so the runs cannot interfere.
+        MemController emc0(cfg_, 0, nullptr, nullptr, nullptr);
+        MemController emc1(cfg_, 1, nullptr, nullptr, nullptr);
+        Llc ellc(cfg_, mapper_, {&emc0, &emc1});
+        SyntheticGen egen(bubbles, false, 64);
+        Core event(cfg_, 0, &egen, &ellc, {&emc0, &emc1}, &mapper_, 16);
+
+        MemController rmc0(cfg_, 0, nullptr, nullptr, nullptr);
+        MemController rmc1(cfg_, 1, nullptr, nullptr, nullptr);
+        Llc rllc(cfg_, mapper_, {&rmc0, &rmc1});
+        SyntheticGen rgen(bubbles, false, 64);
+        Core ref(cfg_, 0, &rgen, &rllc, {&rmc0, &rmc1}, &mapper_, 16);
+
+        const Tick end = 20000;
+        for (Tick t = 0; t < end; ++t) {
+            if (event.nextEventAt() <= t)
+                event.tickEvent(t, end - 1);
+            emc0.tick(t);
+            emc1.tick(t);
+            ref.tick(t);
+            rmc0.tick(t);
+            rmc1.tick(t);
+        }
+        EXPECT_EQ(event.retired(), ref.retired()) << "bubbles " << bubbles;
+        EXPECT_EQ(event.memReads(), ref.memReads())
+            << "bubbles " << bubbles;
+        EXPECT_EQ(ellc.stats().hits, rllc.stats().hits)
+            << "bubbles " << bubbles;
+        EXPECT_EQ(ellc.stats().misses, rllc.stats().misses)
+            << "bubbles " << bubbles;
+        EXPECT_EQ(emc0.stats().reads + emc1.stats().reads,
+                  rmc0.stats().reads + rmc1.stats().reads)
+            << "bubbles " << bubbles;
+    }
+}
+
 TEST_F(CoreTest, RetireCountsBubblesAndMemOps)
 {
     SyntheticGen gen(9, false, 64); // 10 instructions per record.

@@ -10,6 +10,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "src/common/cat_table.hh"
 #include "src/common/flat_map.hh"
 #include "src/common/rng.hh"
 #include "src/common/stats.hh"
@@ -104,6 +105,137 @@ TEST(FlatMap64, MatchesUnorderedMapUnderRandomOps)
         int *v = flat.find(key);
         ASSERT_NE(v, nullptr);
         EXPECT_EQ(*v, value);
+    }
+}
+
+// Graphene's per-bank CAT: randomized differential against a
+// std::unordered_map count table over interleaved insert / increment /
+// decrement-to-floor / evict / clear streams (the op mix
+// GrapheneTracker::onActivation and onRefreshWindow generate). Victim
+// *identity* is pinned separately by the tie-break oracle below; here
+// every eviction is checked for Misra-Gries legality (the removed key
+// was at or below the floor) and everything else for exact agreement.
+TEST(CatTable, MatchesUnorderedMapUnderRandomOps)
+{
+    const std::size_t maxEntries = 32;
+    CatTable cat(maxEntries);
+    std::unordered_map<std::uint64_t, std::uint32_t> ref;
+    Rng rng(0xca7u);
+    std::uint32_t spill = 0;
+
+    for (int op = 0; op < 100000; ++op) {
+        // Key space ~3x capacity so full-table evictions dominate.
+        const std::uint64_t key = rng.below(96);
+        const double dice = rng.uniform();
+        if (dice < 0.40) {
+            // Activation: bump a tracked row, admit a new one, or (table
+            // full) spill and try a Misra-Gries replacement.
+            if (std::uint32_t *count = cat.find(key)) {
+                ASSERT_EQ(ref.count(key), 1u) << "op " << op;
+                ++*count;
+                ++ref[key];
+            } else if (cat.size() < maxEntries) {
+                cat.insert(key, spill + 1);
+                ref.emplace(key, spill + 1);
+            } else {
+                ++spill;
+                if (cat.evictReplace(key, spill, spill + 1)) {
+                    // Recover the victim by diffing membership, then
+                    // check it was a legal Misra-Gries choice.
+                    std::uint64_t victim = CatTable::kEmptyKey;
+                    int gone = 0;
+                    for (const auto &[k, v] : ref)
+                        if (cat.find(k) == nullptr) {
+                            victim = k;
+                            ++gone;
+                        }
+                    ASSERT_EQ(gone, 1) << "op " << op;
+                    ASSERT_LE(ref[victim], spill) << "op " << op;
+                    ref.erase(victim);
+                    ref.emplace(key, spill + 1);
+                }
+            }
+        } else if (dice < 0.70) {
+            std::uint32_t *count = cat.find(key);
+            auto it = ref.find(key);
+            ASSERT_EQ(count != nullptr, it != ref.end()) << "op " << op;
+            if (count != nullptr) {
+                ASSERT_EQ(*count, it->second) << "op " << op;
+            }
+        } else if (dice < 0.72) {
+            // tREFW window boundary.
+            cat.clear();
+            ref.clear();
+            spill = 0;
+        } else {
+            // Mitigation: the victim-refreshed row drops to the floor.
+            if (std::uint32_t *count = cat.find(key)) {
+                *count = spill;
+                ref[key] = spill;
+            }
+        }
+        ASSERT_EQ(cat.size(), ref.size()) << "op " << op;
+    }
+    for (const auto &[key, value] : ref) {
+        std::uint32_t *count = cat.find(key);
+        ASSERT_NE(count, nullptr);
+        EXPECT_EQ(*count, value);
+    }
+}
+
+// The documented eviction contract, asserted against the layout oracle:
+// walking slots from the incoming key's home bucket in table order
+// (wrapping), skipping empties, the FIRST of at most kProbeLimit
+// occupied slots whose count is <= the floor is the victim — and when
+// no examined slot qualifies, the table must be left untouched.
+TEST(CatTable, EvictionFollowsDocumentedTieBreak)
+{
+    Rng rng(0x7ab1eu);
+    for (int round = 0; round < 2000; ++round) {
+        const std::size_t maxEntries = 16;
+        CatTable cat(maxEntries);
+        while (cat.size() < maxEntries) {
+            const std::uint64_t key = rng.below(1u << 20);
+            if (cat.find(key) != nullptr)
+                continue;
+            cat.insert(key, static_cast<std::uint32_t>(rng.below(5)));
+        }
+        std::uint64_t incoming;
+        do {
+            incoming = rng.below(1u << 20);
+        } while (cat.find(incoming) != nullptr);
+        const std::uint32_t floor =
+            static_cast<std::uint32_t>(rng.below(5));
+
+        // Oracle: replay the documented walk over the raw slot views.
+        std::uint64_t expected = CatTable::kEmptyKey;
+        const std::size_t cap = cat.capacity();
+        std::size_t i = cat.homeBucket(incoming);
+        int probed = 0;
+        for (std::size_t scanned = 0;
+             probed < CatTable::kProbeLimit && scanned < cap;
+             ++scanned, i = (i + 1) % cap) {
+            if (cat.slotKey(i) == CatTable::kEmptyKey)
+                continue;
+            ++probed;
+            if (cat.slotCount(i) <= floor) {
+                expected = cat.slotKey(i);
+                break;
+            }
+        }
+
+        const bool evicted = cat.evictReplace(incoming, floor, floor + 1);
+        ASSERT_EQ(evicted, expected != CatTable::kEmptyKey)
+            << "round " << round;
+        ASSERT_EQ(cat.size(), maxEntries) << "round " << round;
+        if (evicted) {
+            EXPECT_EQ(cat.find(expected), nullptr) << "round " << round;
+            std::uint32_t *count = cat.find(incoming);
+            ASSERT_NE(count, nullptr) << "round " << round;
+            EXPECT_EQ(*count, floor + 1) << "round " << round;
+        } else {
+            EXPECT_EQ(cat.find(incoming), nullptr) << "round " << round;
+        }
     }
 }
 
