@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "src/common/stats.hh"
+#include "src/sim/fleet/fleet.hh"
 #include "src/sim/runner.hh"
 #include "src/workload/benign.hh"
 
@@ -51,6 +52,14 @@ struct Options
     std::string attackFilter;  ///< Registry name: keep matching cells.
     std::string jsonPath;    ///< Structured results (ResultTable JSON).
     std::string csvPath;     ///< Structured results (ResultTable CSV).
+    /// Fleet campaign directory (--fleet): run the grid through the
+    /// crash-safe dapper-fleet coordinator instead of an in-process
+    /// Runner. Resumable: re-running skips journaled cells.
+    std::string fleetDir;
+    int shards = 0;          ///< Fleet worker processes (0: auto).
+    double watchdogSec = 0.0; ///< Fleet per-cell watchdog (0: off).
+    int maxAttempts = 3;     ///< Fleet attempts before quarantine.
+    int seeds = 1;           ///< Monte-Carlo replicas per cell.
 };
 
 [[noreturn]] inline void
@@ -84,7 +93,25 @@ usage(const char *prog, const char *error, int exitCode = 2)
                  "per-component stats\n"
                  "                   and tREFI time series)\n"
                  "  --csv FILE       also write results as CSV (stat "
-                 "columns appended)\n",
+                 "columns appended)\n"
+                 "  --fleet DIR      run the grid through the crash-safe "
+                 "fleet runner;\n"
+                 "                   DIR holds shard journals + "
+                 "manifest.json and makes\n"
+                 "                   the run resumable (completed cells "
+                 "are skipped)\n"
+                 "  --shards N       fleet worker processes (>= 1, "
+                 "default: auto)\n"
+                 "  --watchdog S     fleet per-cell wall-clock limit in "
+                 "seconds (> 0;\n"
+                 "                   default: off)\n"
+                 "  --max-attempts N fleet attempts before a cell is "
+                 "quarantined\n"
+                 "                   (>= 1, default 3)\n"
+                 "  --seeds N        Monte-Carlo seed replicas per cell "
+                 "(>= 1, default 1);\n"
+                 "                   benches print mean +/- 95%% CI "
+                 "columns\n",
                  prog);
     std::fprintf(stderr, "trackers:");
     for (const auto &name : TrackerRegistry::instance().names())
@@ -151,6 +178,24 @@ parse(int argc, char **argv)
             opt.jsonPath = value(i);
         } else if (std::strcmp(argv[i], "--csv") == 0) {
             opt.csvPath = value(i);
+        } else if (std::strcmp(argv[i], "--fleet") == 0) {
+            opt.fleetDir = value(i);
+        } else if (std::strcmp(argv[i], "--shards") == 0) {
+            opt.shards = std::atoi(value(i));
+            if (opt.shards < 1)
+                usage(prog, "--shards must be >= 1");
+        } else if (std::strcmp(argv[i], "--watchdog") == 0) {
+            opt.watchdogSec = std::atof(value(i));
+            if (opt.watchdogSec <= 0.0)
+                usage(prog, "--watchdog must be > 0");
+        } else if (std::strcmp(argv[i], "--max-attempts") == 0) {
+            opt.maxAttempts = std::atoi(value(i));
+            if (opt.maxAttempts < 1)
+                usage(prog, "--max-attempts must be >= 1");
+        } else if (std::strcmp(argv[i], "--seeds") == 0) {
+            opt.seeds = std::atoi(value(i));
+            if (opt.seeds < 1)
+                usage(prog, "--seeds must be >= 1");
         } else if (std::strcmp(argv[i], "--help") == 0 ||
                    std::strcmp(argv[i], "-h") == 0) {
             usage(prog, nullptr, 0);
@@ -179,6 +224,60 @@ baseScenario(const Options &opt)
         .config(makeConfig(opt))
         .windows(opt.windows)
         .engine(opt.engine);
+}
+
+/** Append the --seeds Monte-Carlo replica axis (innermost, so
+ *  ResultTable::seedSummaries can reduce consecutive groups). */
+inline ScenarioGrid &
+applySeeds(const Options &opt, ScenarioGrid &grid)
+{
+    if (opt.seeds > 1)
+        grid.seeds(opt.seeds);
+    return grid;
+}
+
+/**
+ * Execute a bench grid: in-process Runner by default, the dapper-fleet
+ * coordinator when --fleet DIR was given. Fleet runs are crash-safe and
+ * resumable; an incomplete campaign (drained by SIGINT, or cells left
+ * in quarantine) cannot produce the bench's fixed-shape table, so it
+ * reports progress and exits 3 — re-run with the same --fleet DIR to
+ * continue where it stopped.
+ */
+inline ResultTable
+runGrid(const Options &opt, const ScenarioGrid &grid, const char *prog)
+{
+    if (opt.fleetDir.empty()) {
+        Runner runner(opt.jobs);
+        return runner.run(grid);
+    }
+    FleetOptions fopt;
+    fopt.dir = opt.fleetDir;
+    fopt.shards = opt.shards;
+    fopt.watchdogSec = opt.watchdogSec;
+    fopt.maxAttempts = opt.maxAttempts;
+    FleetCampaign campaign(fopt);
+    const FleetReport report = campaign.run(grid);
+    std::fprintf(stderr,
+                 "fleet: %zu/%zu cells complete (%zu resumed, %zu "
+                 "executed, %zu timeouts, %zu crashes, %zu retries, %zu "
+                 "quarantined)%s\n",
+                 report.completed, report.uniqueCells, report.resumed,
+                 report.executed, report.timeouts, report.crashes,
+                 report.retries, report.quarantined.size(),
+                 report.drained ? " [drained]" : "");
+    for (const FleetQuarantineEntry &entry : report.quarantined)
+        std::fprintf(stderr, "fleet: quarantined: %s (%u attempts: %s)\n",
+                     entry.label.c_str(), entry.attempts,
+                     entry.lastError.c_str());
+    if (!report.complete()) {
+        std::fprintf(stderr,
+                     "%s: fleet campaign incomplete; re-run with "
+                     "--fleet %s to resume\n",
+                     prog, opt.fleetDir.c_str());
+        std::exit(3);
+    }
+    return report.table;
 }
 
 /**

@@ -41,9 +41,12 @@ main(int argc, char **argv)
     const std::size_t nCols = columns.size();
     ScenarioGrid grid(baseScenario(opt).baseline(Baseline::NoAttack));
     grid.workloads(workloads).cells(columns);
-    Runner runner(opt.jobs);
-    const ResultTable table = runner.run(grid);
-    const auto norms = table.normalizedValues();
+    applySeeds(opt, grid);
+    const ResultTable table = runGrid(opt, grid, argv[0]);
+    // One summary per (workload, column); with --seeds 1 the mean is
+    // the single measurement and the CI half-width is 0.
+    const auto sums =
+        table.seedSummaries(static_cast<std::size_t>(opt.seeds));
 
     std::map<std::string, std::vector<double>> hi;
     std::map<std::string, std::vector<double>> all;
@@ -51,11 +54,14 @@ main(int argc, char **argv)
         const double rbmpki = findWorkload(workloads[w]).rbmpki();
         std::printf("%-22s %7.2f", workloads[w].c_str(), rbmpki);
         for (std::size_t c = 0; c < nCols; ++c) {
-            const double norm = norms[w * nCols + c];
-            std::printf(" %12.3f", norm);
-            all[columns[c].label].push_back(norm);
+            const SeedSummary &s = sums[w * nCols + c];
+            if (opt.seeds > 1)
+                std::printf(" %7.3f±%.3f", s.mean, s.ciHalf);
+            else
+                std::printf(" %12.3f", s.mean);
+            all[columns[c].label].push_back(s.mean);
             if (rbmpki >= 2.0)
-                hi[columns[c].label].push_back(norm);
+                hi[columns[c].label].push_back(s.mean);
         }
         std::printf("\n");
     }

@@ -35,20 +35,41 @@ main(int argc, char **argv)
             {"refresh", "", "refresh", Baseline::SameAttack},
         },
         argv[0], CellFilterSpec::pinTracker("dapper-h"));
-    const std::size_t perRow = cells.size() * workloads.size();
     ScenarioGrid grid(baseScenario(opt).tracker("dapper-h"));
     grid.nRH(thresholds).cells(cells).workloads(workloads);
-    Runner runner(opt.jobs);
-    const ResultTable table = runner.run(grid);
+    applySeeds(opt, grid);
+    const ResultTable table = runGrid(opt, grid, argv[0]);
     const auto norms = table.normalizedValues();
+
+    // Row layout: nRH x cell x workload x seed (seeds innermost). Each
+    // printed value is the geomean over workloads; with --seeds > 1 the
+    // geomean is taken per replica and the replicas summarized, so the
+    // CI reflects seed-to-seed spread of the aggregate.
+    const auto nSeeds = static_cast<std::size_t>(opt.seeds);
+    const std::size_t perRow = cells.size() * workloads.size() * nSeeds;
+    auto columnSummary = [&](std::size_t t, std::size_t c) {
+        std::vector<double> replicaGeomeans(nSeeds);
+        for (std::size_t k = 0; k < nSeeds; ++k) {
+            std::vector<double> perWorkload(workloads.size());
+            for (std::size_t w = 0; w < workloads.size(); ++w)
+                perWorkload[w] =
+                    norms[t * perRow +
+                          (c * workloads.size() + w) * nSeeds + k];
+            replicaGeomeans[k] = geomean(perWorkload);
+        }
+        return summarizeSeeds(replicaGeomeans);
+    };
 
     for (std::size_t t = 0; t < thresholds.size(); ++t) {
         std::printf("%-8d", thresholds[t]);
-        for (std::size_t c = 0; c < cells.size(); ++c)
-            std::printf(" %*.4f", c == 0 ? 14 : 18,
-                        geomeanSlice(norms,
-                                     t * perRow + c * workloads.size(),
-                                     workloads.size()));
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            const SeedSummary s = columnSummary(t, c);
+            if (opt.seeds > 1)
+                std::printf(" %*.4f±%.4f", c == 0 ? 8 : 12, s.mean,
+                            s.ciHalf);
+            else
+                std::printf(" %*.4f", c == 0 ? 14 : 18, s.mean);
+        }
         std::printf("\n");
     }
     std::printf("\n(paper: <1%% at NRH>=500; ~6%% at NRH=125 under "

@@ -36,7 +36,23 @@ fi
 
 EV_OUT="/tmp/bench_event_$$.txt"
 TK_OUT="/tmp/bench_tick_$$.txt"
-trap 'rm -f "$EV_OUT" "$TK_OUT"' EXIT
+
+# All JSON is staged under temp paths and published with a final mv
+# only after the producing pass (and validation) succeeded — a bench
+# that crashes mid-run must never leave a torn BENCH_all.json or a
+# half-filled bench_json/ behind masquerading as a complete snapshot.
+ALL_JSON="$OUT_DIR/BENCH_all.json"
+SCHED_JSON="$OUT_DIR/BENCH_scheduler.json"
+JSON_DIR="$OUT_DIR/bench_json"
+ALL_TMP="$ALL_JSON.tmp.$$"
+SCHED_TMP="$SCHED_JSON.tmp.$$"
+JSON_DIR_TMP="$JSON_DIR.tmp.$$"
+
+cleanup() {
+    rm -f "$EV_OUT" "$TK_OUT" "$ALL_TMP" "$SCHED_TMP"
+    rm -rf "$JSON_DIR_TMP"
+}
+trap cleanup EXIT
 
 now_s() { date +%s.%N; }
 
@@ -58,15 +74,13 @@ ANALYTIC_BENCHES="tab02_mapping_capture tab03_storage"
 # which BENCH_all.json embeds verbatim — the benches are the source of
 # the machine-readable numbers, the shell only adds wall-clock.
 # ---------------------------------------------------------------------
-ALL_JSON="$OUT_DIR/BENCH_all.json"
-JSON_DIR="$OUT_DIR/bench_json"
-mkdir -p "$JSON_DIR"
+mkdir -p "$JSON_DIR_TMP"
 {
     echo '{'
     echo '  "generated_by": "bench/run_all.sh",'
     echo "  \"args\": \"$BENCH_ARGS\","
     echo '  "benches": ['
-} > "$ALL_JSON"
+} > "$ALL_TMP"
 
 first=1
 for bench in $SIM_BENCHES $ANALYTIC_BENCHES; do
@@ -75,7 +89,7 @@ for bench in $SIM_BENCHES $ANALYTIC_BENCHES; do
     bench_json=""
     case " $ANALYTIC_BENCHES " in
         *" $bench "*) args="" ;;
-        *) bench_json="$JSON_DIR/$bench.json"
+        *) bench_json="$JSON_DIR_TMP/$bench.json"
            args="$BENCH_ARGS --json $bench_json" ;;
     esac
     # micro_controller / micro_groundtruth / micro_core drive bare
@@ -90,46 +104,54 @@ for bench in $SIM_BENCHES $ANALYTIC_BENCHES; do
     "$bin" $args > /dev/null
     t1=$(now_s)
     secs=$(elapsed "$t0" "$t1")
-    [ $first -eq 1 ] || echo ',' >> "$ALL_JSON"
+    [ $first -eq 1 ] || echo ',' >> "$ALL_TMP"
     first=0
     if [ -n "$bench_json" ] && [ -s "$bench_json" ]; then
         printf '    {"name": "%s", "seconds": %s, "results":\n' \
-            "$bench" "$secs" >> "$ALL_JSON"
-        sed 's/^/    /' "$bench_json" >> "$ALL_JSON"
-        printf '    }' >> "$ALL_JSON"
+            "$bench" "$secs" >> "$ALL_TMP"
+        sed 's/^/    /' "$bench_json" >> "$ALL_TMP"
+        printf '    }' >> "$ALL_TMP"
     else
         printf '    {"name": "%s", "seconds": %s, "results": null}' \
-            "$bench" "$secs" >> "$ALL_JSON"
+            "$bench" "$secs" >> "$ALL_TMP"
     fi
 done
 {
     echo ''
     echo '  ]'
     echo '}'
-} >> "$ALL_JSON"
-echo "wrote $ALL_JSON" >&2
+} >> "$ALL_TMP"
 
 # Validate the bench-emitted JSON against the schema when python3 is
-# around (CI always validates; local runs skip silently without it).
+# around (CI always validates; local runs skip silently without it) —
+# before publishing, so a schema regression never overwrites a good
+# snapshot with a bad one.
 if command -v python3 > /dev/null 2>&1; then
-    for bench_json in "$JSON_DIR"/*.json; do
+    for bench_json in "$JSON_DIR_TMP"/*.json; do
         [ -e "$bench_json" ] || continue
         python3 "$REPO_ROOT/scripts/check_bench_json.py" "$bench_json" >&2
     done
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$ALL_TMP"
 fi
+
+# Publish atomically: the staged tree replaces the previous snapshot
+# only now that every bench ran and every file validated.
+rm -rf "$JSON_DIR"
+mv "$JSON_DIR_TMP" "$JSON_DIR"
+mv "$ALL_TMP" "$ALL_JSON"
+echo "wrote $ALL_JSON" >&2
 
 # ---------------------------------------------------------------------
 # Pass 2: event-driven vs tick-by-tick engine on scheduler-sensitive
 # benches (fig14's BlockHammer throttling and fig03's Perf-Attack grid).
 # ---------------------------------------------------------------------
-SCHED_JSON="$OUT_DIR/BENCH_scheduler.json"
 {
     echo '{'
     echo '  "generated_by": "bench/run_all.sh",'
     echo "  \"args\": \"$SCHED_ARGS\","
     echo '  "note": "seconds_tick is the pre-refactor per-tick loop (System::runReference); seconds_event is the event-driven scheduler. Outputs are asserted identical. micro_groundtruth repurposes the flag pair as epoch (event) vs dense-reference (tick) GroundTruth implementations.",'
     echo '  "benches": ['
-} > "$SCHED_JSON"
+} > "$SCHED_TMP"
 
 first=1
 for bench in micro_scheduler micro_controller micro_groundtruth micro_core fig14_blockhammer fig03_perf_attacks; do
@@ -158,14 +180,18 @@ for bench in micro_scheduler micro_controller micro_groundtruth micro_core fig14
           exit 1; }
     speedup=$(awk -v e="$ev" -v t="$tk" 'BEGIN { printf "%.2f", t / e }')
     echo "  $bench: event ${ev}s tick ${tk}s speedup ${speedup}x" >&2
-    [ $first -eq 1 ] || echo ',' >> "$SCHED_JSON"
+    [ $first -eq 1 ] || echo ',' >> "$SCHED_TMP"
     first=0
     printf '    {"name": "%s", "seconds_event": %s, "seconds_tick": %s, "speedup": %s}' \
-        "$bench" "$ev" "$tk" "$speedup" >> "$SCHED_JSON"
+        "$bench" "$ev" "$tk" "$speedup" >> "$SCHED_TMP"
 done
 {
     echo ''
     echo '  ]'
     echo '}'
-} >> "$SCHED_JSON"
+} >> "$SCHED_TMP"
+if command -v python3 > /dev/null 2>&1; then
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$SCHED_TMP"
+fi
+mv "$SCHED_TMP" "$SCHED_JSON"
 echo "wrote $SCHED_JSON" >&2

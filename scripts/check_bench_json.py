@@ -16,12 +16,21 @@ series. Values the flat columns duplicate (mitigations, activations,
 max_damage, rh_violations, energy_nj) must agree exactly with their
 stat counterparts.
 
+Also validates dapper-fleet campaign manifests (the manifest.json a
+FleetCampaign writes next to its shard journals): counter consistency,
+the no-duplicate-results contract, and per-shard record accounting.
+With --merged, the fleet-merged bench JSON is additionally checked
+against the bench schema and cross-checked against the manifest's cell
+count.
+
 Usage: check_bench_json.py FILE [FILE...]
+       check_bench_json.py --fleet-manifest MANIFEST [--merged MERGED]
 Exits non-zero with a message naming the first offending field.
 """
 
 import json
 import math
+import re
 import sys
 
 BASELINES = {"raw", "no-attack", "same-attack"}
@@ -196,10 +205,140 @@ def check_stats(path, index, row):
         fail(path, f"{where}.series has no non-empty tREFI time series")
 
 
+def _nonneg_int(value):
+    return isinstance(value, int) and not isinstance(value, bool) \
+        and value >= 0
+
+
+def check_fleet_manifest(path, merged_path=None):
+    """Validate a fleet campaign manifest.json (src/sim/fleet/)."""
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, json.JSONDecodeError) as err:
+        fail(path, f"not readable JSON: {err}")
+
+    if not isinstance(doc, dict):
+        fail(path, "top level must be an object")
+    if doc.get("schema_version") != 1:
+        fail(path, f"'schema_version' must be 1, got "
+                   f"{doc.get('schema_version')!r}")
+    if not isinstance(doc.get("campaign_id"), str) \
+            or not re.fullmatch(r"[0-9a-f]{16}", doc["campaign_id"]):
+        fail(path, "'campaign_id' must be a 16-hex-digit string")
+    for field in ("cells", "unique_cells", "completed", "resumed",
+                  "executed", "timeouts", "crashes", "retries",
+                  "duplicate_results"):
+        if not _nonneg_int(doc.get(field)):
+            fail(path, f"'{field}' must be a non-negative int, got "
+                       f"{doc.get(field)!r}")
+    if not isinstance(doc.get("drained"), bool):
+        fail(path, "'drained' must be a boolean")
+
+    # Counter consistency.
+    if doc["unique_cells"] > doc["cells"]:
+        fail(path, "unique_cells exceeds cells")
+    if doc["completed"] > doc["unique_cells"]:
+        fail(path, "completed exceeds unique_cells")
+    if doc["resumed"] + doc["executed"] != doc["completed"]:
+        fail(path, f"resumed ({doc['resumed']}) + executed "
+                   f"({doc['executed']}) != completed "
+                   f"({doc['completed']})")
+    # The robustness contract: no cell ever produces two results.
+    if doc["duplicate_results"] != 0:
+        fail(path, f"duplicate_results must be 0, got "
+                   f"{doc['duplicate_results']} — a cell ran twice")
+
+    quarantined = doc.get("quarantined")
+    if not isinstance(quarantined, list):
+        fail(path, "'quarantined' must be an array")
+    for index, entry in enumerate(quarantined):
+        where = f"quarantined[{index}]"
+        if not isinstance(entry, dict):
+            fail(path, f"{where} must be an object")
+        for field in ("label", "last_error", "fingerprint"):
+            if not isinstance(entry.get(field), str):
+                fail(path, f"{where}.{field} must be a string")
+        if not _nonneg_int(entry.get("attempts")) \
+                or entry["attempts"] < 1:
+            fail(path, f"{where}.attempts must be an int >= 1")
+    if not doc["drained"] \
+            and doc["completed"] + len(quarantined) < doc["unique_cells"]:
+        fail(path, "campaign neither drained nor accounted for: "
+                   f"completed {doc['completed']} + quarantined "
+                   f"{len(quarantined)} < unique_cells "
+                   f"{doc['unique_cells']}")
+
+    shards = doc.get("shards")
+    if not isinstance(shards, list) or not shards:
+        fail(path, "'shards' must be a non-empty array")
+    total_results = 0
+    for index, shard in enumerate(shards):
+        where = f"shards[{index}]"
+        if not isinstance(shard, dict):
+            fail(path, f"{where} must be an object")
+        if not isinstance(shard.get("journal"), str) \
+                or not re.fullmatch(r"shard_\d{4}\.journal",
+                                    shard["journal"]):
+            fail(path, f"{where}.journal must match "
+                       "shard_NNNN.journal")
+        for field in ("records", "results", "timeouts", "crashes",
+                      "quarantines"):
+            if not _nonneg_int(shard.get(field)):
+                fail(path, f"{where}.{field} must be a non-negative "
+                           "int")
+        tallied = shard["results"] + shard["timeouts"] \
+            + shard["crashes"] + shard["quarantines"]
+        if tallied > shard["records"]:
+            fail(path, f"{where}: typed records ({tallied}) exceed "
+                       f"total records ({shard['records']})")
+        total_results += shard["results"]
+    # >= because journals may carry results for cells a superseded grid
+    # no longer names; the merge only counts current-grid fingerprints.
+    if total_results < doc["completed"]:
+        fail(path, f"shard result records ({total_results}) cannot "
+                   f"cover completed cells ({doc['completed']})")
+
+    print(f"{path}: OK (fleet manifest, {doc['completed']}/"
+          f"{doc['unique_cells']} cells, {len(shards)} shards)")
+
+    if merged_path is not None:
+        check_file(merged_path)
+        with open(merged_path) as handle:
+            merged = json.load(handle)
+        rows = len(merged["scenarios"])
+        if doc["completed"] == doc["unique_cells"] \
+                and rows != doc["cells"]:
+            fail(merged_path,
+                 f"complete campaign must render every grid cell: "
+                 f"{rows} scenarios != {doc['cells']} cells")
+        if rows > doc["cells"]:
+            fail(merged_path, f"{rows} scenarios exceed the campaign's "
+                              f"{doc['cells']} cells")
+
+
 def main():
     if len(sys.argv) < 2:
         print(__doc__, file=sys.stderr)
         sys.exit(2)
+    if sys.argv[1] == "--fleet-manifest":
+        args = sys.argv[2:]
+        if not args:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        merged = None
+        if "--merged" in args:
+            at = args.index("--merged")
+            if at + 1 >= len(args):
+                print(__doc__, file=sys.stderr)
+                sys.exit(2)
+            merged = args[at + 1]
+            del args[at:at + 2]
+        if len(args) != 1:
+            print(__doc__, file=sys.stderr)
+            sys.exit(2)
+        check_fleet_manifest(args[0], merged)
+        return
     for path in sys.argv[1:]:
         check_file(path)
 

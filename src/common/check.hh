@@ -8,6 +8,18 @@
  * silently corrupt results — must not rely on it. DAPPER_CHECK stays in
  * every build type and aborts with a message instead of letting the
  * simulation limp on with wrong state.
+ *
+ * Context: a fatal check firing deep inside a fleet worker is useless
+ * if it only names a file:line — campaigns run thousands of cells and
+ * the operator needs to know *which* one died. Two mechanisms:
+ *
+ *  - DAPPER_CHECK_CTX(cond, msg, ctx) appends an explicit context
+ *    string (evaluated only on failure) to the abort message.
+ *  - ScopedCheckContext installs a thread-local context for a region;
+ *    every plain DAPPER_CHECK that fires inside the region prints it.
+ *    The fleet worker wraps each cell execution in one carrying the
+ *    scenario label + fingerprint, so any pre-existing check in the
+ *    simulator identifies the failing cell without being edited.
  */
 
 #ifndef DAPPER_COMMON_CHECK_HH
@@ -18,12 +30,45 @@
 
 namespace dapper {
 
+/** Thread-local context printed by fatalError; see ScopedCheckContext.
+ *  The pointed-to string must outlive the region it annotates. */
+inline thread_local const char *tlsCheckContext = nullptr;
+
 [[noreturn]] inline void
-fatalError(const char *file, int line, const char *msg)
+fatalError(const char *file, int line, const char *msg,
+           const char *context = nullptr)
 {
-    std::fprintf(stderr, "%s:%d: fatal: %s\n", file, line, msg);
+    if (context == nullptr)
+        context = tlsCheckContext;
+    if (context != nullptr)
+        std::fprintf(stderr, "%s:%d: fatal: %s (while executing %s)\n",
+                     file, line, msg, context);
+    else
+        std::fprintf(stderr, "%s:%d: fatal: %s\n", file, line, msg);
     std::abort();
 }
+
+/**
+ * RAII thread-local check context. Nested scopes shadow and restore;
+ * the caller keeps the string alive for the scope's lifetime.
+ */
+class ScopedCheckContext
+{
+  public:
+    explicit ScopedCheckContext(const char *context)
+        : previous_(tlsCheckContext)
+    {
+        tlsCheckContext = context;
+    }
+
+    ~ScopedCheckContext() { tlsCheckContext = previous_; }
+
+    ScopedCheckContext(const ScopedCheckContext &) = delete;
+    ScopedCheckContext &operator=(const ScopedCheckContext &) = delete;
+
+  private:
+    const char *previous_;
+};
 
 } // namespace dapper
 
@@ -32,6 +77,15 @@ fatalError(const char *file, int line, const char *msg)
     do {                                                                  \
         if (!(cond))                                                      \
             ::dapper::fatalError(__FILE__, __LINE__, (msg));              \
+    } while (0)
+
+/** DAPPER_CHECK with an explicit context string (e.g. the scenario
+ *  fingerprint of the cell being executed). @p ctx is only evaluated
+ *  when the check fails, so it may be an expensive expression. */
+#define DAPPER_CHECK_CTX(cond, msg, ctx)                                  \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            ::dapper::fatalError(__FILE__, __LINE__, (msg), (ctx));       \
     } while (0)
 
 #endif // DAPPER_COMMON_CHECK_HH

@@ -1,6 +1,8 @@
 #include "src/sim/runner.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <iterator>
 #include <sstream>
 #include <stdexcept>
 
@@ -44,23 +46,9 @@ fingerprint(SysConfig c, const std::string &workload,
         c.bulkRefreshChannelMs = canon.bulkRefreshChannelMs;
     }
     std::ostringstream os;
-    os.precision(17);
     os << workload << '|' << attack << '|' << horizon << '|'
-       << static_cast<int>(engine) << '|' << c.numCores << '|'
-       << c.coreWidth << '|' << c.robEntries << '|' << c.coreMshrs << '|'
-       << c.llcBytes << '|' << c.llcWays << '|' << c.lineBytes << '|'
-       << c.llcHitLatency << '|' << c.channels << '|'
-       << c.ranksPerChannel << '|' << c.bankGroups << '|'
-       << c.banksPerGroup << '|' << c.rowsPerBank << '|' << c.rowBytes
-       << '|' << c.tRCDns << '|' << c.tRPns << '|' << c.tCLns << '|'
-       << c.tRCns << '|' << c.tRASns << '|' << c.tRRDSns << '|'
-       << c.tRRDLns << '|' << c.tWRns << '|' << c.tRFCns << '|'
-       << c.tREFIns << '|' << c.tBLns << '|' << c.tFAWns << '|'
-       << c.tREFWms << '|' << c.timeScale << '|' << c.vrrNs << '|'
-       << c.rfmSbNs << '|' << c.drfmSbNs << '|' << c.bulkRefreshRankMs
-       << '|' << c.bulkRefreshChannelMs << '|' << c.blastRadius << '|'
-       << static_cast<int>(c.mitigationCmd) << '|' << c.nRH << '|'
-       << c.rowGroupSize << '|' << c.dapperSResetUs << '|' << c.seed;
+       << static_cast<int>(engine) << '|'
+       << detail::configFingerprint(c);
     return os.str();
 }
 
@@ -256,6 +244,66 @@ ResultTable::merge(const ResultTable &other)
     rows_.insert(rows_.end(), other.rows_.begin(), other.rows_.end());
 }
 
+std::vector<std::string>
+ResultTable::fingerprints() const
+{
+    std::vector<std::string> out;
+    out.reserve(rows_.size());
+    for (const ScenarioResult &row : rows_)
+        out.push_back(row.scenario.fingerprint());
+    return out;
+}
+
+SeedSummary
+summarizeSeeds(const std::vector<double> &values)
+{
+    SeedSummary s;
+    s.n = values.size();
+    if (s.n == 0)
+        return s;
+    double sum = 0.0;
+    for (const double v : values)
+        sum += v;
+    s.mean = sum / static_cast<double>(s.n);
+    if (s.n < 2)
+        return s;
+    double sq = 0.0;
+    for (const double v : values)
+        sq += (v - s.mean) * (v - s.mean);
+    s.stddev = std::sqrt(sq / static_cast<double>(s.n - 1));
+    // Two-sided 95% Student-t quantiles; beyond 30 dof the normal 1.96
+    // is within 2%.
+    static const double kT95[] = {0,     12.706, 4.303, 3.182, 2.776,
+                                  2.571, 2.447,  2.365, 2.306, 2.262,
+                                  2.228, 2.201,  2.179, 2.160, 2.145,
+                                  2.131, 2.120,  2.110, 2.101, 2.093,
+                                  2.086, 2.080,  2.074, 2.069, 2.064,
+                                  2.060, 2.056,  2.052, 2.048, 2.045,
+                                  2.042};
+    const std::size_t dof = s.n - 1;
+    const double t = dof < std::size(kT95) ? kT95[dof] : 1.96;
+    s.ciHalf = t * s.stddev / std::sqrt(static_cast<double>(s.n));
+    return s;
+}
+
+std::vector<SeedSummary>
+ResultTable::seedSummaries(std::size_t nSeeds) const
+{
+    if (nSeeds == 0 || rows_.size() % nSeeds != 0)
+        throw std::invalid_argument(
+            "seedSummaries: row count is not a multiple of the seed "
+            "replica count");
+    std::vector<SeedSummary> out;
+    out.reserve(rows_.size() / nSeeds);
+    std::vector<double> group(nSeeds);
+    for (std::size_t base = 0; base < rows_.size(); base += nSeeds) {
+        for (std::size_t k = 0; k < nSeeds; ++k)
+            group[k] = rows_[base + k].normalized;
+        out.push_back(summarizeSeeds(group));
+    }
+    return out;
+}
+
 void
 ResultTable::writeJson(std::FILE *out, const std::string &benchName) const
 {
@@ -263,10 +311,18 @@ ResultTable::writeJson(std::FILE *out, const std::string &benchName) const
     writeJsonString(out, benchName);
     std::fputs(",\n  \"schema_version\": 1,\n  \"scenarios\": [", out);
     for (std::size_t i = 0; i < rows_.size(); ++i) {
-        const ScenarioResult &row = rows_[i];
+        std::fputs(i == 0 ? "\n" : ",\n", out);
+        writeJsonRow(out, rows_[i]);
+    }
+    std::fputs("\n  ]\n}\n", out);
+}
+
+void
+ResultTable::writeJsonRow(std::FILE *out, const ScenarioResult &row)
+{
+    {
         const Scenario &s = row.scenario;
         const SysConfig &c = s.configRef();
-        std::fputs(i == 0 ? "\n" : ",\n", out);
         std::fputs("    {\"workload\": ", out);
         writeJsonString(out, s.workloadName());
         std::fputs(", \"tracker\": ", out);
@@ -337,7 +393,6 @@ ResultTable::writeJson(std::FILE *out, const std::string &benchName) const
         }
         std::fputs("}}", out);
     }
-    std::fputs("\n  ]\n}\n", out);
 }
 
 void

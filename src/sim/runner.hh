@@ -46,6 +46,23 @@ struct ScenarioResult
 };
 
 /**
+ * Mean / spread over one cell's seed replicas (the ScenarioGrid::seeds
+ * Monte-Carlo axis). ciHalf is the 95% confidence half-width using
+ * Student's t on the sample stddev — the interval the probabilistic
+ * trackers (PARA / PrIDE / START) need instead of single-seed points.
+ */
+struct SeedSummary
+{
+    double mean = 0.0;
+    double stddev = 0.0; ///< Sample standard deviation (n-1); 0 if n<2.
+    double ciHalf = 0.0; ///< 95% CI half-width; 0 if n < 2.
+    std::size_t n = 0;
+};
+
+/** Summarize one replica group (used by ResultTable::seedSummaries). */
+SeedSummary summarizeSeeds(const std::vector<double> &values);
+
+/**
  * Index-ordered scenario results. Renders to machine-readable JSON /
  * CSV; the benches keep their own printf table layouts and read values
  * through normalizedValues() / at().
@@ -74,9 +91,24 @@ class ResultTable
     /** Append another table's rows (multi-grid benches). */
     void merge(const ResultTable &other);
 
+    /** Scenario fingerprints per row, in index order (campaign keys). */
+    std::vector<std::string> fingerprints() const;
+
+    /**
+     * Reduce consecutive groups of @p nSeeds rows (seeds as the
+     * innermost grid axis) of `normalized` into mean / stddev / 95% CI
+     * columns. Row count must be a multiple of nSeeds.
+     */
+    std::vector<SeedSummary> seedSummaries(std::size_t nSeeds) const;
+
     /** Machine-readable renderings; @p benchName tags the output. */
     void writeJson(std::FILE *out, const std::string &benchName) const;
     void writeCsv(std::FILE *out) const;
+
+    /** One scenario's JSON object (exactly the element writeJson emits
+     *  into "scenarios") — shared with the fleet merger so merged and
+     *  straight-through renderings are bit-identical by construction. */
+    static void writeJsonRow(std::FILE *out, const ScenarioResult &row);
 
   private:
     std::vector<ScenarioResult> rows_;

@@ -1,8 +1,35 @@
 #include "src/sim/scenario.hh"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace dapper {
+
+namespace detail {
+
+std::string
+configFingerprint(const SysConfig &c)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << c.numCores << '|' << c.coreWidth << '|' << c.robEntries << '|'
+       << c.coreMshrs << '|' << c.llcBytes << '|' << c.llcWays << '|'
+       << c.lineBytes << '|' << c.llcHitLatency << '|' << c.channels
+       << '|' << c.ranksPerChannel << '|' << c.bankGroups << '|'
+       << c.banksPerGroup << '|' << c.rowsPerBank << '|' << c.rowBytes
+       << '|' << c.tRCDns << '|' << c.tRPns << '|' << c.tCLns << '|'
+       << c.tRCns << '|' << c.tRASns << '|' << c.tRRDSns << '|'
+       << c.tRRDLns << '|' << c.tWRns << '|' << c.tRFCns << '|'
+       << c.tREFIns << '|' << c.tBLns << '|' << c.tFAWns << '|'
+       << c.tREFWms << '|' << c.timeScale << '|' << c.vrrNs << '|'
+       << c.rfmSbNs << '|' << c.drfmSbNs << '|' << c.bulkRefreshRankMs
+       << '|' << c.bulkRefreshChannelMs << '|' << c.blastRadius << '|'
+       << static_cast<int>(c.mitigationCmd) << '|' << c.nRH << '|'
+       << c.rowGroupSize << '|' << c.dapperSResetUs << '|' << c.seed;
+    return os.str();
+}
+
+} // namespace detail
 
 Scenario::Scenario()
     : tracker_(&TrackerRegistry::instance().at("none")),
@@ -125,6 +152,17 @@ Scenario::effectiveHorizon() const
     return static_cast<Tick>(windows_) * cfg_.tREFW();
 }
 
+std::string
+Scenario::fingerprint() const
+{
+    std::ostringstream os;
+    os << "cell|" << workload_ << '|' << attack_->name << '|'
+       << tracker_->name << '|' << static_cast<int>(baseline_) << '|'
+       << effectiveHorizon() << '|' << static_cast<int>(engine_) << '|'
+       << detail::configFingerprint(cfg_);
+    return os.str();
+}
+
 ScenarioGrid::ScenarioGrid(Scenario base) : base_(std::move(base)) {}
 
 ScenarioGrid &
@@ -182,6 +220,21 @@ ScenarioGrid::nRH(const std::vector<int> &thresholds)
         values.emplace_back("nrh=" + std::to_string(n), [n](Scenario &s) {
             s.nRH(n);
         });
+    return axis(std::move(values));
+}
+
+ScenarioGrid &
+ScenarioGrid::seeds(int n)
+{
+    if (n < 1)
+        throw std::invalid_argument("seeds axis needs n >= 1");
+    std::vector<AxisValue> values;
+    for (int k = 0; k < n; ++k)
+        values.emplace_back("seed=" + std::to_string(k),
+                            [k](Scenario &s) {
+                                s.seed(s.configRef().seed +
+                                       static_cast<std::uint64_t>(k));
+                            });
     return axis(std::move(values));
 }
 

@@ -36,6 +36,18 @@
 
 namespace dapper {
 
+namespace detail {
+
+/**
+ * '|'-joined rendering of every SysConfig field (17-digit precision for
+ * doubles). Injective over configs: two distinct configs can never
+ * share a fingerprint. Shared by the Runner baseline cache key and the
+ * Scenario cell fingerprint.
+ */
+std::string configFingerprint(const SysConfig &c);
+
+} // namespace detail
+
 class Scenario
 {
   public:
@@ -78,6 +90,19 @@ class Scenario
     /** Horizon actually simulated: the explicit override, else
      *  windows * tREFW under this scenario's config. */
     Tick effectiveHorizon() const;
+
+    /**
+     * Canonical cell identity: workload, attack, tracker, baseline
+     * kind, *effective* horizon, engine, and the full config fingerprint
+     * (every field, including the seed). Two scenarios with the same
+     * fingerprint produce bit-identical results (seed purity), which is
+     * what makes the fingerprint usable as a campaign resume key: the
+     * fleet runner (src/sim/fleet/) shards cells by it, journals
+     * completed fingerprints, and skips them on resume — no cell ever
+     * runs twice. The label is deliberately NOT part of the identity
+     * (it is presentation, not physics).
+     */
+    std::string fingerprint() const;
 
   private:
     SysConfig cfg_;
@@ -122,6 +147,16 @@ class ScenarioGrid
     ScenarioGrid &trackers(const std::vector<std::string> &names);
     ScenarioGrid &attacks(const std::vector<std::string> &names);
     ScenarioGrid &nRH(const std::vector<int> &thresholds);
+    /**
+     * Monte-Carlo seed replication axis: @p n cells labelled
+     * "seed=0".."seed=n-1", each offsetting the scenario's own
+     * SysConfig::seed by k at expansion time (offsets compose with a
+     * seed set on the base scenario or by an earlier axis). Added last
+     * (= innermost), consecutive index groups of n are replicas of one
+     * cell — the layout ResultTable::seedSummaries() reduces into
+     * mean / stddev / confidence-interval columns.
+     */
+    ScenarioGrid &seeds(int n);
     ScenarioGrid &baselines(const std::vector<Baseline> &baselines);
     ScenarioGrid &cells(const std::vector<ScenarioCell> &cells);
 
