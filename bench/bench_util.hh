@@ -32,6 +32,7 @@
 #include "src/sim/fleet/fleet.hh"
 #include "src/sim/runner.hh"
 #include "src/workload/benign.hh"
+#include "src/workload/workload_registry.hh"
 
 namespace dapper {
 namespace benchutil {
@@ -50,6 +51,9 @@ struct Options
     Engine engine = Engine::Event; ///< Simulation time-advance engine.
     std::string trackerFilter; ///< Registry name: keep matching cells.
     std::string attackFilter;  ///< Registry name: keep matching cells.
+    /// WorkloadRegistry name (--workload): restrict the population to
+    /// one workload — synthetic or trace-replay.
+    std::string workloadFilter;
     std::string jsonPath;    ///< Structured results (ResultTable JSON).
     std::string csvPath;     ///< Structured results (ResultTable CSV).
     /// Fleet campaign directory (--fleet): run the grid through the
@@ -89,6 +93,10 @@ usage(const char *prog, const char *error, int exitCode = 2)
                  "one tracker\n"
                  "  --attack NAME    restrict the attack table cells to "
                  "one attack\n"
+                 "  --workload NAME  restrict the workload population to "
+                 "one registered\n"
+                 "                   workload (synthetic or DTR trace "
+                 "replay)\n"
                  "  --json FILE      also write results as JSON (incl. "
                  "per-component stats\n"
                  "                   and tREFI time series)\n"
@@ -118,6 +126,10 @@ usage(const char *prog, const char *error, int exitCode = 2)
         std::fprintf(stderr, " %s", name.c_str());
     std::fprintf(stderr, "\nattacks :");
     for (const auto &name : AttackRegistry::instance().names())
+        std::fprintf(stderr, " %s", name.c_str());
+    std::fprintf(stderr, "\nworkloads (%zu):",
+                 WorkloadRegistry::instance().names().size());
+    for (const auto &name : WorkloadRegistry::instance().names())
         std::fprintf(stderr, " %s", name.c_str());
     std::fprintf(stderr, "\n");
     std::exit(exitCode);
@@ -174,6 +186,11 @@ parse(int argc, char **argv)
             if (AttackRegistry::instance().find(opt.attackFilter) ==
                 nullptr)
                 usage(prog, "unknown --attack (see list below)");
+        } else if (std::strcmp(argv[i], "--workload") == 0) {
+            opt.workloadFilter = value(i);
+            if (WorkloadRegistry::instance().find(opt.workloadFilter) ==
+                nullptr)
+                usage(prog, "unknown --workload (see list below)");
         } else if (std::strcmp(argv[i], "--json") == 0) {
             opt.jsonPath = value(i);
         } else if (std::strcmp(argv[i], "--csv") == 0) {
@@ -239,10 +256,12 @@ applySeeds(const Options &opt, ScenarioGrid &grid)
 /**
  * Execute a bench grid: in-process Runner by default, the dapper-fleet
  * coordinator when --fleet DIR was given. Fleet runs are crash-safe and
- * resumable; an incomplete campaign (drained by SIGINT, or cells left
- * in quarantine) cannot produce the bench's fixed-shape table, so it
- * reports progress and exits 3 — re-run with the same --fleet DIR to
- * continue where it stopped.
+ * resumable. A campaign with quarantined cells but every cell otherwise
+ * attempted still publishes its table — quarantined cells render as
+ * explicit "--" / null gaps with a "quarantined" marker, so partial
+ * results are not lost. A drained campaign (SIGINT before every cell
+ * ran) cannot produce the table; it reports progress and exits 3 —
+ * re-run with the same --fleet DIR to continue where it stopped.
  */
 inline ResultTable
 runGrid(const Options &opt, const ScenarioGrid &grid, const char *prog)
@@ -271,6 +290,13 @@ runGrid(const Options &opt, const ScenarioGrid &grid, const char *prog)
                      entry.label.c_str(), entry.attempts,
                      entry.lastError.c_str());
     if (!report.complete()) {
+        if (!report.drained && report.accounted()) {
+            std::fprintf(stderr,
+                         "%s: publishing with %zu quarantined cell(s) "
+                         "as explicit table gaps\n",
+                         prog, report.quarantined.size());
+            return report.table;
+        }
         std::fprintf(stderr,
                      "%s: fleet campaign incomplete; re-run with "
                      "--fleet %s to resume\n",
@@ -429,10 +455,21 @@ horizonOf(const SysConfig &cfg, const Options &opt)
     return static_cast<Tick>(opt.windows) * cfg.tREFW();
 }
 
-/** Workload population: per-suite subset by default, all 57 with --full. */
+/** Workload population: per-suite subset by default, all 57 with
+ *  --full, exactly the named workload with --workload. */
 inline std::vector<std::string>
 population(const Options &opt, int perSuite = 2)
 {
+    if (!opt.workloadFilter.empty()) {
+        // Suite-population benches group results with findWorkload()
+        // metadata (suite, rbmpki), which trace workloads don't carry.
+        if (WorkloadRegistry::instance().at(opt.workloadFilter).isTrace)
+            usage("bench",
+                  "--workload: this bench's population is synthetic-"
+                  "only; trace workloads run via trace-aware benches "
+                  "(fig_multiprog, trace_tool replay)");
+        return {opt.workloadFilter};
+    }
     if (opt.full)
         return workloadsInSuite("All");
     // The most attack-sensitive (highest-RBMPKI) workloads per suite plus

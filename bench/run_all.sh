@@ -64,8 +64,8 @@ SIM_BENCHES="fig01_motivation fig03_perf_attacks fig04_nrh_sensitivity \
 fig05_llc_sensitivity fig09_dapper_s_agnostic fig10_dapper_h_agnostic \
 fig11_dapper_h_benign fig12_nrh_sweep fig13_blast_radius fig14_blockhammer \
 fig15_probabilistic_benign fig16_probabilistic_attack fig17_prac \
-ablation_dapper_h tab04_energy micro_scheduler micro_controller \
-micro_groundtruth micro_core"
+fig_multiprog ablation_dapper_h tab04_energy micro_scheduler \
+micro_controller micro_groundtruth micro_core"
 ANALYTIC_BENCHES="tab02_mapping_capture tab03_storage"
 
 # ---------------------------------------------------------------------

@@ -16,12 +16,19 @@ series. Values the flat columns duplicate (mitigations, activations,
 max_damage, rh_violations, energy_nj) must agree exactly with their
 stat counterparts.
 
+Scenarios quarantined by a fleet campaign render as explicit gap rows:
+the full cell identity plus "quarantined": true, a "quarantine_error"
+string, and every metric / stats / series field present but null. Gap
+rows are validated structurally (a hole must be a *deliberate* hole,
+never a half-written row) and skip the telemetry checks.
+
 Also validates dapper-fleet campaign manifests (the manifest.json a
 FleetCampaign writes next to its shard journals): counter consistency,
 the no-duplicate-results contract, and per-shard record accounting.
 With --merged, the fleet-merged bench JSON is additionally checked
 against the bench schema and cross-checked against the manifest's cell
-count.
+count; a campaign that is fully accounted (completed + quarantined ==
+unique cells) must render every grid cell, gaps included.
 
 Usage: check_bench_json.py FILE [FILE...]
        check_bench_json.py --fleet-manifest MANIFEST [--merged MERGED]
@@ -57,6 +64,20 @@ MIRRORED = [
     ("rh_violations", "gt.violations"),
     ("energy_nj", "energy.totalNj"),
 ]
+
+# Cell identity: present and typed on every row, gap rows included.
+IDENTITY_FIELDS = (
+    "workload", "tracker", "attack", "baseline", "label", "nrh",
+    "time_scale", "llc_bytes", "channels", "seed", "horizon", "engine",
+)
+
+# Measured values: typed on live rows, exactly null on quarantined gap
+# rows (plus "stats" and "series", validated separately).
+METRIC_FIELDS = (
+    "benign_ipc", "normalized", "baseline_ipc", "mitigations",
+    "bulk_resets", "counter_traffic", "activations", "max_damage",
+    "rh_violations", "energy_nj",
+)
 
 # field -> (type check, description)
 SCENARIO_FIELDS = {
@@ -128,9 +149,18 @@ def check_file(path):
     if not isinstance(scenarios, list) or not scenarios:
         fail(path, "'scenarios' must be a non-empty array")
 
+    quarantined_rows = 0
     for index, row in enumerate(scenarios):
         if not isinstance(row, dict):
             fail(path, f"scenarios[{index}] must be an object")
+        if row.get("quarantined") is True:
+            quarantined_rows += 1
+            check_gap_row(path, index, row)
+            continue
+        if "quarantined" in row:
+            fail(path, f"scenarios[{index}].quarantined = "
+                       f"{row['quarantined']!r}; live rows must omit "
+                       "the marker entirely")
         for field, (check, expected) in SCENARIO_FIELDS.items():
             if field not in row:
                 fail(path, f"scenarios[{index}] missing '{field}'")
@@ -149,7 +179,31 @@ def check_file(path):
             )
         check_stats(path, index, row)
 
-    print(f"{path}: OK ({doc['bench']}, {len(scenarios)} scenarios)")
+    gaps = f", {quarantined_rows} quarantined" if quarantined_rows else ""
+    print(f"{path}: OK ({doc['bench']}, {len(scenarios)} scenarios{gaps})")
+
+
+def check_gap_row(path, index, row):
+    """Validate a quarantined gap row: identity intact, metrics null."""
+    where = f"scenarios[{index}]"
+    for field in IDENTITY_FIELDS:
+        if field not in row:
+            fail(path, f"{where} (quarantined) missing '{field}'")
+        check, expected = SCENARIO_FIELDS[field]
+        if not check(row[field]):
+            fail(path, f"{where}.{field} = {row[field]!r}, expected "
+                       f"{expected} even on a quarantined row")
+    if not isinstance(row.get("quarantine_error"), str) \
+            or not row["quarantine_error"]:
+        fail(path, f"{where}.quarantine_error must be a non-empty "
+                   "string on a quarantined row")
+    for field in METRIC_FIELDS + ("stats", "series"):
+        if field not in row:
+            fail(path, f"{where} (quarantined) missing '{field}' — "
+                       "gap rows carry every column as null")
+        if row[field] is not None:
+            fail(path, f"{where}.{field} = {row[field]!r} on a "
+                       "quarantined row, expected null")
 
 
 def check_stats(path, index, row):
@@ -307,14 +361,26 @@ def check_fleet_manifest(path, merged_path=None):
         with open(merged_path) as handle:
             merged = json.load(handle)
         rows = len(merged["scenarios"])
-        if doc["completed"] == doc["unique_cells"] \
-                and rows != doc["cells"]:
+        gap_rows = sum(1 for row in merged["scenarios"]
+                       if row.get("quarantined") is True)
+        accounted = doc["completed"] + len(quarantined) \
+            == doc["unique_cells"]
+        if accounted and rows != doc["cells"]:
             fail(merged_path,
-                 f"complete campaign must render every grid cell: "
-                 f"{rows} scenarios != {doc['cells']} cells")
+                 f"accounted campaign must render every grid cell "
+                 f"(quarantined ones as gaps): {rows} scenarios != "
+                 f"{doc['cells']} cells")
         if rows > doc["cells"]:
             fail(merged_path, f"{rows} scenarios exceed the campaign's "
                               f"{doc['cells']} cells")
+        if quarantined and gap_rows == 0 and accounted:
+            fail(merged_path,
+                 f"manifest lists {len(quarantined)} quarantined "
+                 "cell(s) but the merged table has no gap rows")
+        if gap_rows and not quarantined:
+            fail(merged_path,
+                 f"merged table has {gap_rows} gap row(s) but the "
+                 "manifest quarantined nothing")
 
 
 def main():

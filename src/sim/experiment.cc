@@ -1,11 +1,13 @@
 #include "src/sim/experiment.hh"
 
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "src/common/check.hh"
 #include "src/common/stats.hh"
 #include "src/sim/probe.hh"
+#include "src/workload/workload_registry.hh"
 
 namespace dapper {
 
@@ -20,12 +22,27 @@ runOnce(const SysConfig &cfg, const std::string &workload,
         const AttackInfo &attack, const TrackerInfo &tracker,
         Tick horizon, Engine engine)
 {
+    return runOnce(cfg, std::vector<std::string>{workload}, attack,
+                   tracker, horizon, engine);
+}
+
+RunResult
+runOnce(const SysConfig &cfg, const std::vector<std::string> &workloads,
+        const AttackInfo &attack, const TrackerInfo &tracker,
+        Tick horizon, Engine engine)
+{
+    if (workloads.empty())
+        throw std::invalid_argument(
+            "runOnce: per-core workload list is empty");
     SysConfig runCfg = cfg;
     if (horizon == 0)
         horizon = defaultHorizon(runCfg);
 
     AddressMapper mapper(runCfg);
-    const WorkloadParams &params = findWorkload(workload);
+    WorkloadRegistry &registry = WorkloadRegistry::instance();
+    std::vector<const WorkloadInfo *> infos;
+    for (const std::string &name : workloads)
+        infos.push_back(&registry.at(name));
 
     std::vector<std::unique_ptr<TraceGen>> gens;
     int attackerCore = -1;
@@ -37,8 +54,9 @@ runOnce(const SysConfig &cfg, const std::string &workload,
             gens.push_back(attack.make(runCfg, mapper,
                                        runCfg.seed + 777));
         } else {
-            gens.push_back(std::make_unique<BenignGen>(
-                params, runCfg, i, runCfg.seed + 13));
+            const WorkloadInfo &info =
+                *infos[static_cast<std::size_t>(i) % infos.size()];
+            gens.push_back(info.make(runCfg, i, runCfg.seed + 13));
         }
     }
 

@@ -89,7 +89,9 @@ enum class Baseline
 /**
  * Run one configuration. With the "none" attack all cores run the
  * benign workload (homogeneous); otherwise cores 0..n-2 are benign and
- * the last core runs the attack stream.
+ * the last core runs the attack stream. Workloads are resolved through
+ * WorkloadRegistry (src/workload/workload_registry.hh), so the name may
+ * be any registered workload — synthetic or DTR trace replay.
  *
  * Thread-safe and seed-pure: each call builds its own System, and all
  * randomness is seeded from cfg.seed, so results are independent of the
@@ -97,6 +99,17 @@ enum class Baseline
  * anywhere in this layer — baseline caching lives in Runner instances.
  */
 RunResult runOnce(const SysConfig &cfg, const std::string &workload,
+                  const AttackInfo &attack, const TrackerInfo &tracker,
+                  Tick horizon = 0, Engine engine = Engine::Event);
+
+/**
+ * Multi-program variant: benign core i runs workloads[i % n]. A
+ * one-element list is identical to the homogeneous overload; an empty
+ * list throws. The attacker core (when the attack is not "none") is
+ * unchanged — it never consumes a workload slot.
+ */
+RunResult runOnce(const SysConfig &cfg,
+                  const std::vector<std::string> &workloads,
                   const AttackInfo &attack, const TrackerInfo &tracker,
                   Tick horizon = 0, Engine engine = Engine::Event);
 

@@ -1043,9 +1043,24 @@ Coordinator::finalize()
     std::vector<ScenarioResult> rows;
     rows.reserve(scenarios_.size());
     for (std::size_t i = 0; i < scenarios_.size(); ++i) {
-        const auto it = results.find(cells_[cellOfScenario_[i]].fingerprint);
-        if (it == results.end())
-            continue; // Quarantined or drained-before-run.
+        const std::string &fp = cells_[cellOfScenario_[i]].fingerprint;
+        const auto it = results.find(fp);
+        if (it == results.end()) {
+            // Quarantined cells become explicit gap rows so the merged
+            // table keeps the grid shape and downstream renderings show
+            // "--" / null instead of silently losing the cell. Cells
+            // merely drained-before-run stay absent — they were never
+            // attempted and a resume will still fill them.
+            const auto q = quarantined.find(fp);
+            if (q == quarantined.end())
+                continue;
+            ScenarioResult row;
+            row.scenario = scenarios_[i];
+            row.quarantined = true;
+            row.quarantineError = q->second.lastError;
+            rows.push_back(std::move(row));
+            continue;
+        }
         ScenarioResult row;
         row.scenario = scenarios_[i];
         row.run = it->second.run;

@@ -22,8 +22,9 @@
  *    an exception inside the cell) is re-dispatched after capped
  *    exponential backoff (fleetBackoffSeconds). After
  *    FleetOptions::maxAttempts failures the cell lands in the
- *    quarantine list — recorded in the journal, reported, skipped —
- *    instead of aborting the campaign.
+ *    quarantine list — recorded in the journal, reported, and rendered
+ *    as an explicit gap row in the merged table — instead of aborting
+ *    the campaign.
  *  - Graceful drain: SIGINT/SIGTERM let every worker finish its
  *    in-flight cell, flush, and exit 0; the coordinator merges what
  *    completed and reports drained=true.
@@ -105,10 +106,18 @@ struct FleetReport
     std::size_t duplicateResults = 0;
     std::vector<FleetQuarantineEntry> quarantined; ///< Cumulative.
     bool drained = false; ///< Stopped early by SIGINT/SIGTERM.
-    /// Completed rows in grid order (quarantined cells are absent).
+    /// Rows in grid order. Quarantined cells appear as explicit gap
+    /// rows (ScenarioResult::quarantined) rendering as "--" / null;
+    /// only cells drained before ever running are absent.
     ResultTable table;
 
     bool complete() const { return completed == uniqueCells; }
+    /// Every cell was at least attempted to a verdict: completed or
+    /// quarantined (the gap-row publishing condition for benches).
+    bool accounted() const
+    {
+        return completed + quarantined.size() == uniqueCells;
+    }
 };
 
 /** Backoff before attempt @p attempt+1 after @p attempt failures:

@@ -122,7 +122,7 @@ Runner::baselineIpc(const Scenario &scenario)
     std::shared_ptr<BaselineEntry> entry = entryFor(key);
     std::call_once(entry->once, [&] {
         entry->value = runOnce(scenario.configRef(),
-                               scenario.workloadName(), baseAttack,
+                               scenario.workloadList(), baseAttack,
                                noneTracker, horizon,
                                scenario.engineKind())
                            .benignIpcMean;
@@ -144,7 +144,7 @@ RunResult
 Runner::runRaw(const Scenario &scenario)
 {
     const RunResult result =
-        runOnce(scenario.configRef(), scenario.workloadName(),
+        runOnce(scenario.configRef(), scenario.workloadList(),
                 scenario.attackInfo(), scenario.trackerInfo(),
                 scenario.effectiveHorizon(), scenario.engineKind());
     // An unprotected run *is* the insecure baseline for its own
@@ -343,6 +343,28 @@ ResultTable::writeJsonRow(std::FILE *out, const ScenarioResult &row)
             static_cast<unsigned long long>(c.seed),
             static_cast<unsigned long long>(s.effectiveHorizon()),
             engineName(s.engineKind()));
+        if (row.quarantined) {
+            // Explicit gap: the cell's identity with null metrics, so a
+            // partially-quarantined campaign still renders every cell
+            // and consumers can't mistake a hole for "not run".
+            std::fputs(",\n     \"quarantined\": true, "
+                       "\"quarantine_error\": ",
+                       out);
+            writeJsonString(out, row.quarantineError);
+            std::fputs(
+                ",\n     \"benign_ipc\": null, \"normalized\": null, "
+                "\"baseline_ipc\": null",
+                out);
+            std::fputs(
+                ",\n     \"mitigations\": null, \"bulk_resets\": null, "
+                "\"counter_traffic\": null, \"activations\": null, "
+                "\"max_damage\": null, \"rh_violations\": null, "
+                "\"energy_nj\": null",
+                out);
+            std::fputs(",\n     \"stats\": null, \"series\": null}",
+                       out);
+            return;
+        }
         std::fprintf(
             out,
             ",\n     \"benign_ipc\": %.17g, \"normalized\": %.17g, "
@@ -423,17 +445,26 @@ ResultTable::writeCsv(std::FILE *out) const
         const Scenario &s = row.scenario;
         const SysConfig &c = s.configRef();
         std::fprintf(
-            out,
-            "%s,%s,%s,%s,%s,%d,%.17g,%llu,%d,%llu,%llu,%s,%.17g,%.17g,"
-            "%.17g,%llu,%llu,%llu,%llu,%u,%llu,%.17g",
+            out, "%s,%s,%s,%s,%s,%d,%.17g,%llu,%d,%llu,%llu,%s",
             s.workloadName().c_str(), s.trackerInfo().name.c_str(),
             s.attackInfo().name.c_str(), baselineName(s.baselineKind()),
             s.labelText().c_str(), c.nRH, c.timeScale,
             static_cast<unsigned long long>(c.llcBytes), c.channels,
             static_cast<unsigned long long>(c.seed),
             static_cast<unsigned long long>(s.effectiveHorizon()),
-            engineName(s.engineKind()), row.run.benignIpcMean,
-            row.normalized, row.baselineIpc,
+            engineName(s.engineKind()));
+        if (row.quarantined) {
+            // Explicit "--" gaps in the ten metric columns; the stat
+            // columns stay empty like any other absent stat.
+            std::fputs(",--,--,--,--,--,--,--,--,--,--", out);
+            for (std::size_t k = 0; k < statCols.size(); ++k)
+                std::fputc(',', out);
+            std::fputc('\n', out);
+            continue;
+        }
+        std::fprintf(
+            out, ",%.17g,%.17g,%.17g,%llu,%llu,%llu,%llu,%u,%llu,%.17g",
+            row.run.benignIpcMean, row.normalized, row.baselineIpc,
             static_cast<unsigned long long>(row.run.mitigations),
             static_cast<unsigned long long>(row.run.bulkResets),
             static_cast<unsigned long long>(row.run.counterTraffic),

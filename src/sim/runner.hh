@@ -43,6 +43,11 @@ struct ScenarioResult
     double baselineIpc = 0.0;
     /// run.benignIpcMean / baselineIpc; 0 for Baseline::Raw.
     double normalized = 0.0;
+    /// Fleet-quarantined cell: the scenario identifies the hole, `run`
+    /// is empty, and renderings emit explicit gaps ("--" / null) with a
+    /// "quarantined" marker instead of silently dropping the row.
+    bool quarantined = false;
+    std::string quarantineError; ///< Last failure, when quarantined.
 };
 
 /**

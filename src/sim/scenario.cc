@@ -41,7 +41,35 @@ Scenario &
 Scenario::workload(std::string name)
 {
     workload_ = std::move(name);
+    workloads_.clear();
     return *this;
+}
+
+Scenario &
+Scenario::workloads(const std::vector<std::string> &names)
+{
+    if (names.empty())
+        throw std::invalid_argument(
+            "workloads() needs at least one name");
+    if (names.size() == 1)
+        return workload(names.front());
+    std::string joined;
+    for (const std::string &name : names) {
+        if (!joined.empty())
+            joined += '+';
+        joined += name;
+    }
+    workload_ = std::move(joined);
+    workloads_ = names;
+    return *this;
+}
+
+std::vector<std::string>
+Scenario::workloadList() const
+{
+    if (workloads_.empty())
+        return {workload_};
+    return workloads_;
 }
 
 Scenario &
@@ -182,6 +210,23 @@ ScenarioGrid::workloads(const std::vector<std::string> &names)
         values.emplace_back(name, [name](Scenario &s) {
             s.workload(name);
         });
+    return axis(std::move(values));
+}
+
+ScenarioGrid &
+ScenarioGrid::workloadSets(
+    const std::vector<std::vector<std::string>> &sets)
+{
+    std::vector<AxisValue> values;
+    for (const std::vector<std::string> &set : sets) {
+        // Apply through a scratch scenario eagerly so an empty set
+        // fails here, and to reuse the canonical '+'-join as the label.
+        Scenario probe;
+        probe.workloads(set);
+        values.emplace_back(probe.workloadName(), [set](Scenario &s) {
+            s.workloads(set);
+        });
+    }
     return axis(std::move(values));
 }
 

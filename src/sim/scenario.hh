@@ -55,6 +55,16 @@ class Scenario
 
     // --- builder setters (chainable) --------------------------------
     Scenario &workload(std::string name);
+    /**
+     * Multi-program workload list: benign core i runs names[i % n]
+     * (WorkloadRegistry names; synthetic and trace workloads mix
+     * freely). The scenario's canonical workload name becomes the
+     * '+'-joined list — registry names may not contain '+', so the join
+     * is injective and the single-string identity paths (fingerprint,
+     * baseline keys, JSON) carry multi-program cells unchanged. A
+     * one-element list is identical to workload(); empty throws.
+     */
+    Scenario &workloads(const std::vector<std::string> &names);
     /** Resolve by registry name; throws std::invalid_argument listing
      *  the available names when unknown. */
     Scenario &tracker(const std::string &name);
@@ -78,7 +88,10 @@ class Scenario
     Scenario &label(std::string text);
 
     // --- getters ----------------------------------------------------
+    /** Canonical name: the single workload, or the '+'-joined list. */
     const std::string &workloadName() const { return workload_; }
+    /** Per-core workload list; size 1 for homogeneous scenarios. */
+    std::vector<std::string> workloadList() const;
     const TrackerInfo &trackerInfo() const { return *tracker_; }
     const AttackInfo &attackInfo() const { return *attack_; }
     Baseline baselineKind() const { return baseline_; }
@@ -107,6 +120,8 @@ class Scenario
   private:
     SysConfig cfg_;
     std::string workload_ = "429.mcf";
+    /// Multi-program list; empty means homogeneous workload_.
+    std::vector<std::string> workloads_;
     const TrackerInfo *tracker_;
     const AttackInfo *attack_;
     Baseline baseline_ = Baseline::Raw;
@@ -144,6 +159,10 @@ class ScenarioGrid
 
     // Sugar axes (all forward to axis()).
     ScenarioGrid &workloads(const std::vector<std::string> &names);
+    /** Multi-program axis: each entry is one per-core workload list,
+     *  labelled by its '+'-joined canonical name. */
+    ScenarioGrid &
+    workloadSets(const std::vector<std::vector<std::string>> &sets);
     ScenarioGrid &trackers(const std::vector<std::string> &names);
     ScenarioGrid &attacks(const std::vector<std::string> &names);
     ScenarioGrid &nRH(const std::vector<int> &thresholds);

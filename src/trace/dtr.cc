@@ -1,0 +1,366 @@
+#include "src/trace/dtr.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "src/common/journal.hh"
+
+namespace dapper {
+
+namespace {
+
+constexpr std::size_t kFrameHeaderBytes = 4 + 1 + 4 + 4;
+
+std::uint32_t
+loadU32(const unsigned char *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           static_cast<std::uint32_t>(p[1]) << 8 |
+           static_cast<std::uint32_t>(p[2]) << 16 |
+           static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+} // namespace
+
+void
+dtrPutVarint(std::string &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+std::uint64_t
+dtrGetVarint(const unsigned char *&p, const unsigned char *end)
+{
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+        if (p == end)
+            throw DtrError("varint overruns its block payload");
+        const unsigned char byte = *p++;
+        if (shift == 63 && (byte & 0x7E) != 0)
+            throw DtrError("varint exceeds 64 bits");
+        value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+        if ((byte & 0x80) == 0)
+            return value;
+        shift += 7;
+        if (shift > 63)
+            throw DtrError("varint exceeds 64 bits");
+    }
+}
+
+std::string
+encodeDtrBlock(DtrBlock type, const std::string &payload)
+{
+    // The journal framing idiom (magic + type + length + CRC over
+    // [type, length, payload]) under the DTR magic.
+    ByteWriter header;
+    header.putU8(static_cast<std::uint8_t>(type));
+    header.putU32(static_cast<std::uint32_t>(payload.size()));
+    std::uint32_t crc =
+        crc32(header.bytes().data(), header.bytes().size());
+    crc = crc32(payload.data(), payload.size(), crc);
+
+    ByteWriter frame;
+    frame.putU32(kDtrMagic);
+    frame.putU8(static_cast<std::uint8_t>(type));
+    frame.putU32(static_cast<std::uint32_t>(payload.size()));
+    frame.putU32(crc);
+    std::string out = frame.take();
+    out += payload;
+    return out;
+}
+
+// ---------------------------------------------------------------------
+// TraceWriter.
+// ---------------------------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string &path, const std::string &name,
+                         std::uint64_t baseSeed,
+                         std::uint32_t recordsPerBlock)
+    : path_(path), name_(name), baseSeed_(baseSeed),
+      recordsPerBlock_(recordsPerBlock == 0 ? 1 : recordsPerBlock)
+{
+    file_ = std::fopen(path.c_str(), "wb+");
+    if (file_ == nullptr)
+        throw DtrError("cannot open '" + path +
+                       "' for writing: " + std::strerror(errno));
+    // Placeholder header; close() patches the counts in place (the
+    // payload length is count-independent, so the frame size is stable).
+    const std::string frame =
+        encodeDtrBlock(DtrBlock::Header, headerPayload());
+    if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size())
+        throw DtrError("short write on '" + path + "'");
+}
+
+TraceWriter::~TraceWriter()
+{
+    if (file_ != nullptr) {
+        try {
+            close();
+        } catch (...) {
+            std::fclose(file_);
+            file_ = nullptr;
+        }
+    }
+}
+
+std::string
+TraceWriter::headerPayload() const
+{
+    ByteWriter payload;
+    payload.putU32(kDtrVersion);
+    payload.putU64(baseSeed_);
+    payload.putU64(recordCount_);
+    payload.putU32(blockCount_);
+    payload.putString(name_);
+    return payload.take();
+}
+
+void
+TraceWriter::append(const TraceRecord &rec)
+{
+    if (file_ == nullptr)
+        throw DtrError("append on a closed TraceWriter");
+    if (blockRecords_ == 0)
+        blockPrevAddr_ = lastAddr_;
+    const std::uint64_t meta =
+        (static_cast<std::uint64_t>(rec.bubbles) << 2) |
+        (rec.bypassLlc ? 2u : 0u) | (rec.isWrite ? 1u : 0u);
+    dtrPutVarint(blockBody_, meta);
+    dtrPutVarint(blockBody_,
+                 dtrZigzagEncode(static_cast<std::int64_t>(
+                     rec.addr - lastAddr_)));
+    lastAddr_ = rec.addr;
+    ++blockRecords_;
+    ++recordCount_;
+    if (blockRecords_ >= recordsPerBlock_)
+        flushBlock();
+}
+
+void
+TraceWriter::flushBlock()
+{
+    if (blockRecords_ == 0)
+        return;
+    ByteWriter payload;
+    payload.putU64(blockPrevAddr_);
+    payload.putU32(blockRecords_);
+    std::string body = payload.take();
+    body += blockBody_;
+    const std::string frame = encodeDtrBlock(DtrBlock::Data, body);
+    if (std::fwrite(frame.data(), 1, frame.size(), file_) !=
+        frame.size())
+        throw DtrError("short write on '" + path_ + "'");
+    blockBody_.clear();
+    blockRecords_ = 0;
+    ++blockCount_;
+}
+
+void
+TraceWriter::close()
+{
+    if (file_ == nullptr)
+        return;
+    flushBlock();
+    const std::string header =
+        encodeDtrBlock(DtrBlock::Header, headerPayload());
+    if (std::fseek(file_, 0, SEEK_SET) != 0 ||
+        std::fwrite(header.data(), 1, header.size(), file_) !=
+            header.size() ||
+        std::fclose(file_) != 0) {
+        std::fclose(file_);
+        file_ = nullptr;
+        throw DtrError("cannot finalize '" + path_ + "'");
+    }
+    file_ = nullptr;
+}
+
+// ---------------------------------------------------------------------
+// TraceReader.
+// ---------------------------------------------------------------------
+
+TraceReader::TraceReader(const std::string &path) : path_(path)
+{
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        throw std::runtime_error("dtr: cannot open '" + path +
+                                 "': " + std::strerror(errno));
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+        ::close(fd);
+        throw std::runtime_error("dtr: cannot stat '" + path + "'");
+    }
+    size_ = static_cast<std::size_t>(st.st_size);
+    if (size_ > 0) {
+        void *map = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+        if (map == MAP_FAILED) {
+            ::close(fd);
+            throw std::runtime_error("dtr: cannot mmap '" + path +
+                                     "': " + std::strerror(errno));
+        }
+        data_ = static_cast<const unsigned char *>(map);
+    }
+    ::close(fd);
+    try {
+        parse();
+    } catch (...) {
+        if (data_ != nullptr)
+            ::munmap(const_cast<unsigned char *>(data_), size_);
+        throw;
+    }
+}
+
+TraceReader::~TraceReader()
+{
+    if (data_ != nullptr)
+        ::munmap(const_cast<unsigned char *>(data_), size_);
+}
+
+void
+TraceReader::parse()
+{
+    std::size_t off = 0;
+    bool sawHeader = false;
+    std::uint32_t headerBlocks = 0;
+    std::uint64_t index = 0;
+    while (off < size_) {
+        if (size_ - off < kFrameHeaderBytes)
+            throw DtrError("torn tail: " + std::to_string(size_ - off) +
+                           " trailing bytes are not a complete frame");
+        const unsigned char *frame = data_ + off;
+        if (loadU32(frame) != kDtrMagic)
+            throw DtrError("bad block magic at offset " +
+                           std::to_string(off));
+        const std::uint8_t type = frame[4];
+        const std::uint32_t length = loadU32(frame + 5);
+        const std::uint32_t storedCrc = loadU32(frame + 9);
+        if (size_ - off - kFrameHeaderBytes < length)
+            throw DtrError("torn tail: block at offset " +
+                           std::to_string(off) +
+                           " extends past end of file");
+        const unsigned char *payload = frame + kFrameHeaderBytes;
+        // CRC over [type, length, payload] — the journal idiom.
+        std::uint32_t crc = crc32(frame + 4, 5);
+        crc = crc32(payload, length, crc);
+        if (crc != storedCrc)
+            throw DtrError("checksum mismatch in block at offset " +
+                           std::to_string(off));
+
+        ByteReader reader(payload, length);
+        if (type == static_cast<std::uint8_t>(DtrBlock::Header)) {
+            if (sawHeader)
+                throw DtrError("duplicate header block");
+            if (off != 0)
+                throw DtrError("header block is not first");
+            sawHeader = true;
+            const std::uint32_t version = reader.getU32();
+            if (version != kDtrVersion)
+                throw DtrError("unsupported format version " +
+                               std::to_string(version) + " (expected " +
+                               std::to_string(kDtrVersion) + ")");
+            baseSeed_ = reader.getU64();
+            recordCount_ = reader.getU64();
+            headerBlocks = reader.getU32();
+            name_ = reader.getString();
+            if (!reader.done())
+                throw DtrError("trailing bytes in header payload");
+        } else if (type == static_cast<std::uint8_t>(DtrBlock::Data)) {
+            if (!sawHeader)
+                throw DtrError("data block before header");
+            BlockRef ref;
+            ref.prevAddr = reader.getU64();
+            ref.count = reader.getU32();
+            if (ref.count == 0)
+                throw DtrError("empty data block at offset " +
+                               std::to_string(off));
+            ref.records = payload + (length - reader.remaining());
+            ref.end = payload + length;
+            ref.firstIndex = index;
+            index += ref.count;
+            blocks_.push_back(ref);
+        } else {
+            throw DtrError("unknown block type " + std::to_string(type) +
+                           " at offset " + std::to_string(off));
+        }
+        off += kFrameHeaderBytes + length;
+    }
+    if (!sawHeader)
+        throw DtrError("missing header block (empty or not a DTR file)");
+    if (index != recordCount_)
+        throw DtrError("header claims " + std::to_string(recordCount_) +
+                       " records, data blocks hold " +
+                       std::to_string(index));
+    if (headerBlocks != blocks_.size())
+        throw DtrError("header claims " + std::to_string(headerBlocks) +
+                       " data blocks, file holds " +
+                       std::to_string(blocks_.size()));
+}
+
+TraceReader::Cursor::Cursor(const TraceReader &reader,
+                            std::uint64_t startIndex)
+    : reader_(&reader)
+{
+    if (reader.recordCount() == 0)
+        throw DtrError("cannot iterate an empty trace ('" +
+                       reader.path() + "')");
+    startIndex %= reader.recordCount();
+    // Find the block containing startIndex (blocks are index-ordered),
+    // then scan forward inside it — block-granular random access.
+    std::size_t block = 0;
+    while (block + 1 < reader.blocks_.size() &&
+           reader.blocks_[block + 1].firstIndex <= startIndex)
+        ++block;
+    enterBlock(block);
+    while (index_ < startIndex)
+        next();
+}
+
+void
+TraceReader::Cursor::enterBlock(std::size_t block)
+{
+    const BlockRef &ref = reader_->blocks_[block];
+    block_ = block;
+    pos_ = ref.records;
+    end_ = ref.end;
+    leftInBlock_ = ref.count;
+    prevAddr_ = ref.prevAddr;
+    index_ = ref.firstIndex;
+}
+
+TraceRecord
+TraceReader::Cursor::next()
+{
+    if (leftInBlock_ == 0) {
+        // Block exhausted: advance, wrapping past the last block.
+        enterBlock(block_ + 1 < reader_->blocks_.size() ? block_ + 1
+                                                        : 0);
+    }
+    const std::uint64_t meta = dtrGetVarint(pos_, end_);
+    const std::uint64_t delta = dtrGetVarint(pos_, end_);
+    TraceRecord rec;
+    rec.isWrite = (meta & 1) != 0;
+    rec.bypassLlc = (meta & 2) != 0;
+    rec.bubbles = static_cast<std::uint32_t>(meta >> 2);
+    rec.addr = prevAddr_ + static_cast<std::uint64_t>(
+                               dtrZigzagDecode(delta));
+    prevAddr_ = rec.addr;
+    --leftInBlock_;
+    ++index_;
+    if (leftInBlock_ == 0 && pos_ != end_)
+        throw DtrError("trailing bytes in data block payload");
+    if (index_ == reader_->recordCount())
+        index_ = 0;
+    return rec;
+}
+
+} // namespace dapper

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Trace replay: TraceReplayGen drives a core from a DTR file
+ * (src/trace/dtr.hh) through the same TraceGen interface the synthetic
+ * generators implement, so trace workloads slot into System / runOnce /
+ * Scenario unchanged.
+ *
+ * Seed-purity contract: the seed NEVER changes record content — a trace
+ * replays the same bubbles/addresses/flags on every engine and thread
+ * count. The seed (together with the core id) perturbs only the replay
+ * *start offset* into the looped trace:
+ *
+ *   seed == trace baseSeed  ->  start at record 0 (exact replay — the
+ *                               differential capture-vs-synthetic
+ *                               contract, tests/trace_test.cc)
+ *   otherwise               ->  mixHash64-derived offset in
+ *                               [0, recordCount)
+ *
+ * Readers are mmap-backed and immutable, so all cores of a run (and
+ * all concurrent runs in a grid) share one TraceReader per file via
+ * sharedTraceReader() — the process maps each trace once.
+ */
+
+#ifndef DAPPER_TRACE_REPLAY_HH
+#define DAPPER_TRACE_REPLAY_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/trace/dtr.hh"
+#include "src/workload/workload_registry.hh"
+
+namespace dapper {
+
+/** Directory checked-in trace workloads resolve relative paths
+ *  against: $DAPPER_TRACE_DIR, else the build-time default
+ *  (DAPPER_TRACE_DIR_DEFAULT, the repository's traces/ directory). */
+std::string traceDir();
+
+/** Process-wide mmap cache: one TraceReader per canonical path.
+ *  Thread-safe; throws DtrError / std::runtime_error on a bad file. */
+std::shared_ptr<const TraceReader> sharedTraceReader(
+    const std::string &path);
+
+/** The replay start offset for (seed, coreId) against a trace — the
+ *  seed-purity rule in the file comment, exposed for tests. */
+std::uint64_t traceStartIndex(const TraceReader &reader, int coreId,
+                              std::uint64_t seed);
+
+class TraceReplayGen : public TraceGen
+{
+  public:
+    /** @param workloadName the registry name reported by name() (the
+     *         trace's own header name is metadata, not identity). */
+    TraceReplayGen(std::shared_ptr<const TraceReader> reader,
+                   std::string workloadName, int coreId,
+                   std::uint64_t seed);
+
+    TraceRecord next() override { return cursor_.next(); }
+    std::string name() const override { return name_; }
+
+    std::uint64_t startIndex() const { return startIndex_; }
+
+  private:
+    std::shared_ptr<const TraceReader> reader_;
+    std::string name_;
+    std::uint64_t startIndex_;
+    TraceReader::Cursor cursor_;
+};
+
+/**
+ * Build a WorkloadInfo replaying @p path (resolved against traceDir()
+ * when relative, lazily at make() time so registration never touches
+ * the filesystem). Shared by the checked-in trace registrations
+ * (src/trace/trace_workloads.cc) and WorkloadRegistry::ensureTrace.
+ */
+WorkloadInfo makeTraceWorkload(std::string workloadName,
+                               std::string path,
+                               std::string description);
+
+} // namespace dapper
+
+#endif // DAPPER_TRACE_REPLAY_HH

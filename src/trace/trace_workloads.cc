@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Registrations for the checked-in miniature DTR traces under traces/
+ * (regenerate with `trace_tool gen`, verify with traces/MANIFEST.sha256).
+ * Paths resolve against traceDir() lazily at make() time, so merely
+ * linking these registrations never touches the filesystem.
+ */
+
+#include "src/trace/replay.hh"
+
+namespace dapper {
+
+DAPPER_REGISTER_WORKLOAD(
+    traceGc, makeTraceWorkload("trace-gc", "gc_heavy.dtr",
+                               "garbage-collection phases: heap sweeps "
+                               "alternating with allocation bursts"));
+
+DAPPER_REGISTER_WORKLOAD(
+    traceStencil,
+    makeTraceWorkload("trace-stencil", "stencil.dtr",
+                      "3-plane stencil sweep: read-read-write over "
+                      "adjacent rows"));
+
+DAPPER_REGISTER_WORKLOAD(
+    tracePtrchase,
+    makeTraceWorkload("trace-ptrchase", "ptrchase.dtr",
+                      "dependent pointer chase: long-latency scattered "
+                      "reads"));
+
+DAPPER_REGISTER_WORKLOAD(
+    traceStream, makeTraceWorkload("trace-stream", "stream.dtr",
+                                   "streaming copy: sequential reads "
+                                   "with paired writebacks"));
+
+} // namespace dapper

@@ -10,7 +10,14 @@ namespace {
 // name, suite, mpki, hotFrac, seqRun, writeFrac, footprintMB
 // MPKI / locality values follow published memory characterizations of the
 // suites (memory-bound outliers: mcf, lbm, parest, fotonik3d, GemsFDTD...).
-const std::vector<WorkloadParams> kTable = {
+// Function-local static (not a namespace-scope global): WorkloadRegistry
+// reads the table during static initialization of other translation
+// units (DAPPER_REGISTER_WORKLOAD registrars), so construction must be
+// on-first-use, not at benign.cc's arbitrary static-init slot.
+const std::vector<WorkloadParams> &
+table()
+{
+    static const std::vector<WorkloadParams> kTable = {
     // ---- SPEC CPU2006 (23) ----
     {"401.bzip2", "SPEC2K6", 3.5, 0.55, 6.0, 0.35, 256},
     {"403.gcc", "SPEC2K6", 2.2, 0.60, 4.0, 0.30, 128},
@@ -74,20 +81,22 @@ const std::vector<WorkloadParams> kTable = {
     {"ycsb-d", "YCSB", 10.0, 0.50, 1.3, 0.10, 1024},
     {"ycsb-e", "YCSB", 15.0, 0.35, 3.0, 0.10, 1024},
     {"ycsb-f", "YCSB", 13.0, 0.40, 1.2, 0.30, 1024},
-};
+    };
+    return kTable;
+}
 
 } // namespace
 
 const std::vector<WorkloadParams> &
 workloadTable()
 {
-    return kTable;
+    return table();
 }
 
 const WorkloadParams &
 findWorkload(const std::string &name)
 {
-    for (const auto &w : kTable)
+    for (const auto &w : table())
         if (w.name == name)
             return w;
     throw std::invalid_argument("unknown workload: " + name);
@@ -97,7 +106,7 @@ std::vector<std::string>
 workloadsInSuite(const std::string &suite)
 {
     std::vector<std::string> out;
-    for (const auto &w : kTable)
+    for (const auto &w : table())
         if (suite == "All" || w.suite == suite)
             out.push_back(w.name);
     return out;

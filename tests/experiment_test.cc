@@ -275,5 +275,135 @@ TEST(ResultTableTest, JsonAndCsvRenderingsContainTheRows)
     EXPECT_NE(csv.find("456.hmmer,dapper-h"), std::string::npos);
 }
 
+TEST(Scenario, WorkloadListJoinsNamesAndStaysInjective)
+{
+    Scenario s;
+    EXPECT_EQ(s.workloadList(), std::vector<std::string>{"429.mcf"});
+
+    s.workloads({"trace-gc", "ycsb-a", "trace-stream"});
+    EXPECT_EQ(s.workloadName(), "trace-gc+ycsb-a+trace-stream");
+    EXPECT_EQ(s.workloadList(),
+              (std::vector<std::string>{"trace-gc", "ycsb-a",
+                                        "trace-stream"}));
+    // The joined name participates in the cell identity.
+    EXPECT_NE(s.fingerprint().find("trace-gc+ycsb-a+trace-stream"),
+              std::string::npos);
+
+    // A one-element list is exactly workload(); workload() clears a
+    // previous list.
+    s.workloads({"456.hmmer"});
+    EXPECT_EQ(s.workloadName(), "456.hmmer");
+    EXPECT_EQ(s.workloadList(), std::vector<std::string>{"456.hmmer"});
+    s.workloads({"a", "b"}).workload("429.mcf");
+    EXPECT_EQ(s.workloadList(), std::vector<std::string>{"429.mcf"});
+
+    EXPECT_THROW(s.workloads({}), std::invalid_argument);
+}
+
+TEST(ScenarioGridTest, WorkloadSetsAxisLabelsByJoinedName)
+{
+    ScenarioGrid grid(Scenario().config(fastCfg()).horizon(100000));
+    grid.workloadSets({{"trace-gc", "trace-stencil"}, {"456.hmmer"}});
+    grid.trackers({"none", "dapper-h"});
+    const auto scenarios = grid.expand();
+    ASSERT_EQ(scenarios.size(), 4u);
+    EXPECT_EQ(scenarios[0].workloadName(), "trace-gc+trace-stencil");
+    EXPECT_EQ(scenarios[0].labelText(),
+              "trace-gc+trace-stencil/None");
+    EXPECT_EQ(scenarios[2].workloadName(), "456.hmmer");
+    EXPECT_EQ(scenarios[2].workloadList(),
+              std::vector<std::string>{"456.hmmer"});
+}
+
+TEST(RunnerTest, MultiprogTraceGridIsThreadCountInvariant)
+{
+    // Mixed per-core trace replay through the full Runner stack: one
+    // worker vs four must produce bit-identical stats in row order —
+    // the trace layer adds no hidden shared state (the mmap cache is
+    // content-immutable).
+    ScenarioGrid grid(Scenario()
+                          .config(fastCfg())
+                          .horizon(120000)
+                          .baseline(Baseline::NoAttack));
+    grid.workloadSets({{"trace-gc", "trace-stencil", "trace-ptrchase"},
+                       {"trace-stream", "429.mcf"}});
+    grid.cells({
+        {"thrash", "none", "cache-thrash", {}},
+        {"dapper", "dapper-h", "streaming", {}},
+    });
+
+    Runner one(1);
+    Runner many(4);
+    const ResultTable a = one.run(grid);
+    const ResultTable b = many.run(grid);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.at(i).scenario.workloadName(),
+                  b.at(i).scenario.workloadName());
+        EXPECT_EQ(a.at(i).normalized, b.at(i).normalized) << "row " << i;
+        EXPECT_TRUE(a.at(i).run.stats == b.at(i).run.stats)
+            << "row " << i << " stats diverged";
+    }
+}
+
+TEST(ResultTableTest, QuarantinedRowsRenderAsExplicitGaps)
+{
+    Runner runner;
+    const ScenarioResult real = runner.run(Scenario()
+                                               .config(fastCfg())
+                                               .workload("456.hmmer")
+                                               .horizon(100000));
+    ScenarioResult hole;
+    hole.scenario = Scenario()
+                        .config(fastCfg())
+                        .workload("trace-gc")
+                        .tracker("dapper-h")
+                        .horizon(100000)
+                        .label("broken-cell");
+    hole.quarantined = true;
+    hole.quarantineError = "watchdog timeout after 3 attempts";
+    const ResultTable table({real, hole});
+
+    auto render = [&](bool json) {
+        std::FILE *tmp = std::tmpfile();
+        if (json)
+            table.writeJson(tmp, "quarantine_test");
+        else
+            table.writeCsv(tmp);
+        std::fseek(tmp, 0, SEEK_END);
+        const long size = std::ftell(tmp);
+        std::rewind(tmp);
+        std::string text(static_cast<std::size_t>(size), '\0');
+        const std::size_t got =
+            std::fread(text.data(), 1, text.size(), tmp);
+        std::fclose(tmp);
+        text.resize(got);
+        return text;
+    };
+
+    const std::string json = render(true);
+    // The gap row keeps its identity, carries the marker + error, and
+    // nulls every metric; the healthy row is untouched.
+    EXPECT_NE(json.find("\"quarantined\": true"), std::string::npos);
+    EXPECT_NE(json.find("\"quarantine_error\": \"watchdog timeout "
+                        "after 3 attempts\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"workload\": \"trace-gc\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"benign_ipc\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"stats\": null"), std::string::npos);
+    EXPECT_NE(json.find("\"workload\": \"456.hmmer\""),
+              std::string::npos);
+    EXPECT_EQ(json.find("\"quarantined\": true",
+                        json.find("\"quarantined\": true") + 1),
+              std::string::npos)
+        << "healthy rows must not carry the marker";
+
+    const std::string csv = render(false);
+    EXPECT_NE(csv.find(",--,--,--,--,--,--,--,--,--,--"),
+              std::string::npos);
+    EXPECT_NE(csv.find("trace-gc,dapper-h"), std::string::npos);
+}
+
 } // namespace
 } // namespace dapper

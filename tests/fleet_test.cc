@@ -356,7 +356,21 @@ TEST(Fleet, AlwaysCrashingCellIsQuarantinedNotFatal)
     EXPECT_NE(report.quarantined[0].lastError.find("permanent failure"),
               std::string::npos);
     EXPECT_EQ(report.crashes, 2u);
-    EXPECT_EQ(report.table.size(), cells.size() - 1);
+    // The quarantined cell is still *in* the merged table — as an
+    // explicit gap row — so the grid keeps its shape and renderers can
+    // show "--"/null instead of silently dropping the cell.
+    ASSERT_EQ(report.table.size(), cells.size());
+    std::size_t gaps = 0;
+    for (const ScenarioResult &row : report.table.rows()) {
+        if (!row.quarantined)
+            continue;
+        ++gaps;
+        EXPECT_EQ(row.scenario.fingerprint(), victimFp);
+        EXPECT_NE(row.quarantineError.find("permanent failure"),
+                  std::string::npos);
+    }
+    EXPECT_EQ(gaps, 1u);
+    EXPECT_TRUE(report.accounted());
 
     // Quarantine persists across a resume: the cell is not retried.
     FleetCampaign again(fastOptions(dir.path()));

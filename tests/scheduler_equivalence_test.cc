@@ -134,6 +134,39 @@ TEST(SchedulerEquivalenceLowThreshold, EventMatchesTickExactly)
     expectIdentical(event, tick);
 }
 
+/** DTR trace replay must be engine-invariant like every generator: the
+ *  checked-in GC trace under a tracked, attacked system. */
+TEST(SchedulerEquivalenceTrace, TraceReplayMatchesAcrossEngines)
+{
+    const SysConfig cfg = smallCfg();
+    const Tick horizon = 300000;
+    const RunResult event =
+        runOnce(cfg, "trace-gc", AttackKind::Streaming,
+                TrackerKind::DapperH, horizon, Engine::Event);
+    const RunResult tick =
+        runOnce(cfg, "trace-gc", AttackKind::Streaming,
+                TrackerKind::DapperH, horizon, Engine::Tick);
+    expectIdentical(event, tick);
+}
+
+/** Multi-program mixes (different trace per benign core + an attacker)
+ *  must also be bit-identical across engines. */
+TEST(SchedulerEquivalenceMultiprog, MixedTracesMatchAcrossEngines)
+{
+    const SysConfig cfg = smallCfg();
+    const Tick horizon = 300000;
+    const std::vector<std::string> mix = {"trace-stream", "trace-ptrchase",
+                                          "trace-stencil"};
+    const AttackInfo &attack =
+        AttackRegistry::instance().at("cache-thrash");
+    const TrackerInfo &tracker = TrackerRegistry::instance().at("hydra");
+    const RunResult event =
+        runOnce(cfg, mix, attack, tracker, horizon, Engine::Event);
+    const RunResult tick =
+        runOnce(cfg, mix, attack, tracker, horizon, Engine::Tick);
+    expectIdentical(event, tick);
+}
+
 /** Longer horizon crossing a tREFW window boundary with mitigations. */
 TEST(SchedulerEquivalenceWindow, EventMatchesTickAcrossWindows)
 {
