@@ -59,7 +59,10 @@ Llc::writeback(std::uint64_t tag, Tick now)
 void
 Llc::reserveWays(int ways, Tick now)
 {
-    assert(ways >= 0 && ways < ways_);
+    // Out-of-range reservations would index past the tag arrays below;
+    // reconfiguration is cold, so keep the bound check in Release too.
+    DAPPER_CHECK(ways >= 0 && ways < ways_,
+                 "reserveWays: reservation out of range");
     reservedWays_ = ways;
     // Evict everything sitting in the now-reserved ways. Dirty lines
     // become DRAM writebacks — the reconfiguration must not swallow
@@ -187,7 +190,7 @@ Llc::renormalizeLru()
     // matching the strict-< victim scan's tie-break, so victim choices
     // are unchanged forever after. Cost is O(sets * ways^2) but the
     // clock only gets here after 2^32 - 1 touches.
-    assert(ways_ <= 64);
+    DAPPER_CHECK(ways_ <= 64, "renormalizeLru: order[] buffer too small");
     for (int s = 0; s < sets_; ++s) {
         const std::size_t base = wayBase(static_cast<std::uint64_t>(s));
         int order[64]; // way indices, sorted by (stamp, index)

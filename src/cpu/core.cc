@@ -2,6 +2,7 @@
 
 #include <cassert>
 
+#include "src/common/check.hh"
 #include "src/mem/controller.hh"
 
 namespace dapper {
@@ -30,7 +31,9 @@ Core::Core(const SysConfig &cfg, int id, TraceGen *gen, Llc *llc,
 std::uint32_t
 Core::pushSlot(std::uint32_t bubbles, bool done)
 {
-    assert(count_ < robSize_);
+    // ROB bound: overflowing the ring silently overwrites live slots and
+    // corrupts retirement accounting, so this must hold in Release too.
+    DAPPER_CHECK(count_ < robSize_, "ROB overflow in pushSlot");
     const std::uint32_t slot = static_cast<std::uint32_t>(tail_);
     rob_[slot].bubblesBefore = bubbles;
     rob_[slot].done = done;
@@ -75,6 +78,11 @@ Core::tickEvent(Tick now, Tick limit)
         // before any resource check is reached. Nothing scheduled
         // (pending_) can fall inside the batch either, so just go back
         // to sleep until the last modelled tick has passed.
+        DAPPER_LINT_ALLOW(raw-assert,
+                          "per-event-visit scheduling sanity on the batched "
+                          "hot path; a violation alters timing, not stored "
+                          "state, and core_test pins batched-vs-reference "
+                          "bit-identical in debug builds");
         assert(pending_.empty() || pending_.top().first > batchedUntil_);
         wakeAt_ = batchedUntil_ + 1;
         return;
@@ -148,6 +156,11 @@ Core::tryBatch(Tick now, Tick limit)
 void
 Core::tick(Tick now)
 {
+    DAPPER_LINT_ALLOW(raw-assert,
+                      "per-tick scheduling sanity on the hot path; the "
+                      "batched/tick engines are pinned bit-identical by "
+                      "core_test and scheduler_equivalence_test, which run "
+                      "with asserts enabled");
     assert(batchedUntil_ == 0 || now > batchedUntil_);
     now_ = now;
     bool progress = false;
@@ -229,9 +242,10 @@ Core::tick(Tick now)
             }
             const std::uint32_t slot = pushSlot(rec_.bubbles, false);
             req.tag = slot;
+            // A dropped read after the readQueueFull() gate would leave a
+            // ROB slot waiting forever; never let Release builds limp on.
             const bool ok = mc->enqueue(req, now);
-            assert(ok);
-            (void)ok;
+            DAPPER_CHECK(ok, "MC read enqueue failed after full-check");
             ++outstanding_;
             ++memReads_;
         } else {

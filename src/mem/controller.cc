@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/common/check.hh"
+
 namespace dapper {
 
 Tick
@@ -82,11 +84,15 @@ MemController::BankQueueIndex::remove(int b, std::int32_t n,
 {
     PerBank &pb = banks_[static_cast<std::size_t>(b)];
     Node &nd = pool_[static_cast<std::size_t>(n)];
+    // Bank-list integrity: unlinking a node whose prev/head hint is stale
+    // would corrupt the per-bank FIFO and silently reorder issue picks —
+    // fatal in every build type, not just debug.
     if (prev == kNone) {
-        assert(pb.head == n);
+        DAPPER_CHECK(pb.head == n, "bank-list unlink: stale head hint");
         pb.head = nd.next;
     } else {
-        assert(pool_[static_cast<std::size_t>(prev)].next == n);
+        DAPPER_CHECK(pool_[static_cast<std::size_t>(prev)].next == n,
+                     "bank-list unlink: stale prev hint");
         pool_[static_cast<std::size_t>(prev)].next = nd.next;
     }
     if (pb.tail == n)
@@ -108,7 +114,7 @@ MemController::BankQueueIndex::removeBySeq(int b, std::int64_t seq)
         prev = n;
         n = pool_[static_cast<std::size_t>(n)].next;
     }
-    assert(n != kNone && "removeBySeq: seq not in bank list");
+    DAPPER_CHECK(n != kNone, "removeBySeq: seq not in bank list");
     remove(b, n, prev);
 }
 
@@ -237,7 +243,10 @@ MemController::rank(int rankId)
 bool
 MemController::enqueue(const Request &req, Tick now)
 {
-    assert(req.dram.channel == channel_);
+    // Mis-routed requests would hammer the wrong channel's banks and
+    // corrupt every downstream tracker decision.
+    DAPPER_CHECK(req.dram.channel == channel_,
+                 "enqueue: request routed to wrong channel");
     QueueState *qs;
     switch (req.type) {
       case ReqType::Read:
@@ -297,8 +306,8 @@ MemController::serviceCompletions(Tick now)
             const std::uint64_t lat =
                 static_cast<std::uint64_t>(fin.doneAt -
                                            fin.req.enqueuedAt);
-            assert(stats_.readLatencySum <= ~std::uint64_t(0) - lat &&
-                   "readLatencySum overflow");
+            DAPPER_CHECK(stats_.readLatencySum <= ~std::uint64_t(0) - lat,
+                         "readLatencySum overflow");
             stats_.readLatencySum += lat;
             ++stats_.readLatencyCount;
             stats_.readLatency.add(lat);
@@ -806,7 +815,10 @@ MemController::tryIssueFrom(QueueState &qs, Tick now, Tick &issueWake)
             : std::lower_bound(
                   qs.q.begin(), qs.q.end(), pick.seq,
                   [](const Request &r, std::int64_t s) { return r.seq < s; });
-    assert(it != qs.q.end() && it->seq == pick.seq);
+    // Seq invariant: the pick must still be in the deque it was scanned
+    // from; issuing a mismatched request corrupts queue accounting.
+    DAPPER_CHECK(it != qs.q.end() && it->seq == pick.seq,
+                 "issue: picked seq not found in queue");
     Request req = *it;
     const bool readWasFull = &qs == &readQ_ && qs.q.size() >= kReadQCap;
     qs.q.erase(it);

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/check.hh"
+
 namespace dapper {
 
 AbacusTracker::AbacusTracker(const SysConfig &cfg) : BaseTracker(cfg)
@@ -76,6 +78,11 @@ AbacusTracker::onActivation(const ActEvent &e, MitigationVec &out)
     // Bounded probe from the bucket head keeps the common case O(1);
     // unordered_map iteration order varies with insertions, providing
     // enough rotation in practice.
+    DAPPER_LINT_ALLOW(nondet-iteration,
+                      "probe order depends only on libstdc++ bucket layout, "
+                      "which is deterministic for a fixed toolchain; the "
+                      "pinned bench outputs bake this order in, so rewriting "
+                      "to sorted iteration would change published numbers");
     auto probeIt = ch.table.begin();
     for (int probes = 0; probes < 8 && probeIt != ch.table.end();
          ++probes, ++probeIt) {

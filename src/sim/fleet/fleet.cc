@@ -34,9 +34,13 @@ constexpr std::uint32_t kFleetFormatVersion = 1;
 double
 nowSec()
 {
-    return std::chrono::duration<double>(
-               std::chrono::steady_clock::now().time_since_epoch())
-        .count();
+    DAPPER_LINT_ALLOW(seed-purity,
+                      "wall-clock feeds only watchdog timeouts, heartbeat "
+                      "stamps, and retry backoff in the campaign runner; "
+                      "per-cell simulation results derive solely from "
+                      "SysConfig::seed and are unaffected");
+    const auto t = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
 }
 
 std::uint64_t
@@ -54,7 +58,7 @@ fnv1a(const std::string &s, std::uint64_t h = 1469598103934665603ULL)
 // promptly; workers only need a flag checked between cells (a pending
 // read() is interrupted because the handler installs without SA_RESTART).
 
-std::atomic<int> gCoordinatorStop{0};
+constinit std::atomic<int> gCoordinatorStop{0};
 int gSelfPipeWrite = -1;
 volatile std::sig_atomic_t gWorkerStop = 0;
 

@@ -26,6 +26,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "src/common/check.hh"
+
 namespace dapper {
 
 class ParallelRunner
@@ -41,6 +43,10 @@ class ParallelRunner
     static int
     defaultThreads()
     {
+        DAPPER_LINT_ALLOW(seed-purity,
+                          "thread-count override only; results are indexed "
+                          "by job and every job seeds from SysConfig::seed, "
+                          "so outputs are thread-count independent");
         if (const char *env = std::getenv("DAPPER_JOBS")) {
             const int n = std::atoi(env);
             if (n > 0)

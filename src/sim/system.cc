@@ -3,6 +3,8 @@
 #include <cassert>
 #include <string>
 
+#include "src/common/check.hh"
+
 namespace dapper {
 
 System::System(const SysConfig &cfg, TrackerKind kind,
@@ -19,7 +21,10 @@ System::System(const SysConfig &cfg, const TrackerInfo &tracker,
     : cfg_(cfg), mapper_(cfg_), gens_(std::move(gens))
 {
     cfg_.validate();
-    assert(static_cast<int>(gens_.size()) == cfg_.numCores);
+    // A generator/core count mismatch would leave cores reading a null
+    // TraceGen; catch it at construction in every build type.
+    DAPPER_CHECK(static_cast<int>(gens_.size()) == cfg_.numCores,
+                 "System: generator count != numCores");
 
     // Variant trackers adjust command flavour / blast radius; this must
     // happen before any component copies the config.

@@ -1,0 +1,1231 @@
+#!/usr/bin/env python3
+"""dapper-lint: determinism / seed-purity static analysis for the DAPPER tree.
+
+Every result in this repository rests on the standing invariants in
+ROADMAP.md — engine equivalence, seed purity, deterministic telemetry.
+The runtime differential tests catch a violation only after it has
+shipped nondeterminism; this linter machine-checks the invariants at the
+source level and gates CI on them.
+
+Rules (see tools/lint/README.md for the full contract):
+
+  nondet-iteration   no range-for / iterator loops over unordered_map or
+                     unordered_set in src/ (iteration order is
+                     implementation-defined; the PR 6 CAT-table lesson).
+  seed-purity        no rand()/random_device/*_clock::now()/time()/
+                     getenv()/getpid() etc. in src/ — all randomness must
+                     flow from SysConfig::seed via src/common/rng.hh.
+  raw-assert         no bare assert() where DAPPER_CHECK is required:
+                     data-integrity guards must survive NDEBUG builds.
+  registry-only      no direct construction of concrete tracker / attack /
+                     workload types outside their own TU, factory.cc, or a
+                     DAPPER_REGISTER_* site.
+  static-init-order  no namespace-scope non-constinit static with a
+                     dynamic initializer (the PR 8 benign.cc bug class —
+                     cross-TU registrars read such objects during static
+                     initialization in unspecified order).
+  pointer-key-order  no ordered containers or comparators keyed on raw
+                     pointer values (allocation addresses vary run to run).
+
+Suppression, in order of preference:
+
+  1. Inline annotation (src/common/check.hh):
+         DAPPER_LINT_ALLOW(rule-name, "written justification");
+     suppresses that rule on the annotation's line and the next line.
+     The justification is mandatory and must be non-trivial.
+  2. Per-file allowlist entry in tools/lint/allowlist.toml with a
+     mandatory `reason` — for generated files or whole-file opt-outs
+     only; src/ policy is zero blanket exemptions.
+
+Backends: the linter is architected for libclang (python3-clang driven
+by a CMake-exported compile_commands.json) and uses it when importable
+to sharpen type-sensitive rules (nondet-iteration, static-init-order).
+When the bindings are absent it falls back to the bundled lexical
+backend, which implements every rule on a comment/string-scrubbed token
+stream; the fixture self-test exercises whichever backend is active, and
+both must agree on the fixture corpus.
+
+Exit codes: 0 clean, 1 findings, 2 internal/usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import fnmatch
+import json
+import os
+import re
+import sys
+from pathlib import Path
+
+try:
+    import tomllib
+except ImportError:  # Python < 3.11: allowlist support degrades gracefully.
+    tomllib = None
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINT_DIR = Path(__file__).resolve().parent
+FIXTURE_DIR = LINT_DIR / "fixtures"
+DEFAULT_ALLOWLIST = LINT_DIR / "allowlist.toml"
+
+# Minimum justification length for an annotation / allowlist reason.
+MIN_JUSTIFICATION = 10
+
+# Base classes whose concrete descendants may only be constructed through
+# the registries (rule registry-only).
+REGISTRY_BASES = {"Tracker", "BaseTracker", "TraceGen", "AttackBase"}
+# The abstract layer itself is not a "concrete" type.
+REGISTRY_ABSTRACT = {"Tracker", "BaseTracker", "TraceGen", "AttackBase"}
+
+# Fundamental-ish type tokens that can be constant-initialized at
+# namespace scope without ordering hazards (rule static-init-order).
+FUNDAMENTAL_TYPES = {
+    "bool", "char", "wchar_t", "char8_t", "char16_t", "char32_t",
+    "short", "int", "long", "signed", "unsigned", "float", "double",
+    "void", "size_t", "ssize_t", "ptrdiff_t", "intptr_t", "uintptr_t",
+    "int8_t", "int16_t", "int32_t", "int64_t",
+    "uint8_t", "uint16_t", "uint32_t", "uint64_t",
+    "Tick", "Addr",
+}
+
+DYNAMIC_STD_RE = re.compile(
+    r"\bstd\s*::\s*(vector|deque|list|forward_list|map|set|multimap|"
+    r"multiset|unordered_map|unordered_set|unordered_multimap|"
+    r"unordered_multiset|string|wstring|function|shared_ptr|unique_ptr|"
+    r"weak_ptr|regex|fstream|ifstream|ofstream|stringstream|"
+    r"ostringstream|istringstream|mutex|condition_variable|thread|"
+    r"atomic|optional|variant|any|pair|tuple|priority_queue|queue|"
+    r"stack|bitset|valarray)\b")
+
+DECL_QUALIFIERS = {
+    "static", "const", "inline", "volatile", "thread_local", "extern",
+    "mutable", "register", "typename", "class", "struct", "enum",
+}
+
+
+@dataclasses.dataclass
+class Finding:
+    file: str          # repo-relative path
+    line: int          # 1-based
+    rule: str
+    message: str
+    suppressed: bool = False
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class Annotation:
+    rule: str
+    reason: str
+    line_start: int    # 1-based line of the annotation's first token
+    line_end: int      # 1-based line of the closing paren
+    used: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Source scrubbing: blank comments and string/char literal contents while
+# preserving byte offsets and line structure, so token-level rules never
+# match inside a comment or a literal.
+# ---------------------------------------------------------------------------
+
+def scrub_source(text: str) -> str:
+    out = list(text)
+    i, n = 0, len(text)
+    NORMAL, LINE_C, BLOCK_C, STR, CHR, RAW = range(6)
+    state = NORMAL
+    raw_terminator = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_C
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_C
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal? Look behind for R / u8R / LR / uR / UR.
+                j = i - 1
+                prefix = ""
+                while j >= 0 and text[j] in "Ru8LU" and len(prefix) < 3:
+                    prefix = text[j] + prefix
+                    j -= 1
+                if "R" in prefix and (j < 0 or not (text[j].isalnum() or
+                                                    text[j] == "_")):
+                    m = re.match(r'"([^()\s\\]{0,16})\(', text[i:])
+                    if m:
+                        raw_terminator = ")" + m.group(1) + '"'
+                        state = RAW
+                        i += m.end()
+                        continue
+                state = STR
+                i += 1
+                continue
+            if c == "'":
+                # Digit separator (1'000'000) is not a char literal.
+                if i > 0 and text[i - 1].isdigit() and nxt.isalnum():
+                    i += 1
+                    continue
+                state = CHR
+                i += 1
+                continue
+            i += 1
+            continue
+        if state == LINE_C:
+            if c == "\n":
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        if state == BLOCK_C:
+            if c == "*" and nxt == "/":
+                out[i] = out[i + 1] = " "
+                state = NORMAL
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        if state == STR:
+            if c == "\\" and i + 1 < n:
+                out[i] = " "
+                if text[i + 1] != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        if state == CHR:
+            if c == "\\" and i + 1 < n:
+                out[i] = " "
+                if text[i + 1] != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == "'":
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        if state == RAW:
+            if text.startswith(raw_terminator, i):
+                i += len(raw_terminator)
+                state = NORMAL
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+    return "".join(out)
+
+
+def strip_preprocessor(text: str) -> str:
+    """Blank preprocessor logical lines (including backslash continuations)
+    while preserving length and newlines."""
+    out = []
+    in_pp = False
+    for line in text.split("\n"):
+        stripped = line.lstrip()
+        if in_pp or stripped.startswith("#"):
+            cont = line.rstrip().endswith("\\")
+            out.append(" " * len(line))
+            in_pp = cont
+        else:
+            out.append(line)
+    return "\n".join(out)
+
+
+def match_bracket(text: str, open_pos: int, open_ch: str, close_ch: str) -> int:
+    """Return index just past the bracket matching text[open_pos], or -1."""
+    depth = 0
+    i = open_pos
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return -1
+
+
+def match_template(text: str, lt_pos: int) -> int:
+    """Match '<'...'>' accounting for nesting; shift operators do not appear
+    inside the type contexts we scan. Returns index past '>', or -1."""
+    depth = 0
+    i = lt_pos
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return -1
+        i += 1
+    return -1
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+# ---------------------------------------------------------------------------
+# Per-file model.
+# ---------------------------------------------------------------------------
+
+class SourceFile:
+    def __init__(self, path: Path, rel: str):
+        self.path = path
+        self.rel = rel
+        self.raw = path.read_text(encoding="utf-8", errors="replace")
+        self.scrubbed = scrub_source(self.raw)
+        self.annotations = self._parse_annotations()
+        self.register_regions = self._register_macro_regions()
+        self._ns_scope_statements = None
+
+    # -- annotations --------------------------------------------------------
+
+    _ANN_RE = re.compile(r"\bDAPPER_LINT_ALLOW\s*\(")
+
+    def _parse_annotations(self):
+        anns = []
+        for m in self._ANN_RE.finditer(self.scrubbed):
+            # Skip the macro's own definition in check.hh.
+            bol = self.scrubbed.rfind("\n", 0, m.start()) + 1
+            if self.scrubbed[bol:m.start()].lstrip().startswith("#"):
+                continue
+            open_paren = self.scrubbed.index("(", m.start())
+            end = match_bracket(self.scrubbed, open_paren, "(", ")")
+            if end < 0:
+                continue
+            inside_raw = self.raw[open_paren + 1:end - 1]
+            line_start = line_of(self.scrubbed, m.start())
+            line_end = line_of(self.scrubbed, end - 1)
+            parts = inside_raw.split(",", 1)
+            rule = parts[0].strip()
+            reason = ""
+            if len(parts) == 2:
+                sm = re.search(r'"((?:[^"\\]|\\.)*)"', parts[1], re.S)
+                if sm:
+                    reason = re.sub(r"\s+", " ", sm.group(1)).strip()
+                    # Adjacent literals: "a" "b" concatenate.
+                    for extra in re.findall(r'"((?:[^"\\]|\\.)*)"',
+                                            parts[1], re.S)[1:]:
+                        reason += re.sub(r"\s+", " ", extra).strip()
+            if not re.fullmatch(r"[\w-]+", rule or ""):
+                continue  # the #define itself, or malformed — handled below
+            anns.append(Annotation(rule, reason, line_start, line_end))
+        return anns
+
+    # -- DAPPER_REGISTER_* regions ------------------------------------------
+
+    _REG_RE = re.compile(r"\bDAPPER_REGISTER_\w+\s*\(")
+
+    def _register_macro_regions(self):
+        regions = []
+        for m in self._REG_RE.finditer(self.scrubbed):
+            open_paren = self.scrubbed.index("(", m.start())
+            end = match_bracket(self.scrubbed, open_paren, "(", ")")
+            if end < 0:
+                continue
+            regions.append((line_of(self.scrubbed, m.start()),
+                            line_of(self.scrubbed, end - 1)))
+        return regions
+
+    def in_register_region(self, line: int) -> bool:
+        return any(a <= line <= b for a, b in self.register_regions)
+
+    # -- namespace-scope statement splitter ---------------------------------
+
+    def ns_scope_statements(self):
+        """Return (line, statement_text) for each top-level statement that
+        sits at namespace (or translation-unit) scope — i.e. not inside a
+        function body, class body, or initializer block. Preprocessor lines
+        are blanked first so macro definitions with braces in their bodies
+        cannot desynchronize the scope tracker."""
+        if self._ns_scope_statements is not None:
+            return self._ns_scope_statements
+        text = strip_preprocessor(self.scrubbed)
+        stmts = []
+        stack = []           # context kinds: 'ns' | 'class' | 'fn' | 'init'
+        stmt_start = 0
+        i, n = 0, len(text)
+
+        def at_ns_scope():
+            return all(k == "ns" for k in stack)
+
+        def classify_open(pos):
+            head = text[max(0, pos - 400):pos].rstrip()
+            if re.search(r"\bnamespace(\s+[\w:]+)?\s*$", head):
+                return "ns"
+            if re.search(r"\b(class|struct|union|enum)\b[^;{}()=]*$", head):
+                return "class"
+            if head.endswith(("=", ",", "(", "{", "return")):
+                return "init"
+            # A '{' inside a statement that already carries a top-level '='
+            # belongs to the initializer (covers `auto f = [](){...};`).
+            if at_ns_scope() and \
+                    _top_level_assign(text[stmt_start:pos]) >= 0:
+                return "init"
+            if re.search(r"(\)|\bconst|\bnoexcept|\boverride|\bfinal|"
+                         r"\belse|\bdo|\btry)\s*$", head):
+                return "fn"
+            if re.search(r"->\s*[\w:<>,&*\s]+$", head):
+                return "fn"
+            return "init"
+
+        while i < n:
+            c = text[i]
+            if c == "{":
+                kind = classify_open(i)
+                stack.append(kind)
+                i += 1
+                continue
+            if c == "}":
+                if stack:
+                    kind = stack.pop()
+                    # A function/class/namespace body ends its statement;
+                    # an initializer brace belongs to a statement that
+                    # still runs until its ';'.
+                    if kind != "init" and at_ns_scope():
+                        stmt_start = i + 1
+                i += 1
+                continue
+            if c == ";":
+                if at_ns_scope():
+                    seg = text[stmt_start:i]
+                    stmt = seg.strip()
+                    if stmt:
+                        lead = len(seg) - len(seg.lstrip())
+                        stmts.append((line_of(text, stmt_start + lead),
+                                      stmt))
+                    stmt_start = i + 1
+                i += 1
+                continue
+            i += 1
+        self._ns_scope_statements = stmts
+        return stmts
+
+
+# ---------------------------------------------------------------------------
+# Cross-file inventory.
+# ---------------------------------------------------------------------------
+
+class Inventory:
+    """Facts gathered over the whole lint set before per-file rule passes."""
+
+    _UNORDERED_RE = re.compile(r"\bunordered_(?:multi)?(?:map|set)\s*<")
+    _USING_RE = re.compile(
+        r"\busing\s+(\w+)\s*=\s*(?:std\s*::\s*)?"
+        r"unordered_(?:multi)?(?:map|set)\s*<")
+    _CLASS_RE = re.compile(
+        r"\bclass\s+(\w+)\s*(?:final\s*)?:\s*"
+        r"(?:public|private|protected)?\s*([\w:]+)")
+
+    def __init__(self, files):
+        self.unordered_vars = set()     # variable / member names
+        self.unordered_aliases = set()  # using-aliases of unordered types
+        self.concrete_types = {}        # class name -> declaring rel path
+        bases_seen = {}                 # class name -> direct base
+        for sf in files:
+            t = sf.scrubbed
+            for m in self._USING_RE.finditer(t):
+                self.unordered_aliases.add(m.group(1))
+            for m in self._CLASS_RE.finditer(t):
+                base = m.group(2).split("::")[-1]
+                bases_seen.setdefault(m.group(1), (base, sf.rel))
+            self._collect_vars(t)
+        # Transitive closure over REGISTRY_BASES.
+        def derives(name, depth=0):
+            if depth > 8 or name not in bases_seen:
+                return name in REGISTRY_BASES
+            base = bases_seen[name][0]
+            return base in REGISTRY_BASES or derives(base, depth + 1)
+        for name, (base, rel) in bases_seen.items():
+            if name in REGISTRY_ABSTRACT:
+                continue
+            if derives(name):
+                self.concrete_types[name] = rel
+        # Second pass: vars typed by unordered aliases.
+        if self.unordered_aliases:
+            alias_re = re.compile(
+                r"\b(" + "|".join(map(re.escape, self.unordered_aliases)) +
+                r")\s+(\w+)\s*[;={]")
+            for sf in files:
+                for m in alias_re.finditer(sf.scrubbed):
+                    self.unordered_vars.add(m.group(2))
+
+    def _collect_vars(self, t):
+        for m in self._UNORDERED_RE.finditer(t):
+            lt = t.index("<", m.start())
+            end = match_template(t, lt)
+            if end < 0:
+                continue
+            tail = t[end:end + 160]
+            vm = re.match(r"\s*[&*]{0,2}\s*(\w+)\s*[;={(,)]", tail)
+            if vm and vm.group(1) not in ("final", "const", "noexcept"):
+                nxt = tail[vm.end(1):].lstrip()
+                if nxt.startswith("("):
+                    continue  # function declaration returning the map
+                self.unordered_vars.add(vm.group(1))
+
+
+# ---------------------------------------------------------------------------
+# Rules (lexical backend). Each returns a list of Findings.
+# ---------------------------------------------------------------------------
+
+def rule_nondet_iteration(sf: SourceFile, inv: Inventory):
+    finds = []
+    t = sf.scrubbed
+
+    def unordered_expr(expr: str) -> bool:
+        if re.search(r"\bunordered_(?:multi)?(?:map|set)\s*<", expr):
+            return True
+        for m in re.finditer(r"[A-Za-z_]\w*", expr):
+            name = m.group(0)
+            rest = expr[m.end():].lstrip()
+            if rest.startswith("("):
+                continue  # function call, not a variable reference
+            if name in inv.unordered_vars or name in inv.unordered_aliases:
+                return True
+        return False
+
+    # Range-for statements.
+    for m in re.finditer(r"\bfor\s*\(", t):
+        open_paren = t.index("(", m.start())
+        end = match_bracket(t, open_paren, "(", ")")
+        if end < 0:
+            continue
+        inside = t[open_paren + 1:end - 1]
+        if ";" in inside:
+            continue  # classic for
+        colon = _top_level_colon(inside)
+        if colon < 0:
+            continue
+        range_expr = inside[colon + 1:]
+        if unordered_expr(range_expr):
+            finds.append(Finding(sf.rel, line_of(t, m.start()),
+                                 "nondet-iteration",
+                                 "range-for over unordered container "
+                                 f"(`{range_expr.strip()[:60]}`): iteration "
+                                 "order is implementation-defined and leaks "
+                                 "into results; use a deterministic "
+                                 "container (src/common/cat_table.hh, "
+                                 "flat_map.hh, std::map) or sorted keys"))
+    # Iterator loops: <expr>.begin() / .cbegin() on an unordered variable.
+    for m in re.finditer(r"(\w+)\s*\.\s*c?begin\s*\(", t):
+        if m.group(1) in inv.unordered_vars:
+            finds.append(Finding(sf.rel, line_of(t, m.start()),
+                                 "nondet-iteration",
+                                 f"iterator walk over unordered container "
+                                 f"`{m.group(1)}`: begin()/probe order is "
+                                 "implementation-defined; iterate a "
+                                 "deterministic structure instead"))
+    return finds
+
+
+def _top_level_colon(s: str) -> int:
+    depth = 0
+    i = 0
+    while i < len(s):
+        c = s[i]
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        elif c == ":" and depth == 0:
+            if i + 1 < len(s) and s[i + 1] == ":":
+                i += 2
+                continue
+            if i > 0 and s[i - 1] == ":":
+                i += 1
+                continue
+            return i
+        i += 1
+    return -1
+
+
+_SEED_PATTERNS = [
+    (re.compile(r"\brand\s*\("), "rand()"),
+    (re.compile(r"\bsrand\s*\("), "srand()"),
+    (re.compile(r"\brandom\s*\(\s*\)"), "random()"),
+    (re.compile(r"\bdrand48\s*\("), "drand48()"),
+    (re.compile(r"\brandom_device\b"), "std::random_device"),
+    (re.compile(r"\bmt19937(_64)?\b"), "std::mt19937"),
+    (re.compile(r"\bdefault_random_engine\b"), "std::default_random_engine"),
+    (re.compile(r"\brandom_shuffle\b"), "std::random_shuffle"),
+    (re.compile(r"\b(?:steady_clock|system_clock|high_resolution_clock)"
+                r"\s*::\s*now\s*\("), "*_clock::now()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+    (re.compile(r"\bclock\s*\(\s*\)"), "clock()"),
+    (re.compile(r"\bgetenv\s*\("), "getenv()"),
+    (re.compile(r"\bgetpid\s*\("), "getpid()"),
+    (re.compile(r"\bgetuid\s*\("), "getuid()"),
+]
+_TIME_RE = re.compile(r"\btime\s*\(")
+
+
+def rule_seed_purity(sf: SourceFile, inv: Inventory):
+    del inv
+    finds = []
+    t = sf.scrubbed
+    for pat, label in _SEED_PATTERNS:
+        for m in pat.finditer(t):
+            finds.append(Finding(sf.rel, line_of(t, m.start()), "seed-purity",
+                                 f"{label}: all randomness / environment "
+                                 "input must flow from SysConfig::seed via "
+                                 "src/common/rng.hh so results are "
+                                 "reproducible and thread-invariant"))
+    # time( — but not a member call (obj.time(), ->time()) and not a
+    # qualified call on a non-std class (Foo::time()).
+    for m in _TIME_RE.finditer(t):
+        j = m.start() - 1
+        while j >= 0 and t[j] in " \t":
+            j -= 1
+        if j >= 0 and t[j] in "._":
+            continue
+        if j >= 0 and t[j] == ">" and j > 0 and t[j - 1] == "-":
+            continue
+        if j >= 1 and t[j] == ":" and t[j - 1] == ":":
+            head = t[max(0, j - 16):j - 1].rstrip()
+            if not head.endswith("std"):
+                continue
+        finds.append(Finding(sf.rel, line_of(t, m.start()), "seed-purity",
+                             "time(): wall-clock input must not reach "
+                             "simulation state; derive from SysConfig::seed "
+                             "(src/common/rng.hh)"))
+    return finds
+
+
+_ASSERT_RE = re.compile(r"\bassert\s*\(")
+
+
+def rule_raw_assert(sf: SourceFile, inv: Inventory):
+    del inv
+    if sf.rel.endswith("common/check.hh"):
+        return []
+    finds = []
+    t = sf.scrubbed
+    for m in _ASSERT_RE.finditer(t):
+        finds.append(Finding(sf.rel, line_of(t, m.start()), "raw-assert",
+                             "bare assert() compiles out under NDEBUG "
+                             "(the default Release build); data-integrity "
+                             "guards must use DAPPER_CHECK "
+                             "(src/common/check.hh), or justify a hot-path "
+                             "assert with DAPPER_LINT_ALLOW"))
+    return finds
+
+
+_CONSTRUCT_RES = [
+    re.compile(r"\bnew\s+(\w+)\s*[({]"),
+    re.compile(r"\bmake_unique\s*<\s*(\w+)\s*[>,]"),
+    re.compile(r"\bmake_shared\s*<\s*(\w+)\s*[>,]"),
+]
+
+
+def rule_registry_only(sf: SourceFile, inv: Inventory):
+    finds = []
+    t = sf.scrubbed
+    basename = os.path.basename(sf.rel)
+    stem = os.path.splitext(basename)[0]
+    for pat in _CONSTRUCT_RES:
+        for m in pat.finditer(t):
+            name = m.group(1)
+            decl = inv.concrete_types.get(name)
+            if decl is None:
+                continue
+            decl_stem = os.path.splitext(os.path.basename(decl))[0]
+            if stem == decl_stem:
+                continue  # own TU (foo.cc constructing types from foo.hh)
+            if basename == "factory.cc":
+                continue
+            line = line_of(t, m.start())
+            if sf.in_register_region(line):
+                continue
+            finds.append(Finding(sf.rel, line, "registry-only",
+                                 f"direct construction of concrete type "
+                                 f"`{name}` (declared in {decl}) outside its "
+                                 "own TU / factory.cc / a DAPPER_REGISTER_* "
+                                 "site; go through the registry so names, "
+                                 "capabilities and fingerprints stay in "
+                                 "sync"))
+    return finds
+
+
+def rule_static_init_order(sf: SourceFile, inv: Inventory):
+    del inv
+    finds = []
+    for line, stmt in sf.ns_scope_statements():
+        if sf.in_register_region(line):
+            continue  # registrar objects are the sanctioned pattern
+        s = re.sub(r"\[\[[^\]]*\]\]", " ", stmt).strip()
+        s = re.sub(r"\s+", " ", s)
+        if not s or s.startswith("#"):
+            continue
+        first = s.split(None, 1)[0]
+        if first in ("using", "typedef", "template", "friend", "namespace",
+                     "static_assert", "extern", "return", "if", "for",
+                     "while", "switch", "case", "default", "break",
+                     "continue", "goto", "public", "private", "protected"):
+            continue
+        if re.match(r"(class|struct|union|enum)\b[^=]*$", s):
+            continue  # forward declaration / enum without init
+        if "constexpr" in s or "constinit" in s:
+            continue
+        if "DAPPER_LINT_ALLOW" in s or "DAPPER_REGISTER" in s:
+            continue
+        if s.startswith("}"):
+            continue
+        # Split declarator head from initializer.
+        eq = _top_level_assign(s)
+        head = s[:eq] if eq >= 0 else s
+        init = s[eq + 1:] if eq >= 0 else ""
+        brace = head.find("{")
+        if eq < 0 and brace >= 0:
+            init = head[brace:]
+            head = head[:brace]
+        # Function declarations / definitions: declarator has parens and no
+        # initializer. (`static Foo f(a, b);` most-vexing-parse also lands
+        # here and is skipped — write `= Foo(...)` or `{...}` for variables.)
+        if eq < 0 and "(" in head and not init:
+            continue
+        if not init and "operator" in head:
+            continue
+        tokens = re.findall(r"[\w:]+", head)
+        if not tokens:
+            continue
+        type_tokens = [tok for tok in tokens if tok not in DECL_QUALIFIERS]
+        if not type_tokens:
+            continue
+        dynamic = False
+        why = ""
+        if DYNAMIC_STD_RE.search(head):
+            dynamic = True
+            why = "std:: type with a dynamic initializer/destructor"
+        elif init and re.search(r"[A-Za-z_]\w*\s*\(", init):
+            dynamic = True
+            why = "initializer calls a function"
+        elif not init and "(" not in head and "*" not in head \
+                and "&" not in head:
+            base = type_tokens[-2] if len(type_tokens) >= 2 else ""
+            base = base.split("::")[-1]
+            if base and base not in FUNDAMENTAL_TYPES and \
+                    re.match(r"[A-Z]", base):
+                dynamic = True
+                why = f"default-constructed class object of type `{base}`"
+        if dynamic:
+            finds.append(Finding(sf.rel, line, "static-init-order",
+                                 f"namespace-scope static with a dynamic "
+                                 f"initializer ({why}): cross-TU registrars "
+                                 "run during static init in unspecified "
+                                 "order (the PR 8 benign.cc bug class); use "
+                                 "a function-local static (construct on "
+                                 "first use) or constinit"))
+    return finds
+
+
+def _top_level_assign(s: str) -> int:
+    depth = 0
+    for i, c in enumerate(s):
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        elif c == "=" and depth == 0:
+            if i + 1 < len(s) and s[i + 1] == "=":
+                continue  # comparison
+            if i > 0 and s[i - 1] in "!<>+-*/%&|^=":
+                continue
+            return i
+    return -1
+
+
+_ORDERED_PTR_RE = re.compile(r"\bstd\s*::\s*(map|set|multimap|multiset)\s*<")
+_LESS_PTR_RE = re.compile(r"\bstd\s*::\s*less\s*<[^<>]*\*\s*(?:const\s*)?>")
+
+
+def rule_pointer_key_order(sf: SourceFile, inv: Inventory):
+    del inv
+    finds = []
+    t = sf.scrubbed
+    for m in _ORDERED_PTR_RE.finditer(t):
+        lt = t.index("<", m.end() - 1)
+        end = match_template(t, lt)
+        if end < 0:
+            continue
+        args = t[lt + 1:end - 1]
+        key = _first_template_arg(args).strip()
+        if re.search(r"\*\s*(const\s*)?$", key):
+            finds.append(Finding(sf.rel, line_of(t, m.start()),
+                                 "pointer-key-order",
+                                 f"std::{m.group(1)} keyed on a raw pointer "
+                                 f"(`{key}`): allocation addresses vary run "
+                                 "to run, so ordered traversal is "
+                                 "nondeterministic; key on a stable id "
+                                 "instead"))
+    for m in _LESS_PTR_RE.finditer(t):
+        finds.append(Finding(sf.rel, line_of(t, m.start()),
+                             "pointer-key-order",
+                             "std::less over a raw pointer type: pointer "
+                             "order is not stable across runs; compare a "
+                             "stable id instead"))
+    return finds
+
+
+def _first_template_arg(args: str) -> str:
+    depth = 0
+    for i, c in enumerate(args):
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth -= 1
+        elif c == "," and depth == 0:
+            return args[:i]
+    return args
+
+
+RULES = {
+    "nondet-iteration": rule_nondet_iteration,
+    "seed-purity": rule_seed_purity,
+    "raw-assert": rule_raw_assert,
+    "registry-only": rule_registry_only,
+    "static-init-order": rule_static_init_order,
+    "pointer-key-order": rule_pointer_key_order,
+}
+
+
+# ---------------------------------------------------------------------------
+# Optional libclang backend: sharpens the type-sensitive rules when the
+# python3-clang bindings are importable (CI installs them; the container
+# fallback is the lexical backend above).
+# ---------------------------------------------------------------------------
+
+class ClangBackend:
+    def __init__(self, compile_db_dir):
+        import clang.cindex as cindex  # noqa: F401 — ImportError gates use
+        self.cindex = cindex
+        self.index = cindex.Index.create()
+        self.db = None
+        if compile_db_dir and (Path(compile_db_dir) /
+                               "compile_commands.json").exists():
+            self.db = cindex.CompilationDatabase.fromDirectory(
+                str(compile_db_dir))
+
+    @staticmethod
+    def available():
+        try:
+            import clang.cindex  # noqa: F401
+            return True
+        except Exception:
+            return False
+
+    def args_for(self, path: Path):
+        if self.db is not None:
+            cmds = self.db.getCompileCommands(str(path))
+            if cmds:
+                args = list(cmds[0].arguments)[1:]
+                # Drop the output/input operands; keep flags.
+                cleaned, skip = [], False
+                for a in args:
+                    if skip:
+                        skip = False
+                        continue
+                    if a in ("-o", "-c"):
+                        skip = a == "-o"
+                        continue
+                    if a.endswith((".cc", ".cpp", ".o")):
+                        continue
+                    cleaned.append(a)
+                return cleaned
+        return ["-x", "c++", "-std=c++20", f"-I{REPO_ROOT}"]
+
+    def findings(self, sf: SourceFile):
+        """AST-accurate findings for nondet-iteration and static-init-order.
+        Returns None when the TU cannot be parsed (caller falls back)."""
+        ck = self.cindex.CursorKind
+        try:
+            tu = self.index.parse(str(sf.path), args=self.args_for(sf.path))
+        except Exception:
+            return None
+        severe = [d for d in tu.diagnostics if d.severity >= 4]
+        if severe:
+            return None
+        finds = []
+        main = str(sf.path)
+
+        def walk(cur):
+            if cur.location.file and str(cur.location.file) != main:
+                return
+            if cur.kind == ck.CXX_FOR_RANGE_STMT:
+                children = list(cur.get_children())
+                if children:
+                    rng = children[-2] if len(children) >= 2 else children[0]
+                    ty = rng.type.get_canonical().spelling
+                    if "unordered_map" in ty or "unordered_set" in ty:
+                        finds.append(Finding(
+                            sf.rel, cur.location.line, "nondet-iteration",
+                            f"range-for over `{ty[:60]}`: iteration order "
+                            "is implementation-defined (libclang)"))
+            if cur.kind == ck.VAR_DECL and cur.semantic_parent is not None \
+                    and cur.semantic_parent.kind in (ck.TRANSLATION_UNIT,
+                                                     ck.NAMESPACE):
+                toks = {t.spelling for t in cur.get_tokens()}
+                if not ({"constexpr", "constinit", "extern"} & toks):
+                    has_call = any(
+                        ch.kind in (ck.CALL_EXPR,)
+                        for ch in cur.walk_preorder())
+                    ty = cur.type.get_canonical().spelling
+                    dyn_ty = any(k in ty for k in (
+                        "std::vector", "std::map", "std::set",
+                        "std::unordered", "std::basic_string", "std::deque",
+                        "std::list", "std::function"))
+                    if (has_call or dyn_ty) and \
+                            not sf.in_register_region(cur.location.line):
+                        finds.append(Finding(
+                            sf.rel, cur.location.line, "static-init-order",
+                            f"namespace-scope static `{cur.spelling}` of "
+                            f"type `{ty[:60]}` has a dynamic initializer "
+                            "(libclang); use a function-local static or "
+                            "constinit"))
+            for ch in cur.get_children():
+                walk(ch)
+
+        walk(tu.cursor)
+        return finds
+
+
+# ---------------------------------------------------------------------------
+# Allowlist.
+# ---------------------------------------------------------------------------
+
+class Allowlist:
+    def __init__(self, entries, errors):
+        self.entries = entries  # list of (rule, glob, reason)
+        self.errors = errors    # list of Finding (bad-suppression)
+
+    @classmethod
+    def load(cls, path):
+        if path is None or not Path(path).exists():
+            return cls([], [])
+        if tomllib is None:
+            return cls([], [Finding(str(path), 1, "bad-suppression",
+                                    "allowlist present but tomllib is "
+                                    "unavailable (need python >= 3.11)")])
+        with open(path, "rb") as fh:
+            data = tomllib.load(fh)
+        entries, errors = [], []
+        for i, entry in enumerate(data.get("allow", [])):
+            rule = entry.get("rule", "")
+            glob = entry.get("file", "")
+            reason = (entry.get("reason") or "").strip()
+            if rule not in RULES:
+                errors.append(Finding(str(path), 1, "bad-suppression",
+                                      f"allow[{i}]: unknown rule "
+                                      f"'{rule}'"))
+                continue
+            if not glob:
+                errors.append(Finding(str(path), 1, "bad-suppression",
+                                      f"allow[{i}]: missing 'file' glob"))
+                continue
+            if len(reason) < MIN_JUSTIFICATION:
+                errors.append(Finding(str(path), 1, "bad-suppression",
+                                      f"allow[{i}] ({rule}, {glob}): "
+                                      "justification is mandatory — add a "
+                                      f"'reason' of at least "
+                                      f"{MIN_JUSTIFICATION} characters"))
+                continue
+            entries.append((rule, glob, reason))
+        return cls(entries, errors)
+
+    def covers(self, finding: Finding) -> bool:
+        return any(rule == finding.rule and
+                   fnmatch.fnmatch(finding.file, glob)
+                   for rule, glob, _ in self.entries)
+
+
+# ---------------------------------------------------------------------------
+# Driver.
+# ---------------------------------------------------------------------------
+
+def collect_files(paths):
+    out = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            for ext in ("*.cc", "*.hh", "*.cpp", "*.hpp", "*.h"):
+                out.extend(sorted(p.rglob(ext)))
+        elif p.exists():
+            out.append(p)
+        else:
+            raise FileNotFoundError(p)
+    seen, uniq = set(), []
+    for p in out:
+        rp = p.resolve()
+        if rp not in seen:
+            seen.add(rp)
+            uniq.append(p)
+    return uniq
+
+
+def relpath(p: Path) -> str:
+    try:
+        return str(p.resolve().relative_to(REPO_ROOT))
+    except ValueError:
+        return str(p)
+
+
+def lint_files(paths, allowlist: Allowlist, backend="auto",
+               compile_db=None, rules=None):
+    """Returns (findings, warnings). Findings include unsuppressed rule hits
+    and bad-suppression errors; warnings are informational strings."""
+    files = [SourceFile(p, relpath(p)) for p in collect_files(paths)]
+    inv = Inventory(files)
+    clang = None
+    if backend in ("auto", "clang") and ClangBackend.available():
+        try:
+            clang = ClangBackend(compile_db)
+        except Exception as exc:
+            if backend == "clang":
+                raise
+            print(f"dapper-lint: libclang unavailable ({exc}); "
+                  "using lexical backend", file=sys.stderr)
+    elif backend == "clang":
+        raise RuntimeError("--backend=clang requested but python clang "
+                           "bindings are not importable (install "
+                           "python3-clang + libclang)")
+
+    active_rules = rules or list(RULES)
+    findings, warnings = [], []
+    findings.extend(allowlist.errors)
+    for sf in files:
+        per_file = []
+        clang_ok = False
+        if clang is not None and sf.path.suffix in (".cc", ".cpp"):
+            ast_finds = clang.findings(sf)
+            if ast_finds is not None:
+                clang_ok = True
+                per_file.extend(f for f in ast_finds
+                                if f.rule in active_rules)
+        for name in active_rules:
+            if clang_ok and name in ("nondet-iteration", "static-init-order"):
+                continue  # AST backend owns these for this file
+            per_file.extend(RULES[name](sf, inv))
+        # Annotation validity.
+        for ann in sf.annotations:
+            if ann.rule not in RULES:
+                findings.append(Finding(sf.rel, ann.line_start,
+                                        "bad-suppression",
+                                        f"DAPPER_LINT_ALLOW names unknown "
+                                        f"rule '{ann.rule}'"))
+            elif len(ann.reason) < MIN_JUSTIFICATION:
+                findings.append(Finding(sf.rel, ann.line_start,
+                                        "bad-suppression",
+                                        f"DAPPER_LINT_ALLOW({ann.rule}, ...) "
+                                        "justification is mandatory and must "
+                                        f"be >= {MIN_JUSTIFICATION} chars of "
+                                        "real explanation"))
+        # Suppression resolution.
+        for f in per_file:
+            for ann in sf.annotations:
+                if ann.rule == f.rule and \
+                        ann.line_start <= f.line <= ann.line_end + 1 and \
+                        len(ann.reason) >= MIN_JUSTIFICATION:
+                    f.suppressed = True
+                    ann.used = True
+                    break
+            if not f.suppressed and allowlist.covers(f):
+                f.suppressed = True
+        for ann in sf.annotations:
+            if ann.rule in RULES and not ann.used and \
+                    len(ann.reason) >= MIN_JUSTIFICATION:
+                warnings.append(f"{sf.rel}:{ann.line_start}: unused "
+                                f"DAPPER_LINT_ALLOW({ann.rule}) — the rule "
+                                "no longer fires here; drop the annotation")
+        findings.extend(f for f in per_file if not f.suppressed)
+    return findings, warnings
+
+
+# ---------------------------------------------------------------------------
+# Self-test over the fixture corpus + the real tree.
+# ---------------------------------------------------------------------------
+
+# rule -> (positive fixture set, negative twin set). Sets are linted as a
+# group so cross-file facts (type inventories) resolve like they do on the
+# real tree.
+FIXTURES = {
+    "nondet-iteration": (["nondet_iteration_bad.cc"],
+                         ["nondet_iteration_good.cc"]),
+    "seed-purity": (["seed_purity_bad.cc"], ["seed_purity_good.cc"]),
+    "raw-assert": (["raw_assert_bad.cc"], ["raw_assert_good.cc"]),
+    "registry-only": (["registry_only_bad.cc", "registry_only_types.hh"],
+                      ["registry_only_good.cc", "registry_only_types.hh",
+                       "registry_only_types.cc"]),
+    "static-init-order": (["static_init_order_bad.cc"],
+                          ["static_init_order_good.cc"]),
+    "pointer-key-order": (["pointer_key_order_bad.cc"],
+                          ["pointer_key_order_good.cc"]),
+}
+
+
+def selftest(verbose=True):
+    failures = []
+    empty_allow = Allowlist([], [])
+
+    def check(cond, label):
+        if cond:
+            if verbose:
+                print(f"  ok   {label}")
+        else:
+            failures.append(label)
+            print(f"  FAIL {label}")
+
+    fixture_files = sorted(FIXTURE_DIR.glob("*.cc")) + \
+        sorted(FIXTURE_DIR.glob("*.hh"))
+    print("dapper-lint selftest")
+    print(f"backend: "
+          f"{'clang+lex' if ClangBackend.available() else 'lex'}")
+
+    # 1. Each rule fires on its positive fixture set and is silent on the
+    # negative twin set (which includes own-TU / sanctioned patterns).
+    for rule, (bad, good) in FIXTURES.items():
+        finds, _ = lint_files([FIXTURE_DIR / f for f in bad], empty_allow)
+        hits = [f for f in finds if f.rule == rule]
+        check(len(hits) >= 1, f"{rule}: fires on {bad[0]} "
+                              f"({len(hits)} findings)")
+        others = [f for f in finds if f.rule not in (rule, "bad-suppression")]
+        check(not others, f"{rule}: {bad[0]} triggers only its own rule "
+                          f"(extra: {[f.rule for f in others]})")
+        finds, _ = lint_files([FIXTURE_DIR / f for f in good], empty_allow)
+        check(not finds, f"{rule}: silent on {good[0]} "
+                         f"({[f.render() for f in finds]})")
+
+    # 2. Annotated violations are silent; bad annotations are findings.
+    finds, warns = lint_files([FIXTURE_DIR / "suppression_ok.cc"],
+                              empty_allow)
+    check(not finds, f"suppression: annotated fixture is clean "
+                     f"({[f.render() for f in finds]})")
+    finds, _ = lint_files([FIXTURE_DIR / "suppression_bad.cc"], empty_allow)
+    check(any(f.rule == "bad-suppression" for f in finds),
+          "suppression: missing justification is itself a finding")
+    check(any(f.rule == "seed-purity" for f in finds),
+          "suppression: unjustified annotation does not suppress")
+    finds, warns = lint_files([FIXTURE_DIR / "suppression_unused.cc"],
+                              empty_allow)
+    check(any("unused" in w for w in warns),
+          "suppression: unused annotation warns")
+
+    # 3. Allowlist: covers findings only with a written reason.
+    allow = Allowlist.load(FIXTURE_DIR / "allowlist_test.toml")
+    check(not allow.errors, "allowlist: fixture allowlist parses")
+    finds, _ = lint_files([FIXTURE_DIR / "seed_purity_bad.cc"], allow)
+    check(not [f for f in finds if f.rule == "seed-purity"],
+          "allowlist: reasoned entry suppresses file findings")
+    bad_allow = Allowlist.load(FIXTURE_DIR / "allowlist_bad.toml")
+    check(any(f.rule == "bad-suppression" for f in bad_allow.errors),
+          "allowlist: entry without reason is rejected")
+
+    # 4. Pinned clean excerpts of real src/ files stay silent.
+    excerpts = sorted(FIXTURE_DIR.glob("clean_excerpt_*"))
+    check(len(excerpts) >= 2, f"clean excerpts present ({len(excerpts)})")
+    finds, _ = lint_files(excerpts, empty_allow)
+    check(not finds, f"clean excerpts lint silent "
+                     f"({[f.render() for f in finds]})")
+
+    # 5. The real tree lints clean with the shipped allowlist.
+    finds, warns = lint_files([REPO_ROOT / "src"],
+                              Allowlist.load(DEFAULT_ALLOWLIST))
+    for f in finds:
+        print(f"  tree finding: {f.render()}")
+    check(not finds, "full src/ tree is clean under the shipped policy")
+    for w in warns:
+        print(f"  tree warning: {w}")
+
+    del fixture_files
+    print(f"selftest: {len(failures)} failure(s)")
+    return 0 if not failures else 1
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="dapper-lint",
+        description="determinism/seed-purity static analysis for DAPPER")
+    ap.add_argument("paths", nargs="*",
+                    help="files or directories to lint (default: src/)")
+    ap.add_argument("-p", "--compile-commands-dir", default=None,
+                    help="build dir containing compile_commands.json "
+                         "(used by the libclang backend)")
+    ap.add_argument("--backend", choices=("auto", "lex", "clang"),
+                    default="auto")
+    ap.add_argument("--allowlist", default=str(DEFAULT_ALLOWLIST))
+    ap.add_argument("--rule", action="append", dest="rules",
+                    choices=sorted(RULES), help="restrict to given rule(s)")
+    ap.add_argument("--json", action="store_true",
+                    help="emit findings as JSON")
+    ap.add_argument("--list-rules", action="store_true")
+    ap.add_argument("--selftest", action="store_true",
+                    help="run the fixture self-test + full-tree check")
+    ap.add_argument("-q", "--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for name, fn in RULES.items():
+            first = (fn.__doc__ or "").strip().splitlines()
+            print(f"{name:20s} {first[0] if first else ''}")
+        return 0
+    if args.selftest:
+        return selftest(verbose=not args.quiet)
+
+    paths = args.paths or [str(REPO_ROOT / "src")]
+    try:
+        findings, warnings = lint_files(
+            paths, Allowlist.load(args.allowlist), backend=args.backend,
+            compile_db=args.compile_commands_dir, rules=args.rules)
+    except RuntimeError as exc:
+        print(f"dapper-lint: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([dataclasses.asdict(f) for f in findings],
+                         indent=2))
+    else:
+        for f in findings:
+            print(f.render())
+        if not args.quiet:
+            for w in warnings:
+                print(f"warning: {w}", file=sys.stderr)
+    if findings:
+        if not args.quiet and not args.json:
+            print(f"dapper-lint: {len(findings)} finding(s); suppress only "
+                  "with DAPPER_LINT_ALLOW(rule, \"justification\") or a "
+                  "reasoned allowlist entry (tools/lint/README.md)",
+                  file=sys.stderr)
+        return 1
+    if not args.quiet:
+        print("dapper-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,69 @@
+// dapper-lint fixture: pinned clean copy of src/dram/address.cc — real
+// simulator code that must stay silent under every rule.
+#include "src/dram/address.hh"
+
+#include <bit>
+
+namespace dapper {
+
+namespace {
+
+int
+log2i(std::uint64_t v)
+{
+    return std::bit_width(v) - 1;
+}
+
+} // namespace
+
+AddressMapper::AddressMapper(const SysConfig &cfg)
+    : lineBits_(log2i(static_cast<std::uint64_t>(cfg.lineBytes))),
+      colBits_(log2i(static_cast<std::uint64_t>(cfg.linesPerRow()))),
+      channelBits_(log2i(static_cast<std::uint64_t>(cfg.channels))),
+      bankBits_(log2i(static_cast<std::uint64_t>(cfg.banksPerRank()))),
+      rankBits_(log2i(static_cast<std::uint64_t>(cfg.ranksPerChannel))),
+      rowBits_(log2i(static_cast<std::uint64_t>(cfg.rowsPerBank)))
+{
+}
+
+DramAddress
+AddressMapper::decode(std::uint64_t byteAddr) const
+{
+    std::uint64_t line = byteAddr >> lineBits_;
+
+    auto take = [&line](int bits) {
+        const std::uint64_t mask = (bits >= 64) ? ~0ULL : ((1ULL << bits) - 1);
+        const std::uint64_t v = line & mask;
+        line >>= bits;
+        return v;
+    };
+
+    DramAddress out;
+    out.col = static_cast<std::int32_t>(take(colBits_));
+    out.channel = static_cast<std::int32_t>(take(channelBits_));
+    out.bank = static_cast<std::int32_t>(take(bankBits_));
+    out.rank = static_cast<std::int32_t>(take(rankBits_));
+    out.row = static_cast<std::int32_t>(take(rowBits_));
+    return out;
+}
+
+std::uint64_t
+AddressMapper::encode(const DramAddress &addr) const
+{
+    std::uint64_t line = 0;
+    int shift = 0;
+
+    auto put = [&line, &shift](std::uint64_t v, int bits) {
+        line |= v << shift;
+        shift += bits;
+    };
+
+    put(static_cast<std::uint64_t>(addr.col), colBits_);
+    put(static_cast<std::uint64_t>(addr.channel), channelBits_);
+    put(static_cast<std::uint64_t>(addr.bank), bankBits_);
+    put(static_cast<std::uint64_t>(addr.rank), rankBits_);
+    put(static_cast<std::uint64_t>(addr.row), rowBits_);
+    return line << lineBits_;
+}
+
+} // namespace dapper

@@ -1,0 +1,168 @@
+// dapper-lint fixture: pinned clean copy of src/common/cat_table.hh —
+// the deterministic replacement for the unordered_map CAT tables; must
+// stay silent under every rule.
+/**
+ * @file
+ * Counter-address table (CAT) for Misra-Gries aggressor trackers: a
+ * fixed-capacity open-addressing row->count table (FlatMap64's layout
+ * with a parallel count lane) plus an eviction primitive whose victim
+ * choice is an explicit, documented tie-break — unlike the
+ * std::unordered_map tables it replaces, whose eviction probes walked
+ * implementation-defined iteration order.
+ *
+ * Eviction rule (the whole contract, also asserted by the layout
+ * oracle in tests/misc_test.cc):
+ *
+ *   Starting at the incoming key's home bucket and walking slots in
+ *   table order (wrapping), examine occupied slots until kProbeLimit
+ *   of them have been seen; the FIRST one whose count is <= the
+ *   Misra-Gries floor is erased (backward-shift, as FlatMap64) and the
+ *   incoming key is inserted with the given count. Empty slots are
+ *   skipped and do not count toward the probe budget.
+ *
+ * The bounded probe budget mirrors what a hardware CAM update port can
+ * scan in one cycle (and the 8-probe loop of the previous
+ * implementation); like Misra-Gries itself, failing to find a
+ * floor-level victim within the budget only makes tracking more
+ * conservative, never less safe.
+ *
+ * Same constraints as FlatMap64: capacity fixed at construction, load
+ * factor <= 0.5, keys must never equal kEmptyKey (~0).
+ */
+
+#ifndef DAPPER_COMMON_CAT_TABLE_HH
+#define DAPPER_COMMON_CAT_TABLE_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/check.hh"
+#include "src/common/rng.hh"
+
+namespace dapper {
+
+class CatTable
+{
+  public:
+    static constexpr std::uint64_t kEmptyKey = ~std::uint64_t(0);
+    /** Occupied slots examined per eviction (one CAM scan's worth). */
+    static constexpr int kProbeLimit = 8;
+
+    /** Table sized for at most @p maxEntries live entries. */
+    explicit CatTable(std::size_t maxEntries)
+    {
+        std::size_t cap = 16;
+        while (cap < maxEntries * 2)
+            cap <<= 1;
+        mask_ = cap - 1;
+        keys_.assign(cap, kEmptyKey);
+        counts_.assign(cap, 0);
+    }
+
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /** Pointer to the count for @p key, or nullptr. */
+    std::uint32_t *
+    find(std::uint64_t key)
+    {
+        for (std::size_t i = homeBucket(key);; i = (i + 1) & mask_) {
+            if (keys_[i] == key)
+                return &counts_[i];
+            if (keys_[i] == kEmptyKey)
+                return nullptr;
+        }
+    }
+
+    /** Insert @p key (not present; caller bounds occupancy). */
+    void
+    insert(std::uint64_t key, std::uint32_t count)
+    {
+        DAPPER_CHECK(key != kEmptyKey, "CatTable: reserved key");
+        DAPPER_CHECK(size_ * 2 <= mask_ + 1, "CatTable: table full");
+        std::size_t i = homeBucket(key);
+        while (keys_[i] != kEmptyKey)
+            i = (i + 1) & mask_;
+        keys_[i] = key;
+        counts_[i] = count;
+        ++size_;
+    }
+
+    /**
+     * Misra-Gries replacement: evict the first occupied slot at or
+     * after @p key's home bucket (in table order, wrapping, at most
+     * kProbeLimit occupied slots examined) whose count is <= @p floor,
+     * then insert @p key with @p count. Returns false — with the table
+     * unchanged — when no examined slot was at or below the floor.
+     */
+    bool
+    evictReplace(std::uint64_t key, std::uint32_t floor,
+                 std::uint32_t count)
+    {
+        int probed = 0;
+        std::size_t scanned = 0;
+        for (std::size_t i = homeBucket(key);
+             probed < kProbeLimit && scanned <= mask_;
+             i = (i + 1) & mask_, ++scanned) {
+            if (keys_[i] == kEmptyKey)
+                continue;
+            ++probed;
+            if (counts_[i] <= floor) {
+                eraseSlot(i);
+                insert(key, count);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    void
+    clear()
+    {
+        keys_.assign(keys_.size(), kEmptyKey);
+        size_ = 0;
+    }
+
+    /** Home bucket of @p key (exposed for the eviction-order oracle). */
+    std::size_t
+    homeBucket(std::uint64_t key) const
+    {
+        return static_cast<std::size_t>(mixHash64(key)) & mask_;
+    }
+
+    /** Raw slot views for tests: kEmptyKey marks an empty slot. */
+    std::uint64_t slotKey(std::size_t i) const { return keys_[i]; }
+    std::uint32_t slotCount(std::size_t i) const { return counts_[i]; }
+
+  private:
+    /** Backward-shift deletion of slot @p i (FlatMap64's scheme). */
+    void
+    eraseSlot(std::size_t i)
+    {
+        std::size_t hole = i;
+        for (std::size_t j = (i + 1) & mask_;; j = (j + 1) & mask_) {
+            if (keys_[j] == kEmptyKey)
+                break;
+            const std::size_t home = homeBucket(keys_[j]);
+            const bool movable =
+                ((j - home) & mask_) >= ((j - hole) & mask_);
+            if (movable) {
+                keys_[hole] = keys_[j];
+                counts_[hole] = counts_[j];
+                hole = j;
+            }
+        }
+        keys_[hole] = kEmptyKey;
+        --size_;
+    }
+
+    std::size_t mask_ = 0;
+    std::size_t size_ = 0;
+    std::vector<std::uint64_t> keys_;
+    std::vector<std::uint32_t> counts_;
+};
+
+} // namespace dapper
+
+#endif // DAPPER_COMMON_CAT_TABLE_HH

@@ -1,0 +1,34 @@
+// dapper-lint fixture: POSITIVE for nondet-iteration.
+// Iterating an unordered container leaks implementation-defined order
+// into whatever the loop computes (the PR 6 CAT-table lesson).
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fixture {
+
+class Table
+{
+  public:
+    int
+    sum() const
+    {
+        int total = 0;
+        for (const auto &kv : counts_) // BAD: range-for over unordered_map
+            total += kv.second;
+        return total;
+    }
+
+    std::uint64_t
+    probe() const
+    {
+        auto it = rows_.begin(); // BAD: iterator walk over unordered_set
+        return it == rows_.end() ? 0 : *it;
+    }
+
+  private:
+    std::unordered_map<int, int> counts_;
+    std::unordered_set<std::uint64_t> rows_;
+};
+
+} // namespace fixture

@@ -1,0 +1,38 @@
+// dapper-lint fixture: NEGATIVE twin for nondet-iteration.
+// Point lookups into unordered containers are fine; only iteration is
+// order-sensitive. Deterministic containers may be iterated freely.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace fixture {
+
+class GoodTable
+{
+  public:
+    int
+    lookup(const std::string &key) const
+    {
+        const auto it = index_.find(key); // point lookup: fine
+        return it == index_.end() ? 0 : it->second;
+    }
+
+    int
+    walk() const
+    {
+        int total = 0;
+        for (int v : order_) // vector: deterministic order
+            total += v;
+        for (const auto &kv : sorted_) // std::map on string keys: fine
+            total += kv.second;
+        return total;
+    }
+
+  private:
+    std::unordered_map<std::string, int> index_;
+    std::map<std::string, int> sorted_;
+    std::vector<int> order_;
+};
+
+} // namespace fixture

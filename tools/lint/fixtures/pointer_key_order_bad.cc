@@ -1,0 +1,30 @@
+// dapper-lint fixture: POSITIVE for pointer-key-order.
+// Allocation addresses vary run to run (ASLR, allocator state), so any
+// ordered traversal keyed on raw pointers is nondeterministic.
+#include <map>
+#include <set>
+
+namespace fixture {
+
+struct Node
+{
+    int id = 0;
+};
+
+using NodeLess = std::less<Node *>; // BAD: pointer comparator
+
+class Graph
+{
+  public:
+    void
+    link(Node *n)
+    {
+        order_.insert(n);
+    }
+
+  private:
+    std::set<Node *> order_;              // BAD: set keyed on pointer
+    std::map<const Node *, int> weights_; // BAD: map keyed on pointer
+};
+
+} // namespace fixture

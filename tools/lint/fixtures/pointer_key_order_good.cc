@@ -1,0 +1,31 @@
+// dapper-lint fixture: NEGATIVE twin for pointer-key-order.
+// Key ordered containers on stable ids; unordered pointer storage
+// (vector) is fine because nothing traverses it by address order.
+#include <cstdint>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+struct Node
+{
+    std::uint32_t id = 0;
+};
+
+class Graph
+{
+  public:
+    void
+    link(const Node &n)
+    {
+        order_.insert(n.id);
+    }
+
+  private:
+    std::set<std::uint32_t> order_; // stable ids, not addresses
+    std::map<std::uint64_t, int> weights_;
+    std::vector<Node *> scratch_; // unordered storage: fine
+};
+
+} // namespace fixture

@@ -1,0 +1,23 @@
+// dapper-lint fixture: POSITIVE for raw-assert.
+// assert() compiles out under NDEBUG (the default Release build); a
+// data-integrity guard that vanishes in Release lets the simulation
+// limp on with corrupt state.
+#include <cassert>
+#include <cstdint>
+
+namespace fixture {
+
+struct Queue
+{
+    std::uint32_t count = 0;
+    std::uint32_t cap = 8;
+
+    void
+    push()
+    {
+        assert(count < cap); // BAD: gone in Release
+        ++count;
+    }
+};
+
+} // namespace fixture

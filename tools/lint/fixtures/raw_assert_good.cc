@@ -1,0 +1,33 @@
+// dapper-lint fixture: NEGATIVE twin for raw-assert.
+// Release-safe checks (DAPPER_CHECK in the real tree) and
+// static_assert are both fine.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#define FIXTURE_CHECK(cond, msg)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::fprintf(stderr, "%s\n", (msg));                          \
+            std::abort();                                                 \
+        }                                                                 \
+    } while (0)
+
+namespace fixture {
+
+struct Queue
+{
+    std::uint32_t count = 0;
+    std::uint32_t cap = 8;
+
+    void
+    push()
+    {
+        FIXTURE_CHECK(count < cap, "queue overflow");
+        ++count;
+    }
+};
+
+static_assert(sizeof(Queue) == 8, "two u32 fields");
+
+} // namespace fixture

@@ -1,0 +1,21 @@
+// dapper-lint fixture: NEGATIVE twin for registry-only.
+// Consumers resolve trackers by name through the registry factory; the
+// concrete type never appears here.
+#include "registry_only_types.hh"
+
+#include <memory>
+#include <string>
+
+namespace fixture {
+
+std::unique_ptr<Tracker> makeFixtureTracker();
+
+std::unique_ptr<Tracker>
+fromRegistry(const std::string &name)
+{
+    if (name == "fixture")
+        return makeFixtureTracker();
+    return nullptr;
+}
+
+} // namespace fixture

@@ -1,0 +1,22 @@
+// dapper-lint fixture: NEGATIVE for registry-only (own-TU construction).
+// The factory closure a DAPPER_REGISTER_* site installs lives next to
+// the type itself, so the concrete name never escapes this TU.
+#include "registry_only_types.hh"
+
+#include <memory>
+
+namespace fixture {
+
+int
+FixtureTracker::mitigate()
+{
+    return 1;
+}
+
+std::unique_ptr<Tracker>
+makeFixtureTracker()
+{
+    return std::make_unique<FixtureTracker>(); // own TU: allowed
+}
+
+} // namespace fixture

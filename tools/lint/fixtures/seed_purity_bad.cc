@@ -1,0 +1,22 @@
+// dapper-lint fixture: POSITIVE for seed-purity.
+// Wall-clock, process environment, and libc randomness all make results
+// irreproducible; everything must derive from SysConfig::seed.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+namespace fixture {
+
+unsigned
+wallSeed()
+{
+    unsigned s = static_cast<unsigned>(std::time(nullptr)); // BAD
+    s ^= static_cast<unsigned>(rand());                     // BAD
+    if (const char *env = std::getenv("FIXTURE_SEED"))      // BAD
+        s ^= static_cast<unsigned>(env[0]);
+    const auto now = std::chrono::steady_clock::now();      // BAD
+    s ^= static_cast<unsigned>(now.time_since_epoch().count());
+    return s;
+}
+
+} // namespace fixture

@@ -1,0 +1,39 @@
+// dapper-lint fixture: NEGATIVE twin for seed-purity.
+// All randomness flows from an explicit seed (the SysConfig::seed /
+// src/common/rng.hh pattern in the real tree).
+#include <cstdint>
+
+namespace fixture {
+
+class SeededRng
+{
+  public:
+    explicit SeededRng(std::uint64_t seed) : state_(seed ^ kGamma) {}
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += kGamma);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    static constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ULL;
+    std::uint64_t state_;
+};
+
+// Identifiers containing banned substrings (runtime, drawTime) must not
+// trip the rule.
+std::uint64_t
+drawTime(std::uint64_t seed, int draws)
+{
+    SeededRng rng(seed);
+    std::uint64_t runtime = 0;
+    for (int i = 0; i < draws; ++i)
+        runtime += rng.next() & 0xff;
+    return runtime;
+}
+
+} // namespace fixture

@@ -1,0 +1,23 @@
+// dapper-lint fixture: POSITIVE for static-init-order.
+// The PR 8 benign.cc bug class: namespace-scope objects with dynamic
+// initializers are read by cross-TU registrars during static init, and
+// the initialization order across TUs is unspecified.
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+const std::vector<int> kTable = {1, 2, 3}; // BAD: dynamic init at ns scope
+
+std::string buildName();
+
+static std::string kName = buildName(); // BAD: initializer calls a function
+
+struct Registry
+{
+    int n = 0;
+};
+
+static Registry gRegistry; // BAD: default-constructed class object
+
+} // namespace fixture

@@ -1,0 +1,34 @@
+// dapper-lint fixture: NEGATIVE twin for static-init-order.
+// Constant-initialized data is order-safe, and construct-on-first-use
+// (function-local static) is the sanctioned fix for dynamic objects.
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+constexpr int kWindow = 64;
+constexpr std::uint64_t kMask = 0xffff;
+static const char *kLabel = "fixture";
+static const int kPrimes[] = {2, 3, 5, 7};
+
+struct Registry
+{
+    int n = 0;
+};
+
+const std::vector<int> &
+table()
+{
+    static const std::vector<int> kTable = {1, 2, 3}; // on first use: fine
+    return kTable;
+}
+
+Registry &
+registry()
+{
+    static Registry instance; // on first use: fine
+    return instance;
+}
+
+} // namespace fixture

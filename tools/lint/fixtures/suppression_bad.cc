@@ -1,0 +1,19 @@
+// dapper-lint fixture: an annotation WITHOUT a written justification is
+// itself a finding (bad-suppression) and suppresses nothing.
+#include <cstdlib>
+
+#define DAPPER_LINT_ALLOW(rule, justification)                            \
+    static_assert(true, "dapper-lint suppression record")
+
+namespace fixture {
+
+int
+envOverride()
+{
+    DAPPER_LINT_ALLOW(seed-purity, "");
+    if (const char *env = std::getenv("FIXTURE_JOBS"))
+        return env[0] - '0';
+    return 1;
+}
+
+} // namespace fixture

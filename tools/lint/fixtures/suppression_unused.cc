@@ -1,0 +1,17 @@
+// dapper-lint fixture: a justified annotation whose rule no longer fires
+// nearby is reported as unused (stale suppressions must be dropped).
+#define DAPPER_LINT_ALLOW(rule, justification)                            \
+    static_assert(true, "dapper-lint suppression record")
+
+namespace fixture {
+
+int
+pureCompute(int x)
+{
+    DAPPER_LINT_ALLOW(seed-purity,
+                      "stale: the wall-clock call below was removed "
+                      "two refactors ago");
+    return x * 3;
+}
+
+} // namespace fixture
