@@ -67,6 +67,13 @@ Core::memDone(const Request &req, Tick now)
     wake(now + 1);
 }
 
+DAPPER_LINT_ALLOW(engine-parity,
+                  "event-engine-only by design: tickEvent exists so "
+                  "System::run can batch all-bubble retire runs; every "
+                  "architectural effect goes through the same tick() the "
+                  "reference engine drives, wakeAt_/batchedUntil_ are "
+                  "scheduling bookkeeping, and scheduler_equivalence_test "
+                  "pins both engines bit-identical");
 void
 Core::tickEvent(Tick now, Tick limit)
 {
@@ -91,6 +98,14 @@ Core::tickEvent(Tick now, Tick limit)
     tryBatch(now, limit);
 }
 
+DAPPER_LINT_ALLOW(engine-parity,
+                  "event-engine-only by design: tryBatch fast-forwards "
+                  "bubble-only stretches for System::run; it mutates only "
+                  "retire bookkeeping the reference engine recomputes "
+                  "tick-by-tick, and its entry conditions guarantee no "
+                  "memory-system interaction inside the batch — "
+                  "scheduler_equivalence_test pins the engines "
+                  "bit-identical");
 void
 Core::tryBatch(Tick now, Tick limit)
 {

@@ -27,6 +27,11 @@ Rules (see tools/lint/README.md for the full contract):
   pointer-key-order  no ordered containers or comparators keyed on raw
                      pointer values (allocation addresses vary run to run).
 
+The cross-TU semantic tier (stat-export completeness, check purity,
+engine parity, narrowing address arithmetic) lives in dapper_audit.py;
+both tools share infrastructure (scrubbing, suppression policy, SARIF)
+via lintlib.py.
+
 Suppression, in order of preference:
 
   1. Inline annotation (src/common/check.hh):
@@ -51,26 +56,22 @@ Exit codes: 0 clean, 1 findings, 2 internal/usage error.
 from __future__ import annotations
 
 import argparse
-import dataclasses
-import fnmatch
-import json
 import os
 import re
 import sys
 from pathlib import Path
 
-try:
-    import tomllib
-except ImportError:  # Python < 3.11: allowlist support degrades gracefully.
-    tomllib = None
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from lintlib import (  # noqa: E402
+    ALL_RULE_NAMES, DEFAULT_ALLOWLIST, FIXTURE_DIR, LINT_RULE_NAMES,
+    REPO_ROOT, Allowlist, Finding, SourceFile, annotation_validity,
+    changed_files, collect_files, line_of, match_bracket, match_template,
+    print_findings, relpath, resolve_suppressions, top_level_assign,
+    top_level_colon, first_template_arg, unused_annotation_warnings,
+    write_sarif,
+)
 
-REPO_ROOT = Path(__file__).resolve().parents[2]
-LINT_DIR = Path(__file__).resolve().parent
-FIXTURE_DIR = LINT_DIR / "fixtures"
-DEFAULT_ALLOWLIST = LINT_DIR / "allowlist.toml"
-
-# Minimum justification length for an annotation / allowlist reason.
-MIN_JUSTIFICATION = 10
+TOOL_VERSION = "2.0"
 
 # Base classes whose concrete descendants may only be constructed through
 # the registries (rule registry-only).
@@ -102,331 +103,6 @@ DECL_QUALIFIERS = {
     "static", "const", "inline", "volatile", "thread_local", "extern",
     "mutable", "register", "typename", "class", "struct", "enum",
 }
-
-
-@dataclasses.dataclass
-class Finding:
-    file: str          # repo-relative path
-    line: int          # 1-based
-    rule: str
-    message: str
-    suppressed: bool = False
-
-    def render(self) -> str:
-        return f"{self.file}:{self.line}: [{self.rule}] {self.message}"
-
-
-@dataclasses.dataclass
-class Annotation:
-    rule: str
-    reason: str
-    line_start: int    # 1-based line of the annotation's first token
-    line_end: int      # 1-based line of the closing paren
-    used: bool = False
-
-
-# ---------------------------------------------------------------------------
-# Source scrubbing: blank comments and string/char literal contents while
-# preserving byte offsets and line structure, so token-level rules never
-# match inside a comment or a literal.
-# ---------------------------------------------------------------------------
-
-def scrub_source(text: str) -> str:
-    out = list(text)
-    i, n = 0, len(text)
-    NORMAL, LINE_C, BLOCK_C, STR, CHR, RAW = range(6)
-    state = NORMAL
-    raw_terminator = ""
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == NORMAL:
-            if c == "/" and nxt == "/":
-                state = LINE_C
-                out[i] = out[i + 1] = " "
-                i += 2
-                continue
-            if c == "/" and nxt == "*":
-                state = BLOCK_C
-                out[i] = out[i + 1] = " "
-                i += 2
-                continue
-            if c == '"':
-                # Raw string literal? Look behind for R / u8R / LR / uR / UR.
-                j = i - 1
-                prefix = ""
-                while j >= 0 and text[j] in "Ru8LU" and len(prefix) < 3:
-                    prefix = text[j] + prefix
-                    j -= 1
-                if "R" in prefix and (j < 0 or not (text[j].isalnum() or
-                                                    text[j] == "_")):
-                    m = re.match(r'"([^()\s\\]{0,16})\(', text[i:])
-                    if m:
-                        raw_terminator = ")" + m.group(1) + '"'
-                        state = RAW
-                        i += m.end()
-                        continue
-                state = STR
-                i += 1
-                continue
-            if c == "'":
-                # Digit separator (1'000'000) is not a char literal.
-                if i > 0 and text[i - 1].isdigit() and nxt.isalnum():
-                    i += 1
-                    continue
-                state = CHR
-                i += 1
-                continue
-            i += 1
-            continue
-        if state == LINE_C:
-            if c == "\n":
-                state = NORMAL
-            elif c != "\n":
-                out[i] = " "
-            i += 1
-            continue
-        if state == BLOCK_C:
-            if c == "*" and nxt == "/":
-                out[i] = out[i + 1] = " "
-                state = NORMAL
-                i += 2
-                continue
-            if c != "\n":
-                out[i] = " "
-            i += 1
-            continue
-        if state == STR:
-            if c == "\\" and i + 1 < n:
-                out[i] = " "
-                if text[i + 1] != "\n":
-                    out[i + 1] = " "
-                i += 2
-                continue
-            if c == '"':
-                state = NORMAL
-            elif c != "\n":
-                out[i] = " "
-            i += 1
-            continue
-        if state == CHR:
-            if c == "\\" and i + 1 < n:
-                out[i] = " "
-                if text[i + 1] != "\n":
-                    out[i + 1] = " "
-                i += 2
-                continue
-            if c == "'":
-                state = NORMAL
-            elif c != "\n":
-                out[i] = " "
-            i += 1
-            continue
-        if state == RAW:
-            if text.startswith(raw_terminator, i):
-                i += len(raw_terminator)
-                state = NORMAL
-                continue
-            if c != "\n":
-                out[i] = " "
-            i += 1
-            continue
-    return "".join(out)
-
-
-def strip_preprocessor(text: str) -> str:
-    """Blank preprocessor logical lines (including backslash continuations)
-    while preserving length and newlines."""
-    out = []
-    in_pp = False
-    for line in text.split("\n"):
-        stripped = line.lstrip()
-        if in_pp or stripped.startswith("#"):
-            cont = line.rstrip().endswith("\\")
-            out.append(" " * len(line))
-            in_pp = cont
-        else:
-            out.append(line)
-    return "\n".join(out)
-
-
-def match_bracket(text: str, open_pos: int, open_ch: str, close_ch: str) -> int:
-    """Return index just past the bracket matching text[open_pos], or -1."""
-    depth = 0
-    i = open_pos
-    n = len(text)
-    while i < n:
-        c = text[i]
-        if c == open_ch:
-            depth += 1
-        elif c == close_ch:
-            depth -= 1
-            if depth == 0:
-                return i + 1
-        i += 1
-    return -1
-
-
-def match_template(text: str, lt_pos: int) -> int:
-    """Match '<'...'>' accounting for nesting; shift operators do not appear
-    inside the type contexts we scan. Returns index past '>', or -1."""
-    depth = 0
-    i = lt_pos
-    n = len(text)
-    while i < n:
-        c = text[i]
-        if c == "<":
-            depth += 1
-        elif c == ">":
-            depth -= 1
-            if depth == 0:
-                return i + 1
-        elif c in ";{}":
-            return -1
-        i += 1
-    return -1
-
-
-def line_of(text: str, pos: int) -> int:
-    return text.count("\n", 0, pos) + 1
-
-
-# ---------------------------------------------------------------------------
-# Per-file model.
-# ---------------------------------------------------------------------------
-
-class SourceFile:
-    def __init__(self, path: Path, rel: str):
-        self.path = path
-        self.rel = rel
-        self.raw = path.read_text(encoding="utf-8", errors="replace")
-        self.scrubbed = scrub_source(self.raw)
-        self.annotations = self._parse_annotations()
-        self.register_regions = self._register_macro_regions()
-        self._ns_scope_statements = None
-
-    # -- annotations --------------------------------------------------------
-
-    _ANN_RE = re.compile(r"\bDAPPER_LINT_ALLOW\s*\(")
-
-    def _parse_annotations(self):
-        anns = []
-        for m in self._ANN_RE.finditer(self.scrubbed):
-            # Skip the macro's own definition in check.hh.
-            bol = self.scrubbed.rfind("\n", 0, m.start()) + 1
-            if self.scrubbed[bol:m.start()].lstrip().startswith("#"):
-                continue
-            open_paren = self.scrubbed.index("(", m.start())
-            end = match_bracket(self.scrubbed, open_paren, "(", ")")
-            if end < 0:
-                continue
-            inside_raw = self.raw[open_paren + 1:end - 1]
-            line_start = line_of(self.scrubbed, m.start())
-            line_end = line_of(self.scrubbed, end - 1)
-            parts = inside_raw.split(",", 1)
-            rule = parts[0].strip()
-            reason = ""
-            if len(parts) == 2:
-                sm = re.search(r'"((?:[^"\\]|\\.)*)"', parts[1], re.S)
-                if sm:
-                    reason = re.sub(r"\s+", " ", sm.group(1)).strip()
-                    # Adjacent literals: "a" "b" concatenate.
-                    for extra in re.findall(r'"((?:[^"\\]|\\.)*)"',
-                                            parts[1], re.S)[1:]:
-                        reason += re.sub(r"\s+", " ", extra).strip()
-            if not re.fullmatch(r"[\w-]+", rule or ""):
-                continue  # the #define itself, or malformed — handled below
-            anns.append(Annotation(rule, reason, line_start, line_end))
-        return anns
-
-    # -- DAPPER_REGISTER_* regions ------------------------------------------
-
-    _REG_RE = re.compile(r"\bDAPPER_REGISTER_\w+\s*\(")
-
-    def _register_macro_regions(self):
-        regions = []
-        for m in self._REG_RE.finditer(self.scrubbed):
-            open_paren = self.scrubbed.index("(", m.start())
-            end = match_bracket(self.scrubbed, open_paren, "(", ")")
-            if end < 0:
-                continue
-            regions.append((line_of(self.scrubbed, m.start()),
-                            line_of(self.scrubbed, end - 1)))
-        return regions
-
-    def in_register_region(self, line: int) -> bool:
-        return any(a <= line <= b for a, b in self.register_regions)
-
-    # -- namespace-scope statement splitter ---------------------------------
-
-    def ns_scope_statements(self):
-        """Return (line, statement_text) for each top-level statement that
-        sits at namespace (or translation-unit) scope — i.e. not inside a
-        function body, class body, or initializer block. Preprocessor lines
-        are blanked first so macro definitions with braces in their bodies
-        cannot desynchronize the scope tracker."""
-        if self._ns_scope_statements is not None:
-            return self._ns_scope_statements
-        text = strip_preprocessor(self.scrubbed)
-        stmts = []
-        stack = []           # context kinds: 'ns' | 'class' | 'fn' | 'init'
-        stmt_start = 0
-        i, n = 0, len(text)
-
-        def at_ns_scope():
-            return all(k == "ns" for k in stack)
-
-        def classify_open(pos):
-            head = text[max(0, pos - 400):pos].rstrip()
-            if re.search(r"\bnamespace(\s+[\w:]+)?\s*$", head):
-                return "ns"
-            if re.search(r"\b(class|struct|union|enum)\b[^;{}()=]*$", head):
-                return "class"
-            if head.endswith(("=", ",", "(", "{", "return")):
-                return "init"
-            # A '{' inside a statement that already carries a top-level '='
-            # belongs to the initializer (covers `auto f = [](){...};`).
-            if at_ns_scope() and \
-                    _top_level_assign(text[stmt_start:pos]) >= 0:
-                return "init"
-            if re.search(r"(\)|\bconst|\bnoexcept|\boverride|\bfinal|"
-                         r"\belse|\bdo|\btry)\s*$", head):
-                return "fn"
-            if re.search(r"->\s*[\w:<>,&*\s]+$", head):
-                return "fn"
-            return "init"
-
-        while i < n:
-            c = text[i]
-            if c == "{":
-                kind = classify_open(i)
-                stack.append(kind)
-                i += 1
-                continue
-            if c == "}":
-                if stack:
-                    kind = stack.pop()
-                    # A function/class/namespace body ends its statement;
-                    # an initializer brace belongs to a statement that
-                    # still runs until its ';'.
-                    if kind != "init" and at_ns_scope():
-                        stmt_start = i + 1
-                i += 1
-                continue
-            if c == ";":
-                if at_ns_scope():
-                    seg = text[stmt_start:i]
-                    stmt = seg.strip()
-                    if stmt:
-                        lead = len(seg) - len(seg.lstrip())
-                        stmts.append((line_of(text, stmt_start + lead),
-                                      stmt))
-                    stmt_start = i + 1
-                i += 1
-                continue
-            i += 1
-        self._ns_scope_statements = stmts
-        return stmts
 
 
 # ---------------------------------------------------------------------------
@@ -521,7 +197,7 @@ def rule_nondet_iteration(sf: SourceFile, inv: Inventory):
         inside = t[open_paren + 1:end - 1]
         if ";" in inside:
             continue  # classic for
-        colon = _top_level_colon(inside)
+        colon = top_level_colon(inside)
         if colon < 0:
             continue
         range_expr = inside[colon + 1:]
@@ -544,27 +220,6 @@ def rule_nondet_iteration(sf: SourceFile, inv: Inventory):
                                  "implementation-defined; iterate a "
                                  "deterministic structure instead"))
     return finds
-
-
-def _top_level_colon(s: str) -> int:
-    depth = 0
-    i = 0
-    while i < len(s):
-        c = s[i]
-        if c in "(<[{":
-            depth += 1
-        elif c in ")>]}":
-            depth -= 1
-        elif c == ":" and depth == 0:
-            if i + 1 < len(s) and s[i + 1] == ":":
-                i += 2
-                continue
-            if i > 0 and s[i - 1] == ":":
-                i += 1
-                continue
-            return i
-        i += 1
-    return -1
 
 
 _SEED_PATTERNS = [
@@ -700,7 +355,7 @@ def rule_static_init_order(sf: SourceFile, inv: Inventory):
         if s.startswith("}"):
             continue
         # Split declarator head from initializer.
-        eq = _top_level_assign(s)
+        eq = top_level_assign(s)
         head = s[:eq] if eq >= 0 else s
         init = s[eq + 1:] if eq >= 0 else ""
         brace = head.find("{")
@@ -747,22 +402,6 @@ def rule_static_init_order(sf: SourceFile, inv: Inventory):
     return finds
 
 
-def _top_level_assign(s: str) -> int:
-    depth = 0
-    for i, c in enumerate(s):
-        if c in "(<[{":
-            depth += 1
-        elif c in ")>]}":
-            depth -= 1
-        elif c == "=" and depth == 0:
-            if i + 1 < len(s) and s[i + 1] == "=":
-                continue  # comparison
-            if i > 0 and s[i - 1] in "!<>+-*/%&|^=":
-                continue
-            return i
-    return -1
-
-
 _ORDERED_PTR_RE = re.compile(r"\bstd\s*::\s*(map|set|multimap|multiset)\s*<")
 _LESS_PTR_RE = re.compile(r"\bstd\s*::\s*less\s*<[^<>]*\*\s*(?:const\s*)?>")
 
@@ -777,7 +416,7 @@ def rule_pointer_key_order(sf: SourceFile, inv: Inventory):
         if end < 0:
             continue
         args = t[lt + 1:end - 1]
-        key = _first_template_arg(args).strip()
+        key = first_template_arg(args).strip()
         if re.search(r"\*\s*(const\s*)?$", key):
             finds.append(Finding(sf.rel, line_of(t, m.start()),
                                  "pointer-key-order",
@@ -795,18 +434,6 @@ def rule_pointer_key_order(sf: SourceFile, inv: Inventory):
     return finds
 
 
-def _first_template_arg(args: str) -> str:
-    depth = 0
-    for i, c in enumerate(args):
-        if c in "<([":
-            depth += 1
-        elif c in ">)]":
-            depth -= 1
-        elif c == "," and depth == 0:
-            return args[:i]
-    return args
-
-
 RULES = {
     "nondet-iteration": rule_nondet_iteration,
     "seed-purity": rule_seed_purity,
@@ -814,6 +441,42 @@ RULES = {
     "registry-only": rule_registry_only,
     "static-init-order": rule_static_init_order,
     "pointer-key-order": rule_pointer_key_order,
+}
+assert tuple(RULES) == LINT_RULE_NAMES, "lintlib.LINT_RULE_NAMES is stale"
+
+RULE_META = {
+    "nondet-iteration": {
+        "description": "No iteration over unordered containers in src/",
+        "severity": "error",
+    },
+    "seed-purity": {
+        "description": "All randomness/environment input flows from "
+                       "SysConfig::seed",
+        "severity": "error",
+    },
+    "raw-assert": {
+        "description": "Data-integrity guards use DAPPER_CHECK, not bare "
+                       "assert()",
+        "severity": "error",
+    },
+    "registry-only": {
+        "description": "Concrete trackers/attacks/workloads are built only "
+                       "via registries",
+        "severity": "error",
+    },
+    "static-init-order": {
+        "description": "No namespace-scope statics with dynamic "
+                       "initializers",
+        "severity": "error",
+    },
+    "pointer-key-order": {
+        "description": "No ordered containers keyed on raw pointer values",
+        "severity": "error",
+    },
+    "bad-suppression": {
+        "description": "Malformed or unjustified lint suppression",
+        "severity": "error",
+    },
 }
 
 
@@ -918,89 +581,16 @@ class ClangBackend:
 
 
 # ---------------------------------------------------------------------------
-# Allowlist.
-# ---------------------------------------------------------------------------
-
-class Allowlist:
-    def __init__(self, entries, errors):
-        self.entries = entries  # list of (rule, glob, reason)
-        self.errors = errors    # list of Finding (bad-suppression)
-
-    @classmethod
-    def load(cls, path):
-        if path is None or not Path(path).exists():
-            return cls([], [])
-        if tomllib is None:
-            return cls([], [Finding(str(path), 1, "bad-suppression",
-                                    "allowlist present but tomllib is "
-                                    "unavailable (need python >= 3.11)")])
-        with open(path, "rb") as fh:
-            data = tomllib.load(fh)
-        entries, errors = [], []
-        for i, entry in enumerate(data.get("allow", [])):
-            rule = entry.get("rule", "")
-            glob = entry.get("file", "")
-            reason = (entry.get("reason") or "").strip()
-            if rule not in RULES:
-                errors.append(Finding(str(path), 1, "bad-suppression",
-                                      f"allow[{i}]: unknown rule "
-                                      f"'{rule}'"))
-                continue
-            if not glob:
-                errors.append(Finding(str(path), 1, "bad-suppression",
-                                      f"allow[{i}]: missing 'file' glob"))
-                continue
-            if len(reason) < MIN_JUSTIFICATION:
-                errors.append(Finding(str(path), 1, "bad-suppression",
-                                      f"allow[{i}] ({rule}, {glob}): "
-                                      "justification is mandatory — add a "
-                                      f"'reason' of at least "
-                                      f"{MIN_JUSTIFICATION} characters"))
-                continue
-            entries.append((rule, glob, reason))
-        return cls(entries, errors)
-
-    def covers(self, finding: Finding) -> bool:
-        return any(rule == finding.rule and
-                   fnmatch.fnmatch(finding.file, glob)
-                   for rule, glob, _ in self.entries)
-
-
-# ---------------------------------------------------------------------------
 # Driver.
 # ---------------------------------------------------------------------------
 
-def collect_files(paths):
-    out = []
-    for p in paths:
-        p = Path(p)
-        if p.is_dir():
-            for ext in ("*.cc", "*.hh", "*.cpp", "*.hpp", "*.h"):
-                out.extend(sorted(p.rglob(ext)))
-        elif p.exists():
-            out.append(p)
-        else:
-            raise FileNotFoundError(p)
-    seen, uniq = set(), []
-    for p in out:
-        rp = p.resolve()
-        if rp not in seen:
-            seen.add(rp)
-            uniq.append(p)
-    return uniq
-
-
-def relpath(p: Path) -> str:
-    try:
-        return str(p.resolve().relative_to(REPO_ROOT))
-    except ValueError:
-        return str(p)
-
-
 def lint_files(paths, allowlist: Allowlist, backend="auto",
-               compile_db=None, rules=None):
+               compile_db=None, rules=None, only_files=None):
     """Returns (findings, warnings). Findings include unsuppressed rule hits
-    and bad-suppression errors; warnings are informational strings."""
+    and bad-suppression errors; warnings are informational strings.
+    @p only_files: optional set of repo-relative paths — rules still see
+    every file (cross-file inventories need the whole set) but findings
+    are reported only for files in the set."""
     files = [SourceFile(p, relpath(p)) for p in collect_files(paths)]
     inv = Inventory(files)
     clang = None
@@ -1021,6 +611,8 @@ def lint_files(paths, allowlist: Allowlist, backend="auto",
     findings, warnings = [], []
     findings.extend(allowlist.errors)
     for sf in files:
+        if only_files is not None and sf.rel not in only_files:
+            continue
         per_file = []
         clang_ok = False
         if clang is not None and sf.path.suffix in (".cc", ".cpp"):
@@ -1033,37 +625,9 @@ def lint_files(paths, allowlist: Allowlist, backend="auto",
             if clang_ok and name in ("nondet-iteration", "static-init-order"):
                 continue  # AST backend owns these for this file
             per_file.extend(RULES[name](sf, inv))
-        # Annotation validity.
-        for ann in sf.annotations:
-            if ann.rule not in RULES:
-                findings.append(Finding(sf.rel, ann.line_start,
-                                        "bad-suppression",
-                                        f"DAPPER_LINT_ALLOW names unknown "
-                                        f"rule '{ann.rule}'"))
-            elif len(ann.reason) < MIN_JUSTIFICATION:
-                findings.append(Finding(sf.rel, ann.line_start,
-                                        "bad-suppression",
-                                        f"DAPPER_LINT_ALLOW({ann.rule}, ...) "
-                                        "justification is mandatory and must "
-                                        f"be >= {MIN_JUSTIFICATION} chars of "
-                                        "real explanation"))
-        # Suppression resolution.
-        for f in per_file:
-            for ann in sf.annotations:
-                if ann.rule == f.rule and \
-                        ann.line_start <= f.line <= ann.line_end + 1 and \
-                        len(ann.reason) >= MIN_JUSTIFICATION:
-                    f.suppressed = True
-                    ann.used = True
-                    break
-            if not f.suppressed and allowlist.covers(f):
-                f.suppressed = True
-        for ann in sf.annotations:
-            if ann.rule in RULES and not ann.used and \
-                    len(ann.reason) >= MIN_JUSTIFICATION:
-                warnings.append(f"{sf.rel}:{ann.line_start}: unused "
-                                f"DAPPER_LINT_ALLOW({ann.rule}) — the rule "
-                                "no longer fires here; drop the annotation")
+        findings.extend(annotation_validity(sf, ALL_RULE_NAMES))
+        resolve_suppressions(sf, per_file, allowlist)
+        warnings.extend(unused_annotation_warnings(sf, RULES))
         findings.extend(f for f in per_file if not f.suppressed)
     return findings, warnings
 
@@ -1102,8 +666,6 @@ def selftest(verbose=True):
             failures.append(label)
             print(f"  FAIL {label}")
 
-    fixture_files = sorted(FIXTURE_DIR.glob("*.cc")) + \
-        sorted(FIXTURE_DIR.glob("*.hh"))
     print("dapper-lint selftest")
     print(f"backend: "
           f"{'clang+lex' if ClangBackend.available() else 'lex'}")
@@ -1138,12 +700,14 @@ def selftest(verbose=True):
           "suppression: unused annotation warns")
 
     # 3. Allowlist: covers findings only with a written reason.
-    allow = Allowlist.load(FIXTURE_DIR / "allowlist_test.toml")
+    allow = Allowlist.load(FIXTURE_DIR / "allowlist_test.toml",
+                           ALL_RULE_NAMES)
     check(not allow.errors, "allowlist: fixture allowlist parses")
     finds, _ = lint_files([FIXTURE_DIR / "seed_purity_bad.cc"], allow)
     check(not [f for f in finds if f.rule == "seed-purity"],
           "allowlist: reasoned entry suppresses file findings")
-    bad_allow = Allowlist.load(FIXTURE_DIR / "allowlist_bad.toml")
+    bad_allow = Allowlist.load(FIXTURE_DIR / "allowlist_bad.toml",
+                               ALL_RULE_NAMES)
     check(any(f.rule == "bad-suppression" for f in bad_allow.errors),
           "allowlist: entry without reason is rejected")
 
@@ -1156,14 +720,14 @@ def selftest(verbose=True):
 
     # 5. The real tree lints clean with the shipped allowlist.
     finds, warns = lint_files([REPO_ROOT / "src"],
-                              Allowlist.load(DEFAULT_ALLOWLIST))
+                              Allowlist.load(DEFAULT_ALLOWLIST,
+                                             ALL_RULE_NAMES))
     for f in finds:
         print(f"  tree finding: {f.render()}")
     check(not finds, "full src/ tree is clean under the shipped policy")
     for w in warns:
         print(f"  tree warning: {w}")
 
-    del fixture_files
     print(f"selftest: {len(failures)} failure(s)")
     return 0 if not failures else 1
 
@@ -1182,8 +746,13 @@ def main(argv=None):
     ap.add_argument("--allowlist", default=str(DEFAULT_ALLOWLIST))
     ap.add_argument("--rule", action="append", dest="rules",
                     choices=sorted(RULES), help="restrict to given rule(s)")
+    ap.add_argument("--changed", choices=("worktree", "cached"), default=None,
+                    help="report findings only for files git considers "
+                         "changed ('cached' = staged, for pre-commit)")
     ap.add_argument("--json", action="store_true",
                     help="emit findings as JSON")
+    ap.add_argument("--sarif", default=None, metavar="PATH",
+                    help="also write findings as SARIF 2.1.0 to PATH")
     ap.add_argument("--list-rules", action="store_true")
     ap.add_argument("--selftest", action="store_true",
                     help="run the fixture self-test + full-tree check")
@@ -1198,23 +767,34 @@ def main(argv=None):
     if args.selftest:
         return selftest(verbose=not args.quiet)
 
+    only_files = None
+    if args.changed is not None:
+        changed = changed_files(args.changed)
+        if changed is None:
+            print("dapper-lint: --changed requested but git is unavailable; "
+                  "scanning everything", file=sys.stderr)
+        else:
+            only_files = changed
+            if not any(f.startswith("src/") or f.endswith(
+                    (".cc", ".hh", ".cpp", ".hpp", ".h"))
+                    for f in only_files):
+                if not args.quiet:
+                    print("dapper-lint: no changed C++ files; clean")
+                return 0
+
     paths = args.paths or [str(REPO_ROOT / "src")]
     try:
         findings, warnings = lint_files(
-            paths, Allowlist.load(args.allowlist), backend=args.backend,
-            compile_db=args.compile_commands_dir, rules=args.rules)
+            paths, Allowlist.load(args.allowlist, ALL_RULE_NAMES),
+            backend=args.backend, compile_db=args.compile_commands_dir,
+            rules=args.rules, only_files=only_files)
     except RuntimeError as exc:
         print(f"dapper-lint: {exc}", file=sys.stderr)
         return 2
-    if args.json:
-        print(json.dumps([dataclasses.asdict(f) for f in findings],
-                         indent=2))
-    else:
-        for f in findings:
-            print(f.render())
-        if not args.quiet:
-            for w in warnings:
-                print(f"warning: {w}", file=sys.stderr)
+    if args.sarif:
+        write_sarif(args.sarif, findings, "dapper-lint", TOOL_VERSION,
+                    RULE_META)
+    print_findings(findings, warnings, quiet=args.quiet, as_json=args.json)
     if findings:
         if not args.quiet and not args.json:
             print(f"dapper-lint: {len(findings)} finding(s); suppress only "

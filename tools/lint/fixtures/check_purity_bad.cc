@@ -1,0 +1,44 @@
+// dapper-audit fixture: POSITIVE case for check-purity.
+// Side effects inside the unconditionally-evaluated condition of
+// assert / DAPPER_CHECK: an increment, an assignment, and a call that
+// resolves only to a non-const method. assert compiles out under
+// NDEBUG, so each of these diverges Release from Debug.
+#include <cassert>
+#include <cstdint>
+
+#define DAPPER_CHECK(cond, msg)                                           \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            fixture_abort(msg);                                           \
+    } while (0)
+
+void fixture_abort(const char *msg);
+
+namespace fixture {
+
+class RetireQueue
+{
+  public:
+    bool
+    advance()  // non-const, and no const overload exists
+    {
+        return ++cursor_ < depth_;
+    }
+
+    void
+    drain(std::uint32_t budget)
+    {
+        DAPPER_CHECK(++drained_ <= budget, "drain overran budget");
+        std::uint32_t spent = 0;
+        DAPPER_CHECK((spent = drained_) <= budget, "assignment in check");
+        assert(advance());
+        (void)spent;
+    }
+
+  private:
+    std::uint32_t cursor_ = 0;
+    std::uint32_t depth_ = 8;
+    std::uint32_t drained_ = 0;
+};
+
+} // namespace fixture

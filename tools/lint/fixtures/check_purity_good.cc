@@ -1,0 +1,65 @@
+// dapper-audit fixture: NEGATIVE twin for check-purity.
+// Pure conditions: comparisons (==, <=, >=, !=), const-method calls,
+// calls the index cannot resolve (benefit of the doubt), and effects
+// hoisted onto their own statement before the check. A side effect in
+// the message/context argument is fine — those only evaluate on the
+// failure path, which aborts.
+#include <cassert>
+#include <cstdint>
+
+#define DAPPER_CHECK(cond, msg)                                           \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            fixture_abort(msg);                                           \
+    } while (0)
+#define DAPPER_CHECK_CTX(cond, msg, ctx)                                  \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            fixture_abort_ctx(msg, ctx);                                  \
+    } while (0)
+
+void fixture_abort(const char *msg);
+void fixture_abort_ctx(const char *msg, const char *ctx);
+const char *describe_cell();
+
+namespace fixture {
+
+class RetireQueue
+{
+  public:
+    bool
+    ready() const
+    {
+        return cursor_ < depth_;
+    }
+
+    const char *
+    label()  // non-const, but only ever called in failure-path args
+    {
+        return "retire-queue";
+    }
+
+    void
+    drain(std::uint32_t budget)
+    {
+        DAPPER_CHECK(drained_ <= budget, "drain overran budget");
+        DAPPER_CHECK(drained_ != budget || ready(), "stuck at budget");
+        DAPPER_CHECK(cursor_ >= lowWater_ && cursor_ <= depth_,
+                     "cursor out of bounds");
+        // Effect hoisted out of the condition: the check stays pure.
+        ++drained_;
+        DAPPER_CHECK(drained_ >= 1, "counter wrapped");
+        // Unresolvable call: free function, benefit of the doubt.
+        assert(describe_cell() != nullptr);
+        // Side effects in msg/ctx arguments evaluate only on failure.
+        DAPPER_CHECK_CTX(ready(), "queue wedged", label());
+    }
+
+  private:
+    std::uint32_t cursor_ = 0;
+    std::uint32_t lowWater_ = 0;
+    std::uint32_t depth_ = 8;
+    std::uint32_t drained_ = 0;
+};
+
+} // namespace fixture

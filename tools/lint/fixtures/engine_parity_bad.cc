@@ -1,0 +1,53 @@
+// dapper-audit fixture: POSITIVE case for engine-parity.
+// `Scoreboard::bump` mutates member state and is reachable (over the
+// approximate call graph) from System::run but not System::runReference
+// — exactly the shape of an event-engine-only optimization that could
+// silently diverge the two engines.
+#include <cstdint>
+
+namespace fixture {
+
+class Scoreboard
+{
+  public:
+    void
+    bump()
+    {
+        ++fastPath_;
+    }
+
+  private:
+    std::uint64_t fastPath_ = 0;
+};
+
+class System
+{
+  public:
+    void
+    run(std::uint64_t horizon)
+    {
+        while (now_ < horizon) {
+            board_.bump();  // event engine only: parity hazard
+            step();
+        }
+    }
+
+    void
+    runReference(std::uint64_t horizon)
+    {
+        while (now_ < horizon)
+            step();
+    }
+
+  private:
+    void
+    step()
+    {
+        ++now_;
+    }
+
+    std::uint64_t now_ = 0;
+    Scoreboard board_;
+};
+
+} // namespace fixture

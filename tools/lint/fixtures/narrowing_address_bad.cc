@@ -1,0 +1,30 @@
+// dapper-audit fixture: POSITIVE case for narrowing-address.
+// Narrow-typed declarations initialized from 64-bit address/row/epoch
+// arithmetic without a static_cast: silent truncation that corrupts
+// high rows on large-address configs.
+#include <cstdint>
+
+namespace fixture {
+
+using Addr = std::uint64_t;
+using Tick = std::uint64_t;
+
+class RowDecoder
+{
+  public:
+    void
+    touch(Addr addr, Tick now)
+    {
+        const std::uint32_t row = addr >> rowShift_;    // truncates
+        const std::uint16_t epochSlot = now / epochLen_;  // truncates
+        lastRow_ = row;
+        (void)epochSlot;
+    }
+
+  private:
+    std::uint64_t rowShift_ = 13;
+    std::uint64_t epochLen_ = 7800;
+    std::uint32_t lastRow_ = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,50 @@
+// dapper-audit fixture: NEGATIVE twin for narrowing-address.
+// Explicit static_cast documents the packed-width contract; values
+// whose width is NOT the identifier's width — call results and array
+// subscripts — are exempt, as are identifiers the file also declares
+// with a narrow type (ambiguous without real type resolution).
+#include <cstdint>
+
+namespace fixture {
+
+using Addr = std::uint64_t;
+using Tick = std::uint64_t;
+
+std::uint32_t hashOf(Addr addr);
+
+class RowDecoder
+{
+  public:
+    void
+    touch(Addr addr, Tick now)
+    {
+        // Explicit truncation: the contract is visible at the site.
+        const std::uint32_t row =
+            static_cast<std::uint32_t>(addr >> rowShift_);
+        // Call result: hashOf's return width governs, not addr's.
+        const std::uint32_t h = hashOf(addr);
+        // Subscript: the element width governs, not the index's.
+        const std::uint32_t lane = lanes_[now % 4];
+        // Staying wide is always fine.
+        const Addr line = addr >> 6;
+        lastRow_ = row + h + lane;
+        (void)line;
+    }
+
+    void
+    reseed(std::uint32_t seed)
+    {
+        // `seed` is also a wide member elsewhere in real trees; a name
+        // declared narrow here must not be treated as 64-bit.
+        const std::uint32_t mixed = seed * 2654435761u;
+        lastRow_ ^= mixed;
+    }
+
+  private:
+    std::uint64_t rowShift_ = 13;
+    std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+    std::uint32_t lanes_[4] = {0, 1, 2, 3};
+    std::uint32_t lastRow_ = 0;
+};
+
+} // namespace fixture

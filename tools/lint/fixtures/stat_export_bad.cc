@@ -1,0 +1,44 @@
+// dapper-audit fixture: POSITIVE case for stat-export-completeness.
+// `drops_` is monotonically incremented by a real method but never
+// reaches exportStats — the PR 5 droppedWritebacks bug class. The
+// struct-field variant (`stats_.evictions`) must be caught too, even
+// through the aggregate member's name appearing in the export body.
+#include <cstdint>
+
+namespace fixture {
+
+struct StatWriter
+{
+    void u64(const char *key, std::uint64_t v);
+};
+
+struct PrefetchStats
+{
+    std::uint64_t issued = 0;
+    std::uint64_t evictions = 0;  // incremented below, never exported
+};
+
+class Prefetcher
+{
+  public:
+    void
+    onFill(bool conflict)
+    {
+        ++stats_.issued;
+        if (conflict)
+            ++stats_.evictions;
+        ++drops_;                 // incremented here, never exported
+    }
+
+    void
+    exportStats(StatWriter &w)
+    {
+        w.u64("issued", stats_.issued);
+    }
+
+  private:
+    PrefetchStats stats_;
+    std::uint64_t drops_ = 0;
+};
+
+} // namespace fixture

@@ -1,0 +1,80 @@
+// dapper-audit fixture: NEGATIVE twin for stat-export-completeness.
+// Every true counter reaches exportStats — directly, via a struct-field
+// export, or via an accessor the export calls. Non-counters must not be
+// demanded: generation stamps (engine-dependent; exporting them would
+// break the engine-equivalence dict compare), gauges (decremented),
+// clocks (renormalized by reassignment), and constructor-only
+// arithmetic are all exempt.
+#include <cstdint>
+
+namespace fixture {
+
+struct StatWriter
+{
+    void u64(const char *key, std::uint64_t v);
+    void f64(const char *key, double v);
+};
+
+struct PrefetchStats
+{
+    std::uint64_t issued = 0;
+    std::uint64_t latencySum = 0;
+    std::uint64_t latencyCount = 0;
+
+    double
+    avgLatency() const
+    {
+        return latencyCount
+                   ? static_cast<double>(latencySum) /
+                         static_cast<double>(latencyCount)
+                   : 0.0;
+    }
+};
+
+class Prefetcher
+{
+  public:
+    explicit Prefetcher(std::uint32_t ways)
+    {
+        while (ways >>= 1)
+            ++setBits_;           // constructor-only: not telemetry
+    }
+
+    void
+    onFill(std::uint64_t lat)
+    {
+        ++stats_.issued;
+        stats_.latencySum += lat;
+        ++stats_.latencyCount;
+        ++drops_;
+        ++outstanding_;           // gauge: decremented in onDrain
+        ++stateGen_;              // generation stamp: engine-dependent
+        if (++lruClock_ == 0)
+            lruClock_ = 1;        // clock: renormalized by reassignment
+    }
+
+    void
+    onDrain()
+    {
+        --outstanding_;
+    }
+
+    void
+    exportStats(StatWriter &w)
+    {
+        w.u64("issued", stats_.issued);
+        w.f64("avgLatency", stats_.avgLatency());  // accessor covers sums
+        w.u64("drops", drops_);
+        w.u64("outstanding", outstanding_);
+    }
+
+  private:
+    PrefetchStats stats_;
+    std::uint64_t drops_ = 0;
+    std::uint64_t outstanding_ = 0;
+    std::uint64_t stateGen_ = 0;
+    std::uint64_t lruClock_ = 0;
+    std::uint32_t setBits_ = 0;
+};
+
+} // namespace fixture

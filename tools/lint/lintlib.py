@@ -1,0 +1,792 @@
+"""Shared infrastructure for the DAPPER static-analysis tools.
+
+Two tools build on this module:
+
+  dapper_lint.py   lexical single-file rules (seed purity, deterministic
+                   iteration, registry-only construction, ...).
+  dapper_audit.py  cross-TU semantic rules over a project-wide index
+                   (stat-export completeness, check purity, engine
+                   parity, narrowing address arithmetic).
+
+Everything here is rule-agnostic: source scrubbing that preserves byte
+offsets, bracket/template matching, the Finding/Annotation model, the
+DAPPER_LINT_ALLOW suppression contract, the reason-mandatory allowlist,
+git-diff scoping for incremental runs, and the SARIF 2.1.0 renderer CI
+feeds to GitHub code scanning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import fnmatch
+import json
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+try:
+    import tomllib
+except ImportError:  # Python < 3.11: allowlist support degrades gracefully.
+    tomllib = None
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+LINT_DIR = Path(__file__).resolve().parent
+FIXTURE_DIR = LINT_DIR / "fixtures"
+DEFAULT_ALLOWLIST = LINT_DIR / "allowlist.toml"
+
+# Minimum justification length for an annotation / allowlist reason.
+MIN_JUSTIFICATION = 10
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+# Canonical rule-name registry. Both tools validate DAPPER_LINT_ALLOW
+# annotations against the UNION so an audit-rule suppression sitting in a
+# file the lexical linter scans (and vice versa) is never reported as
+# "unknown rule". Each tool's RULES table must match its list exactly.
+LINT_RULE_NAMES = (
+    "nondet-iteration", "seed-purity", "raw-assert", "registry-only",
+    "static-init-order", "pointer-key-order",
+)
+AUDIT_RULE_NAMES = (
+    "stat-export-completeness", "check-purity", "engine-parity",
+    "narrowing-address",
+)
+ALL_RULE_NAMES = frozenset(LINT_RULE_NAMES) | frozenset(AUDIT_RULE_NAMES)
+
+
+@dataclasses.dataclass
+class Finding:
+    file: str          # repo-relative path
+    line: int          # 1-based
+    rule: str
+    message: str
+    severity: str = SEVERITY_ERROR
+    suppressed: bool = False
+
+    def render(self) -> str:
+        tag = "" if self.severity == SEVERITY_ERROR else f" {self.severity}:"
+        return f"{self.file}:{self.line}:{tag} [{self.rule}] {self.message}"
+
+
+@dataclasses.dataclass
+class Annotation:
+    rule: str
+    reason: str
+    line_start: int    # 1-based line of the annotation's first token
+    line_end: int      # 1-based line of the closing paren
+    used: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Source scrubbing: blank comments and string/char literal contents while
+# preserving byte offsets and line structure, so token-level rules never
+# match inside a comment or a literal.
+# ---------------------------------------------------------------------------
+
+def scrub_source(text: str) -> str:
+    out = list(text)
+    i, n = 0, len(text)
+    NORMAL, LINE_C, BLOCK_C, STR, CHR, RAW = range(6)
+    state = NORMAL
+    raw_terminator = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == NORMAL:
+            if c == "/" and nxt == "/":
+                state = LINE_C
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = BLOCK_C
+                out[i] = out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                # Raw string literal? Look behind for R / u8R / LR / uR / UR.
+                j = i - 1
+                prefix = ""
+                while j >= 0 and text[j] in "Ru8LU" and len(prefix) < 3:
+                    prefix = text[j] + prefix
+                    j -= 1
+                if "R" in prefix and (j < 0 or not (text[j].isalnum() or
+                                                    text[j] == "_")):
+                    m = re.match(r'"([^()\s\\]{0,16})\(', text[i:])
+                    if m:
+                        raw_terminator = ")" + m.group(1) + '"'
+                        state = RAW
+                        i += m.end()
+                        continue
+                state = STR
+                i += 1
+                continue
+            if c == "'":
+                # Digit separator (1'000'000) is not a char literal.
+                if i > 0 and text[i - 1].isdigit() and nxt.isalnum():
+                    i += 1
+                    continue
+                state = CHR
+                i += 1
+                continue
+            i += 1
+            continue
+        if state == LINE_C:
+            if c == "\n":
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        if state == BLOCK_C:
+            if c == "*" and nxt == "/":
+                out[i] = out[i + 1] = " "
+                state = NORMAL
+                i += 2
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        if state == STR:
+            if c == "\\" and i + 1 < n:
+                out[i] = " "
+                if text[i + 1] != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == '"':
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        if state == CHR:
+            if c == "\\" and i + 1 < n:
+                out[i] = " "
+                if text[i + 1] != "\n":
+                    out[i + 1] = " "
+                i += 2
+                continue
+            if c == "'":
+                state = NORMAL
+            elif c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+        if state == RAW:
+            if text.startswith(raw_terminator, i):
+                i += len(raw_terminator)
+                state = NORMAL
+                continue
+            if c != "\n":
+                out[i] = " "
+            i += 1
+            continue
+    return "".join(out)
+
+
+def strip_preprocessor(text: str) -> str:
+    """Blank preprocessor logical lines (including backslash continuations)
+    while preserving length and newlines."""
+    out = []
+    in_pp = False
+    for line in text.split("\n"):
+        stripped = line.lstrip()
+        if in_pp or stripped.startswith("#"):
+            cont = line.rstrip().endswith("\\")
+            out.append(" " * len(line))
+            in_pp = cont
+        else:
+            out.append(line)
+    return "\n".join(out)
+
+
+def match_bracket(text: str, open_pos: int, open_ch: str, close_ch: str) -> int:
+    """Return index just past the bracket matching text[open_pos], or -1."""
+    depth = 0
+    i = open_pos
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == open_ch:
+            depth += 1
+        elif c == close_ch:
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return -1
+
+
+def match_template(text: str, lt_pos: int) -> int:
+    """Match '<'...'>' accounting for nesting; shift operators do not appear
+    inside the type contexts we scan. Returns index past '>', or -1."""
+    depth = 0
+    i = lt_pos
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        elif c in ";{}":
+            return -1
+        i += 1
+    return -1
+
+
+def line_of(text: str, pos: int) -> int:
+    return text.count("\n", 0, pos) + 1
+
+
+def top_level_assign(s: str) -> int:
+    """Index of the first top-level '=' that is an assignment, or -1."""
+    depth = 0
+    for i, c in enumerate(s):
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        elif c == "=" and depth == 0:
+            if i + 1 < len(s) and s[i + 1] == "=":
+                continue  # comparison
+            if i > 0 and s[i - 1] in "!<>+-*/%&|^=":
+                continue
+            return i
+    return -1
+
+
+def top_level_colon(s: str) -> int:
+    depth = 0
+    i = 0
+    while i < len(s):
+        c = s[i]
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        elif c == ":" and depth == 0:
+            if i + 1 < len(s) and s[i + 1] == ":":
+                i += 2
+                continue
+            if i > 0 and s[i - 1] == ":":
+                i += 1
+                continue
+            return i
+        i += 1
+    return -1
+
+
+def split_top_level(s: str, sep: str = ",") -> list:
+    """Split on @p sep occurrences not nested inside any bracket pair."""
+    parts = []
+    depth = 0
+    start = 0
+    for i, c in enumerate(s):
+        if c in "(<[{":
+            depth += 1
+        elif c in ")>]}":
+            depth -= 1
+        elif c == sep and depth == 0:
+            parts.append(s[start:i])
+            start = i + 1
+    parts.append(s[start:])
+    return parts
+
+
+def first_template_arg(args: str) -> str:
+    depth = 0
+    for i, c in enumerate(args):
+        if c in "<([":
+            depth += 1
+        elif c in ">)]":
+            depth -= 1
+        elif c == "," and depth == 0:
+            return args[:i]
+    return args
+
+
+# ---------------------------------------------------------------------------
+# Per-file model.
+# ---------------------------------------------------------------------------
+
+class SourceFile:
+    def __init__(self, path: Path, rel: str):
+        self.path = path
+        self.rel = rel
+        self.raw = path.read_text(encoding="utf-8", errors="replace")
+        self.scrubbed = scrub_source(self.raw)
+        self.annotations = self._parse_annotations()
+        self.register_regions = self._register_macro_regions()
+        self._ns_scope_statements = None
+
+    # -- annotations --------------------------------------------------------
+
+    _ANN_RE = re.compile(r"\bDAPPER_LINT_ALLOW\s*\(")
+
+    def _parse_annotations(self):
+        anns = []
+        for m in self._ANN_RE.finditer(self.scrubbed):
+            # Skip the macro's own definition in check.hh.
+            bol = self.scrubbed.rfind("\n", 0, m.start()) + 1
+            if self.scrubbed[bol:m.start()].lstrip().startswith("#"):
+                continue
+            open_paren = self.scrubbed.index("(", m.start())
+            end = match_bracket(self.scrubbed, open_paren, "(", ")")
+            if end < 0:
+                continue
+            inside_raw = self.raw[open_paren + 1:end - 1]
+            line_start = line_of(self.scrubbed, m.start())
+            line_end = line_of(self.scrubbed, end - 1)
+            parts = inside_raw.split(",", 1)
+            rule = parts[0].strip()
+            reason = ""
+            if len(parts) == 2:
+                sm = re.search(r'"((?:[^"\\]|\\.)*)"', parts[1], re.S)
+                if sm:
+                    reason = re.sub(r"\s+", " ", sm.group(1)).strip()
+                    # Adjacent literals: "a" "b" concatenate.
+                    for extra in re.findall(r'"((?:[^"\\]|\\.)*)"',
+                                            parts[1], re.S)[1:]:
+                        reason += re.sub(r"\s+", " ", extra).strip()
+            if not re.fullmatch(r"[\w-]+", rule or ""):
+                continue  # the #define itself, or malformed — handled below
+            anns.append(Annotation(rule, reason, line_start, line_end))
+        return anns
+
+    # -- DAPPER_REGISTER_* regions ------------------------------------------
+
+    _REG_RE = re.compile(r"\bDAPPER_REGISTER_\w+\s*\(")
+
+    def _register_macro_regions(self):
+        regions = []
+        for m in self._REG_RE.finditer(self.scrubbed):
+            open_paren = self.scrubbed.index("(", m.start())
+            end = match_bracket(self.scrubbed, open_paren, "(", ")")
+            if end < 0:
+                continue
+            regions.append((line_of(self.scrubbed, m.start()),
+                            line_of(self.scrubbed, end - 1)))
+        return regions
+
+    def in_register_region(self, line: int) -> bool:
+        return any(a <= line <= b for a, b in self.register_regions)
+
+    # -- namespace-scope statement splitter ---------------------------------
+
+    def ns_scope_statements(self):
+        """Return (line, statement_text) for each top-level statement that
+        sits at namespace (or translation-unit) scope — i.e. not inside a
+        function body, class body, or initializer block. Preprocessor lines
+        are blanked first so macro definitions with braces in their bodies
+        cannot desynchronize the scope tracker."""
+        if self._ns_scope_statements is not None:
+            return self._ns_scope_statements
+        text = strip_preprocessor(self.scrubbed)
+        stmts = []
+        stack = []           # context kinds: 'ns' | 'class' | 'fn' | 'init'
+        stmt_start = 0
+        i, n = 0, len(text)
+
+        def at_ns_scope():
+            return all(k == "ns" for k in stack)
+
+        def classify_open(pos):
+            head = text[max(0, pos - 400):pos].rstrip()
+            if re.search(r"\bnamespace(\s+[\w:]+)?\s*$", head):
+                return "ns"
+            if re.search(r"\b(class|struct|union|enum)\b[^;{}()=]*$", head):
+                return "class"
+            if head.endswith(("=", ",", "(", "{", "return")):
+                return "init"
+            # A '{' inside a statement that already carries a top-level '='
+            # belongs to the initializer (covers `auto f = [](){...};`).
+            if at_ns_scope() and \
+                    top_level_assign(text[stmt_start:pos]) >= 0:
+                return "init"
+            if re.search(r"(\)|\bconst|\bnoexcept|\boverride|\bfinal|"
+                         r"\belse|\bdo|\btry)\s*$", head):
+                return "fn"
+            if re.search(r"->\s*[\w:<>,&*\s]+$", head):
+                return "fn"
+            return "init"
+
+        while i < n:
+            c = text[i]
+            if c == "{":
+                kind = classify_open(i)
+                stack.append(kind)
+                i += 1
+                continue
+            if c == "}":
+                if stack:
+                    kind = stack.pop()
+                    # A function/class/namespace body ends its statement;
+                    # an initializer brace belongs to a statement that
+                    # still runs until its ';'.
+                    if kind != "init" and at_ns_scope():
+                        stmt_start = i + 1
+                i += 1
+                continue
+            if c == ";":
+                if at_ns_scope():
+                    seg = text[stmt_start:i]
+                    stmt = seg.strip()
+                    if stmt:
+                        lead = len(seg) - len(seg.lstrip())
+                        stmts.append((line_of(text, stmt_start + lead),
+                                      stmt))
+                    stmt_start = i + 1
+                i += 1
+                continue
+            i += 1
+        self._ns_scope_statements = stmts
+        return stmts
+
+
+# ---------------------------------------------------------------------------
+# Allowlist.
+# ---------------------------------------------------------------------------
+
+class Allowlist:
+    def __init__(self, entries, errors):
+        self.entries = entries  # list of (rule, glob, reason)
+        self.errors = errors    # list of Finding (bad-suppression)
+
+    @classmethod
+    def load(cls, path, known_rules):
+        if path is None or not Path(path).exists():
+            return cls([], [])
+        if tomllib is None:
+            return cls([], [Finding(str(path), 1, "bad-suppression",
+                                    "allowlist present but tomllib is "
+                                    "unavailable (need python >= 3.11)")])
+        with open(path, "rb") as fh:
+            data = tomllib.load(fh)
+        entries, errors = [], []
+        for i, entry in enumerate(data.get("allow", [])):
+            rule = entry.get("rule", "")
+            glob = entry.get("file", "")
+            reason = (entry.get("reason") or "").strip()
+            if rule not in known_rules:
+                errors.append(Finding(str(path), 1, "bad-suppression",
+                                      f"allow[{i}]: unknown rule "
+                                      f"'{rule}'"))
+                continue
+            if not glob:
+                errors.append(Finding(str(path), 1, "bad-suppression",
+                                      f"allow[{i}]: missing 'file' glob"))
+                continue
+            if len(reason) < MIN_JUSTIFICATION:
+                errors.append(Finding(str(path), 1, "bad-suppression",
+                                      f"allow[{i}] ({rule}, {glob}): "
+                                      "justification is mandatory — add a "
+                                      f"'reason' of at least "
+                                      f"{MIN_JUSTIFICATION} characters"))
+                continue
+            entries.append((rule, glob, reason))
+        return cls(entries, errors)
+
+    def covers(self, finding: Finding) -> bool:
+        return any(rule == finding.rule and
+                   fnmatch.fnmatch(finding.file, glob)
+                   for rule, glob, _ in self.entries)
+
+
+def annotation_validity(sf: SourceFile, known_rules):
+    """bad-suppression findings for malformed annotations. @p known_rules
+    is the UNION of both tools' rule names — an annotation for the other
+    tool's rules is valid here, only unknown-everywhere rules are not."""
+    out = []
+    for ann in sf.annotations:
+        if ann.rule not in known_rules:
+            out.append(Finding(sf.rel, ann.line_start, "bad-suppression",
+                               f"DAPPER_LINT_ALLOW names unknown "
+                               f"rule '{ann.rule}'"))
+        elif len(ann.reason) < MIN_JUSTIFICATION:
+            out.append(Finding(sf.rel, ann.line_start, "bad-suppression",
+                               f"DAPPER_LINT_ALLOW({ann.rule}, ...) "
+                               "justification is mandatory and must "
+                               f"be >= {MIN_JUSTIFICATION} chars of "
+                               "real explanation"))
+    return out
+
+
+def resolve_suppressions(sf: SourceFile, per_file, allowlist):
+    """Mark findings covered by a justified annotation (on the finding's
+    line or the line above) or by an allowlist entry as suppressed."""
+    for f in per_file:
+        for ann in sf.annotations:
+            if ann.rule == f.rule and \
+                    ann.line_start <= f.line <= ann.line_end + 1 and \
+                    len(ann.reason) >= MIN_JUSTIFICATION:
+                f.suppressed = True
+                ann.used = True
+                break
+        if not f.suppressed and allowlist.covers(f):
+            f.suppressed = True
+
+
+def unused_annotation_warnings(sf: SourceFile, own_rules):
+    """Warnings for justified annotations of THIS tool's rules that did not
+    suppress anything. Scoped to @p own_rules so each tool stays silent
+    about the other tool's annotations."""
+    return [f"{sf.rel}:{ann.line_start}: unused "
+            f"DAPPER_LINT_ALLOW({ann.rule}) — the rule "
+            "no longer fires here; drop the annotation"
+            for ann in sf.annotations
+            if ann.rule in own_rules and not ann.used and
+            len(ann.reason) >= MIN_JUSTIFICATION]
+
+
+# ---------------------------------------------------------------------------
+# File collection and git scoping.
+# ---------------------------------------------------------------------------
+
+CXX_EXTS = ("*.cc", "*.hh", "*.cpp", "*.hpp", "*.h")
+
+
+def collect_files(paths):
+    out = []
+    for p in paths:
+        p = Path(p)
+        if p.is_dir():
+            for ext in CXX_EXTS:
+                out.extend(sorted(p.rglob(ext)))
+        elif p.exists():
+            out.append(p)
+        else:
+            raise FileNotFoundError(p)
+    seen, uniq = set(), []
+    for p in out:
+        rp = p.resolve()
+        if rp not in seen:
+            seen.add(rp)
+            uniq.append(p)
+    return uniq
+
+
+def relpath(p: Path) -> str:
+    try:
+        return str(p.resolve().relative_to(REPO_ROOT))
+    except ValueError:
+        return str(p)
+
+
+def changed_files(mode: str = "worktree"):
+    """Repo-relative paths touched per git. @p mode: 'cached' = staged
+    changes only (the pre-commit hook's view), 'worktree' = everything
+    different from HEAD plus untracked files. Returns None when git is
+    unavailable (caller falls back to a full run)."""
+    cmds = []
+    if mode == "cached":
+        cmds.append(["git", "diff", "--cached", "--name-only",
+                     "--diff-filter=ACMR"])
+    else:
+        cmds.append(["git", "diff", "--name-only", "--diff-filter=ACMR",
+                     "HEAD"])
+        cmds.append(["git", "ls-files", "--others", "--exclude-standard"])
+    files = set()
+    for cmd in cmds:
+        try:
+            res = subprocess.run(cmd, cwd=REPO_ROOT, capture_output=True,
+                                 text=True, timeout=30)
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if res.returncode != 0:
+            return None
+        files.update(line.strip() for line in res.stdout.splitlines()
+                     if line.strip())
+    return files
+
+
+def compile_db_sources(compile_db_dir):
+    """Repo-relative .cc paths named by compile_commands.json, or None when
+    the database is absent/unreadable. The audit uses this as the
+    authoritative TU list (a source file CMake does not build is dead code
+    the analysis should not trust)."""
+    if not compile_db_dir:
+        return None
+    db_path = Path(compile_db_dir) / "compile_commands.json"
+    if not db_path.exists():
+        return None
+    try:
+        with open(db_path, "r", encoding="utf-8") as fh:
+            db = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return None
+    out = []
+    for entry in db:
+        f = entry.get("file", "")
+        if not f:
+            continue
+        try:
+            rel = str(Path(f).resolve().relative_to(REPO_ROOT))
+        except ValueError:
+            continue
+        out.append(rel)
+    return sorted(set(out))
+
+
+# ---------------------------------------------------------------------------
+# SARIF 2.1.0 renderer (GitHub code scanning ingests this directly).
+# ---------------------------------------------------------------------------
+
+SARIF_SCHEMA_URI = ("https://raw.githubusercontent.com/oasis-tcs/"
+                    "sarif-spec/master/Schemata/sarif-schema-2.1.0.json")
+
+
+def sarif_report(findings, tool_name, tool_version, rule_meta):
+    """Render @p findings as a SARIF 2.1.0 log dict.
+
+    @p rule_meta: rule-id -> {"description": str, "help": str,
+    "severity": "error"|"warning"}. Rules referenced by findings but
+    missing from the table are synthesized with defaults so the report
+    always validates.
+    """
+    rule_ids = sorted({f.rule for f in findings} | set(rule_meta))
+    rules = []
+    index_of = {}
+    for i, rid in enumerate(rule_ids):
+        meta = rule_meta.get(rid, {})
+        index_of[rid] = i
+        rules.append({
+            "id": rid,
+            "name": re.sub(r"(^|-)(\w)", lambda m: m.group(2).upper(), rid),
+            "shortDescription": {
+                "text": meta.get("description", rid),
+            },
+            "fullDescription": {
+                "text": meta.get("help", meta.get("description", rid)),
+            },
+            "help": {
+                "text": "Rule contract and suppression policy: "
+                        "tools/lint/README.md",
+            },
+            "defaultConfiguration": {
+                "level": meta.get("severity", SEVERITY_ERROR),
+            },
+        })
+    results = []
+    for f in findings:
+        results.append({
+            "ruleId": f.rule,
+            "ruleIndex": index_of[f.rule],
+            "level": "error" if f.severity == SEVERITY_ERROR else "warning",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {
+                        # Repo-relative; GitHub code scanning resolves
+                        # against the checkout root.
+                        "uri": f.file.replace("\\", "/"),
+                    },
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+        })
+    return {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": tool_name,
+                    "version": tool_version,
+                    "rules": rules,
+                },
+            },
+            "results": results,
+            "columnKind": "utf16CodeUnits",
+        }],
+    }
+
+
+def validate_sarif(doc) -> list:
+    """Structural validation of the SARIF 2.1.0 invariants GitHub's
+    ingestion (and the published schema) require. Returns a list of
+    problem strings; empty means valid. This is not a full JSON-Schema
+    engine — it pins the required-property and type skeleton so the
+    selftest catches renderer regressions without external deps."""
+    problems = []
+
+    def need(obj, key, typ, ctx):
+        if not isinstance(obj, dict) or key not in obj:
+            problems.append(f"{ctx}: missing required '{key}'")
+            return None
+        if typ is not None and not isinstance(obj[key], typ):
+            problems.append(f"{ctx}.{key}: expected {typ.__name__}")
+            return None
+        return obj[key]
+
+    if need(doc, "version", str, "log") != "2.1.0":
+        problems.append("log.version: must be the string '2.1.0'")
+    runs = need(doc, "runs", list, "log")
+    for ri, run in enumerate(runs or []):
+        ctx = f"runs[{ri}]"
+        tool = need(run, "tool", dict, ctx)
+        driver = need(tool or {}, "driver", dict, f"{ctx}.tool")
+        need(driver or {}, "name", str, f"{ctx}.tool.driver")
+        for pi, rule in enumerate((driver or {}).get("rules", [])):
+            need(rule, "id", str, f"{ctx}.tool.driver.rules[{pi}]")
+        results = run.get("results", [])
+        if not isinstance(results, list):
+            problems.append(f"{ctx}.results: expected list")
+            continue
+        level_ok = {"none", "note", "warning", "error"}
+        for fi, res in enumerate(results):
+            rctx = f"{ctx}.results[{fi}]"
+            msg = need(res, "message", dict, rctx)
+            need(msg or {}, "text", str, f"{rctx}.message")
+            if res.get("level") not in level_ok:
+                problems.append(f"{rctx}.level: must be one of {level_ok}")
+            if "ruleIndex" in res:
+                rules = (driver or {}).get("rules", [])
+                idx = res["ruleIndex"]
+                if not (isinstance(idx, int) and 0 <= idx < len(rules)):
+                    problems.append(f"{rctx}.ruleIndex: out of range")
+                elif rules[idx].get("id") != res.get("ruleId"):
+                    problems.append(f"{rctx}: ruleId/ruleIndex mismatch")
+            for li, loc in enumerate(res.get("locations", [])):
+                pl = loc.get("physicalLocation", {})
+                al = pl.get("artifactLocation", {})
+                if not isinstance(al.get("uri", ""), str):
+                    problems.append(
+                        f"{rctx}.locations[{li}]: artifact uri not a string")
+                region = pl.get("region", {})
+                sl = region.get("startLine")
+                if sl is not None and (not isinstance(sl, int) or sl < 1):
+                    problems.append(
+                        f"{rctx}.locations[{li}]: startLine must be >= 1")
+    return problems
+
+
+def write_sarif(path, findings, tool_name, tool_version, rule_meta):
+    doc = sarif_report(findings, tool_name, tool_version, rule_meta)
+    problems = validate_sarif(doc)
+    if problems:
+        raise RuntimeError("internal SARIF renderer error: " +
+                           "; ".join(problems[:5]))
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2)
+        fh.write("\n")
+    return doc
+
+
+def print_findings(findings, warnings, quiet=False, as_json=False):
+    """Standard text/JSON finding output shared by both drivers."""
+    if as_json:
+        print(json.dumps([dataclasses.asdict(f) for f in findings],
+                         indent=2))
+        return
+    for f in findings:
+        print(f.render())
+    if not quiet:
+        for w in warnings:
+            print(f"warning: {w}", file=sys.stderr)
